@@ -1,0 +1,98 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro                      # all targets, quick scale
+//! repro fig2a fig5 table10   # selected targets
+//! repro --paper fig2a        # paper-scale run (slow)
+//! repro --seed 1234 fig6     # alternate scenario seed
+//! repro --list               # list targets
+//! ```
+
+use ptperf::scenario::Scenario;
+use ptperf_bench::{available_targets, run_target, targets::export_csv, RunScale};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = RunScale::Quick;
+    let mut seed = 42u64;
+    let mut csv_dir: Option<String> = None;
+
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return;
+    }
+    if args.iter().any(|a| a == "--list") {
+        for t in available_targets() {
+            println!("{t}");
+        }
+        return;
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--paper") {
+        scale = RunScale::Paper;
+        args.remove(pos);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--seed") {
+        if pos + 1 >= args.len() {
+            eprintln!("--seed requires a value");
+            std::process::exit(2);
+        }
+        seed = match args[pos + 1].parse() {
+            Ok(s) => s,
+            Err(_) => {
+                eprintln!("--seed requires an integer, got '{}'", args[pos + 1]);
+                std::process::exit(2);
+            }
+        };
+        args.drain(pos..=pos + 1);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--csv") {
+        if pos + 1 >= args.len() {
+            eprintln!("--csv requires a directory");
+            std::process::exit(2);
+        }
+        csv_dir = Some(args[pos + 1].clone());
+        args.drain(pos..=pos + 1);
+    }
+
+    let targets: Vec<String> = if args.is_empty() {
+        available_targets().iter().map(|s| s.to_string()).collect()
+    } else {
+        args
+    };
+    for t in &targets {
+        if !available_targets().contains(&t.as_str()) {
+            eprintln!("unknown target '{t}'; run `repro --list`");
+            std::process::exit(2);
+        }
+    }
+
+    let scenario = Scenario::baseline(seed);
+    println!(
+        "# PTPerf reproduction — scale: {:?}, seed: {seed}, scenario: client {} / servers {}\n",
+        scale, scenario.client, scenario.server_region
+    );
+    for t in targets {
+        let started = std::time::Instant::now();
+        let out = run_target(&t, &scenario, scale);
+        println!("==================== {t} ====================");
+        println!("{out}");
+        if let Some(dir) = &csv_dir {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            for (stem, doc) in export_csv(&t, &scenario, scale) {
+                let path = format!("{dir}/{stem}.csv");
+                std::fs::write(&path, doc).expect("write csv");
+                eprintln!("[wrote {path}]");
+            }
+        }
+        eprintln!("[{t} done in {:.1}s]", started.elapsed().as_secs_f64());
+    }
+}
+
+fn print_help() {
+    println!(
+        "repro — regenerate PTPerf tables and figures\n\n\
+         usage: repro [--paper] [--seed N] [--list] [TARGET ...]\n\n\
+         With no targets, all of them run. Targets:\n  {}",
+        available_targets().join(" ")
+    );
+}

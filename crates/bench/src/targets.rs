@@ -1,0 +1,388 @@
+//! The repro targets: one entry per table/figure, each producing the
+//! text rendering of that artifact.
+
+use ptperf::experiments::{
+    file_download, fixed_circuit, fixed_guard, location, medium, overhead, reliability,
+    snowflake_load, speed_index, streaming, ttest_tables, ttfb, website_curl,
+    website_selenium,
+};
+use ptperf::scenario::Scenario;
+use ptperf::{campaign, ecosystem};
+
+/// How big a run to perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunScale {
+    /// Seconds per target: reduced site counts/repeats.
+    Quick,
+    /// The paper's scale (minutes for the big sweeps).
+    Paper,
+}
+
+/// All repro target names, in paper order.
+pub fn available_targets() -> Vec<&'static str> {
+    vec![
+        "table1", "table2", "fig2a", "fig2b", "table3", "table4", "table5", "table6", "fig3a",
+        "fig3b", "fig4", "fig5", "table7", "fig6", "fig7", "fig8a", "fig8b", "medium", "fig9",
+        "fig10a", "fig10b", "fig11", "table8", "table9", "table10", "fig12", "streaming",
+    ]
+}
+
+/// Runs one target and returns its rendered text.
+///
+/// # Panics
+/// Panics on an unknown target name; callers should validate against
+/// [`available_targets`].
+pub fn run_target(name: &str, scenario: &Scenario, scale: RunScale) -> String {
+    let quick = scale == RunScale::Quick;
+    match name {
+        "table1" => campaign::render_plan(),
+        "table2" => ecosystem::render(),
+        "fig2a" => {
+            let cfg = if quick {
+                website_curl::Config::quick()
+            } else {
+                website_curl::Config::paper()
+            };
+            website_curl::run(scenario, &cfg).render()
+        }
+        "fig2b" => {
+            let cfg = if quick {
+                website_selenium::Config::quick()
+            } else {
+                website_selenium::Config::paper()
+            };
+            website_selenium::run(scenario, &cfg).render()
+        }
+        "table3" | "table4" => {
+            let cfg = if quick {
+                website_curl::Config::quick()
+            } else {
+                website_curl::Config::paper()
+            };
+            let result = website_curl::run(scenario, &cfg);
+            let rows = ttest_tables::pairwise(&result.samples);
+            let half = rows.len() / 2;
+            let (title, slice) = if name == "table3" {
+                ("Table 3 — paired t-tests, website access via curl [Part I]", &rows[..half])
+            } else {
+                ("Table 4 — paired t-tests, website access via curl [Part II]", &rows[half..])
+            };
+            ttest_tables::render(title, slice)
+        }
+        "table5" | "table6" => {
+            let cfg = if quick {
+                website_selenium::Config::quick()
+            } else {
+                website_selenium::Config::paper()
+            };
+            let result = website_selenium::run(scenario, &cfg);
+            let rows = ttest_tables::pairwise(&result.samples);
+            let half = rows.len() / 2;
+            let (title, slice) = if name == "table5" {
+                ("Table 5 — paired t-tests, website access via selenium [Part I]", &rows[..half])
+            } else {
+                ("Table 6 — paired t-tests, website access via selenium [Part II]", &rows[half..])
+            };
+            ttest_tables::render(title, slice)
+        }
+        "fig3a" | "fig3b" => {
+            let cfg = if quick {
+                fixed_circuit::Config::quick()
+            } else {
+                fixed_circuit::Config::paper()
+            };
+            let result = fixed_circuit::run(scenario, &cfg);
+            if name == "fig3a" {
+                let mut out = result.render_boxplots();
+                for (a, b) in [
+                    (fixed_circuit::CONFIGS[2], fixed_circuit::CONFIGS[0]),
+                    (fixed_circuit::CONFIGS[1], fixed_circuit::CONFIGS[0]),
+                    (fixed_circuit::CONFIGS[2], fixed_circuit::CONFIGS[1]),
+                ] {
+                    let t = result.ttest(a, b);
+                    out.push_str(&format!(
+                        "{}−{}: t={:.2}, P={}, 95% CI [{:.2}, {:.2}]\n",
+                        a.name(),
+                        b.name(),
+                        t.t,
+                        t.p_display(),
+                        t.ci_lower,
+                        t.ci_upper
+                    ));
+                }
+                out
+            } else {
+                let mut out = result.render_ecdf();
+                out.push_str(&format!(
+                    "fraction of |diff| below 5 s: {:.2}\n",
+                    result.diffs_below(5.0)
+                ));
+                out
+            }
+        }
+        "fig4" => {
+            let cfg = if quick {
+                fixed_guard::Config::quick()
+            } else {
+                fixed_guard::Config::paper()
+            };
+            let result = fixed_guard::run(scenario, &cfg);
+            let mut out = result.render();
+            let t = result.ttest();
+            out.push_str(&format!(
+                "obfs4−tor paired t-test: t={:.2}, P={}, mean diff {:.2}\n",
+                t.t,
+                t.p_display(),
+                t.mean_diff
+            ));
+            out
+        }
+        "fig5" => {
+            let cfg = if quick {
+                file_download::Config::quick()
+            } else {
+                file_download::Config::paper()
+            };
+            file_download::run(scenario, &cfg).render()
+        }
+        "table7" => {
+            let cfg = if quick {
+                file_download::Config::quick()
+            } else {
+                file_download::Config::paper()
+            };
+            let result = file_download::run(scenario, &cfg);
+            let rows = ttest_tables::pairwise(&result.paired);
+            ttest_tables::render("Table 7 — paired t-tests, file downloads", &rows)
+        }
+        "fig6" => {
+            let cfg = if quick {
+                ttfb::Config::quick()
+            } else {
+                ttfb::Config::paper()
+            };
+            ttfb::run(scenario, &cfg).render()
+        }
+        "fig7" => {
+            let cfg = if quick {
+                location::Config::quick()
+            } else {
+                location::Config::paper()
+            };
+            location::run(scenario, &cfg).render()
+        }
+        "fig8a" | "fig8b" => {
+            let cfg = if quick {
+                reliability::Config::quick()
+            } else {
+                reliability::Config::paper()
+            };
+            let result = reliability::run(scenario, &cfg);
+            if name == "fig8a" {
+                result.render_stacked()
+            } else {
+                result.render_ecdf()
+            }
+        }
+        "medium" => {
+            let cfg = if quick {
+                medium::Config::quick()
+            } else {
+                medium::Config::paper()
+            };
+            medium::run(scenario, &cfg).render()
+        }
+        "fig9" => {
+            let cfg = if quick {
+                overhead::Config::quick()
+            } else {
+                overhead::Config::paper()
+            };
+            overhead::run(scenario, &cfg).render()
+        }
+        "fig10a" | "fig10b" | "fig12" => {
+            let cfg = if quick {
+                snowflake_load::Config::quick()
+            } else {
+                snowflake_load::Config::paper()
+            };
+            let result = snowflake_load::run(scenario, &cfg);
+            match name {
+                "fig10a" => result.render_timeline(),
+                "fig10b" => result.render_pre_post(),
+                _ => result.render_weekly(),
+            }
+        }
+        "fig11" => {
+            let cfg = if quick {
+                speed_index::Config::quick()
+            } else {
+                speed_index::Config::paper()
+            };
+            speed_index::run(scenario, &cfg).render()
+        }
+        "table8" | "table9" => {
+            let cfg = if quick {
+                speed_index::Config::quick()
+            } else {
+                speed_index::Config::paper()
+            };
+            let result = speed_index::run(scenario, &cfg);
+            let rows = ttest_tables::pairwise(&result.speed_index);
+            let half = rows.len() / 2;
+            let (title, slice) = if name == "table8" {
+                ("Table 8 — paired t-tests, speed index [Part I]", &rows[..half])
+            } else {
+                ("Table 9 — paired t-tests, speed index [Part II]", &rows[half..])
+            };
+            ttest_tables::render(title, slice)
+        }
+        "table10" => {
+            let cfg = if quick {
+                website_curl::Config::quick()
+            } else {
+                website_curl::Config::paper()
+            };
+            let result = website_curl::run(scenario, &cfg);
+            let rows = ttest_tables::category_pairwise(&result.samples);
+            ttest_tables::render(
+                "Table 10 — paired t-tests between PT categories (curl website access)",
+                &rows,
+            )
+        }
+        "streaming" => {
+            let cfg = if quick {
+                streaming::Config::quick()
+            } else {
+                streaming::Config::paper()
+            };
+            streaming::run(scenario, &cfg).render()
+        }
+        other => panic!("unknown repro target '{other}'; see `repro --list`"),
+    }
+}
+
+/// Exports a target's underlying data as CSV, for external plotting.
+/// Returns `(file_stem, csv_document)` pairs; targets whose artifact is
+/// purely textual (table1/table2, the timeline) export nothing.
+pub fn export_csv(name: &str, scenario: &Scenario, scale: RunScale) -> Vec<(String, String)> {
+    use ptperf::report;
+    let quick = scale == RunScale::Quick;
+    match name {
+        "fig2a" | "table3" | "table4" | "table10" => {
+            let cfg = if quick {
+                website_curl::Config::quick()
+            } else {
+                website_curl::Config::paper()
+            };
+            let result = website_curl::run(scenario, &cfg);
+            vec![
+                ("fig2a_samples".to_string(), report::samples_csv(&result.samples)),
+                (
+                    "tables_3_4_ttests".to_string(),
+                    report::ttests_csv(&ttest_tables::pairwise(&result.samples)),
+                ),
+                (
+                    "table_10_categories".to_string(),
+                    report::ttests_csv(&ttest_tables::category_pairwise(&result.samples)),
+                ),
+            ]
+        }
+        "fig2b" | "table5" | "table6" => {
+            let cfg = if quick {
+                website_selenium::Config::quick()
+            } else {
+                website_selenium::Config::paper()
+            };
+            let result = website_selenium::run(scenario, &cfg);
+            vec![
+                ("fig2b_samples".to_string(), report::samples_csv(&result.samples)),
+                (
+                    "tables_5_6_ttests".to_string(),
+                    report::ttests_csv(&ttest_tables::pairwise(&result.samples)),
+                ),
+            ]
+        }
+        "fig5" | "table7" => {
+            let cfg = if quick {
+                file_download::Config::quick()
+            } else {
+                file_download::Config::paper()
+            };
+            let result = file_download::run(scenario, &cfg);
+            vec![
+                ("fig5_samples".to_string(), report::samples_csv(&result.paired)),
+                (
+                    "table_7_ttests".to_string(),
+                    report::ttests_csv(&ttest_tables::pairwise(&result.paired)),
+                ),
+            ]
+        }
+        "fig8a" | "fig8b" => {
+            let cfg = if quick {
+                reliability::Config::quick()
+            } else {
+                reliability::Config::paper()
+            };
+            let result = reliability::run(scenario, &cfg);
+            let rows: Vec<Vec<String>> = result
+                .counts
+                .iter()
+                .map(|(pt, c)| {
+                    let (comp, part, fail) = c.fractions();
+                    vec![
+                        pt.name().to_string(),
+                        format!("{comp:.4}"),
+                        format!("{part:.4}"),
+                        format!("{fail:.4}"),
+                    ]
+                })
+                .collect();
+            vec![(
+                "fig8a_reliability".to_string(),
+                report::csv(&["pt", "complete", "partial", "failed"], &rows),
+            )]
+        }
+        "fig11" | "table8" | "table9" => {
+            let cfg = if quick {
+                speed_index::Config::quick()
+            } else {
+                speed_index::Config::paper()
+            };
+            let result = speed_index::run(scenario, &cfg);
+            vec![
+                (
+                    "fig11_speed_index".to_string(),
+                    report::samples_csv(&result.speed_index),
+                ),
+                (
+                    "tables_8_9_ttests".to_string(),
+                    report::ttests_csv(&ttest_tables::pairwise(&result.speed_index)),
+                ),
+            ]
+        }
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_target_runs_quick() {
+        let scenario = Scenario::baseline(7);
+        for name in available_targets() {
+            let out = run_target(name, &scenario, RunScale::Quick);
+            assert!(!out.is_empty(), "{name} produced no output");
+            assert!(out.len() > 50, "{name} output suspiciously short");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown repro target")]
+    fn unknown_target_panics() {
+        let scenario = Scenario::baseline(7);
+        let _ = run_target("fig99", &scenario, RunScale::Quick);
+    }
+}

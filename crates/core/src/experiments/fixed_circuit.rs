@@ -1,0 +1,209 @@
+//! **Figure 3** — website access over a *fixed* Tor circuit.
+//!
+//! The paper's decisive control experiment (§4.2.1): host the guard and
+//! the private PT server on the same cloud host, fix the middle and exit
+//! per iteration, and access five sample websites via vanilla Tor,
+//! obfs4, and webtunnel over the *identical* circuit. Expected result:
+//! statistically indistinguishable distributions (Fig. 3a) and per-site
+//! time differences below 5 s for >80% of cases (Fig. 3b).
+
+use ptperf_sim::LoadProfile;
+use ptperf_stats::{ascii_boxplots, ascii_ecdf, Ecdf, PairedTTest, Summary};
+use ptperf_tor::{PathSelector, Relay, RelayFlags, RelayId};
+use ptperf_transports::{transport_for, PtId};
+use ptperf_web::{curl, SiteList, Website};
+
+use crate::scenario::Scenario;
+
+/// The three configurations compared.
+pub const CONFIGS: [PtId; 3] = [PtId::Vanilla, PtId::Obfs4, PtId::WebTunnel];
+
+/// Configuration for the fixed-circuit experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Iterations (paper: 500); each iteration uses a fresh middle/exit.
+    pub iterations: usize,
+}
+
+impl Config {
+    /// Test-scale preset.
+    pub fn quick() -> Config {
+        Config { iterations: 40 }
+    }
+
+    /// The paper's scale.
+    pub fn paper() -> Config {
+        Config { iterations: 500 }
+    }
+}
+
+/// Result of the fixed-circuit experiment.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// All access times per configuration, aligned by (iteration, site).
+    pub times: Vec<(PtId, Vec<f64>)>,
+    /// Absolute per-measurement differences |PT − Tor| pooled over
+    /// obfs4 and webtunnel (Fig. 3b's ECDF input).
+    pub abs_diffs: Vec<f64>,
+}
+
+/// Runs the experiment.
+pub fn run(scenario: &Scenario, cfg: &Config) -> Result {
+    let mut dep = scenario.deployment();
+    let mut rng = scenario.rng("fig3");
+
+    // Our own host: guard utility + private PT server on one machine.
+    let host = dep.consensus.add_relay(Relay {
+        id: RelayId(0),
+        location: scenario.server_region,
+        bandwidth_bps: 5.0e6,
+        flags: RelayFlags {
+            guard: true,
+            exit: false,
+            fast: true,
+            stable: true,
+        },
+        utilization: LoadProfile::Dedicated.sample_utilization(&mut rng),
+    });
+
+    // Five sample Tranco sites, one per genre (static, news, video
+    // streaming, gaming, online shopping — the paper's §4.2.1 set).
+    let sites: Vec<Website> = Website::one_per_category(SiteList::Tranco);
+
+    let mut times: Vec<(PtId, Vec<f64>)> =
+        CONFIGS.iter().map(|&pt| (pt, Vec::new())).collect();
+    let mut abs_diffs = Vec::new();
+
+    for _ in 0..cfg.iterations {
+        // Fresh middle/exit for this iteration, shared by all configs.
+        let mut selector = PathSelector::new();
+        let fresh = selector
+            .select(&dep.consensus, &mut rng)
+            .expect("consensus has relays");
+        let mut opts = scenario.access_options();
+        opts.path.fixed_guard = Some(host);
+        opts.path.fixed_middle = Some(fresh.middle);
+        opts.path.fixed_exit = Some(fresh.exit);
+
+        for site in &sites {
+            let mut per_config = Vec::with_capacity(CONFIGS.len());
+            for (ci, &pt) in CONFIGS.iter().enumerate() {
+                let transport = transport_for(pt);
+                let ch = transport.establish(&dep, &opts, site.server, &mut rng);
+                let t = curl::fetch(&ch, site, &mut rng).total.as_secs_f64();
+                times[ci].1.push(t);
+                per_config.push(t);
+            }
+            for pt_time in &per_config[1..] {
+                abs_diffs.push((pt_time - per_config[0]).abs());
+            }
+        }
+    }
+    Result { times, abs_diffs }
+}
+
+impl Result {
+    /// Samples for one configuration.
+    pub fn samples(&self, pt: PtId) -> &[f64] {
+        &self
+            .times
+            .iter()
+            .find(|(p, _)| *p == pt)
+            .expect("config measured")
+            .1
+    }
+
+    /// Paired t-test between two configurations.
+    pub fn ttest(&self, a: PtId, b: PtId) -> PairedTTest {
+        PairedTTest::run(self.samples(a), self.samples(b))
+    }
+
+    /// Fraction of measurements whose |PT − Tor| difference is below
+    /// `threshold` seconds (the paper: >80% below 5 s).
+    pub fn diffs_below(&self, threshold: f64) -> f64 {
+        Ecdf::new(&self.abs_diffs).eval(threshold)
+    }
+
+    /// Renders Figure 3a (boxplots).
+    pub fn render_boxplots(&self) -> String {
+        let entries: Vec<(String, Summary)> = self
+            .times
+            .iter()
+            .map(|(pt, v)| (pt.name().to_string(), Summary::of(v)))
+            .collect();
+        let mut out = String::from("Figure 3a — Fixed circuit: access time (s)\n");
+        out.push_str(&ascii_boxplots(&entries, 100, false));
+        out
+    }
+
+    /// Renders Figure 3b (ECDF of absolute differences).
+    pub fn render_ecdf(&self) -> String {
+        let ecdf = Ecdf::new(&self.abs_diffs);
+        let mut out = String::from("Figure 3b — ECDF of |PT − Tor| per website (s)\n");
+        out.push_str(&ascii_ecdf(
+            &[("abs diff".to_string(), ecdf.points())],
+            80,
+            16,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> Result {
+        run(&Scenario::baseline(31), &Config::quick())
+    }
+
+    #[test]
+    fn same_circuit_equalizes_pt_and_tor() {
+        let r = result();
+        // The paper's null result: no significant difference.
+        let t1 = r.ttest(PtId::Obfs4, PtId::Vanilla);
+        let t2 = r.ttest(PtId::WebTunnel, PtId::Vanilla);
+        // Mean differences should be tiny relative to the means (the PT
+        // bootstrap adds a few hundred ms at most).
+        let tor_mean = ptperf_stats::mean(r.samples(PtId::Vanilla));
+        assert!(
+            t1.mean_diff.abs() < tor_mean * 0.25,
+            "obfs4-tor diff {} vs mean {tor_mean}",
+            t1.mean_diff
+        );
+        assert!(
+            t2.mean_diff.abs() < tor_mean * 0.25,
+            "webtunnel-tor diff {} vs mean {tor_mean}",
+            t2.mean_diff
+        );
+    }
+
+    #[test]
+    fn most_differences_are_small() {
+        let r = result();
+        assert!(
+            r.diffs_below(5.0) > 0.8,
+            "only {:.2} of diffs below 5 s",
+            r.diffs_below(5.0)
+        );
+    }
+
+    #[test]
+    fn all_configs_have_aligned_samples() {
+        let r = result();
+        let n = r.samples(PtId::Vanilla).len();
+        assert_eq!(r.samples(PtId::Obfs4).len(), n);
+        assert_eq!(r.samples(PtId::WebTunnel).len(), n);
+        assert_eq!(r.abs_diffs.len(), 2 * n);
+    }
+
+    #[test]
+    fn renders_include_all_configs() {
+        let r = result();
+        let box_text = r.render_boxplots();
+        for pt in CONFIGS {
+            assert!(box_text.contains(pt.name()));
+        }
+        assert!(r.render_ecdf().contains("abs diff"));
+    }
+}

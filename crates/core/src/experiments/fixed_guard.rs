@@ -1,0 +1,148 @@
+//! **Figure 4** — fixed guard, variable middle and exit.
+//!
+//! The paper's second control experiment (§4.2.1): run our own guard and
+//! PT server on the same host, let Tor pick middles and exits as usual,
+//! and access the Tranco top-1k via vanilla Tor and obfs4. Expected:
+//! nearly identical distributions — establishing that the *first hop*,
+//! not the middle/exit variety, governs performance.
+
+use ptperf_sim::LoadProfile;
+use ptperf_stats::{ascii_boxplots, PairedTTest, Summary};
+use ptperf_tor::{Relay, RelayFlags, RelayId};
+use ptperf_transports::{transport_for, PtId};
+use ptperf_web::{curl, SiteList, Website};
+
+use crate::scenario::Scenario;
+
+/// Configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of Tranco sites (paper: 1000).
+    pub sites: usize,
+    /// Fetches per site.
+    pub repeats: usize,
+}
+
+impl Config {
+    /// Test-scale preset.
+    pub fn quick() -> Config {
+        Config {
+            sites: 40,
+            repeats: 1,
+        }
+    }
+
+    /// The paper's scale.
+    pub fn paper() -> Config {
+        Config {
+            sites: 1000,
+            repeats: 5,
+        }
+    }
+}
+
+/// Result: per-site averages for vanilla Tor and obfs4 over the same
+/// fixed guard.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// Vanilla Tor per-site averages.
+    pub tor: Vec<f64>,
+    /// obfs4 per-site averages.
+    pub obfs4: Vec<f64>,
+}
+
+/// Runs the experiment.
+pub fn run(scenario: &Scenario, cfg: &Config) -> Result {
+    let mut dep = scenario.deployment();
+    let mut rng = scenario.rng("fig4");
+    let host = dep.consensus.add_relay(Relay {
+        id: RelayId(0),
+        location: scenario.server_region,
+        bandwidth_bps: 5.0e6,
+        flags: RelayFlags {
+            guard: true,
+            exit: false,
+            fast: true,
+            stable: true,
+        },
+        utilization: LoadProfile::Dedicated.sample_utilization(&mut rng),
+    });
+    let mut opts = scenario.access_options();
+    opts.path.fixed_guard = Some(host);
+
+    let sites = Website::top(SiteList::Tranco, cfg.sites);
+    let mut tor = Vec::with_capacity(sites.len());
+    let mut obfs4 = Vec::with_capacity(sites.len());
+    let vt = transport_for(PtId::Vanilla);
+    let ot = transport_for(PtId::Obfs4);
+    for site in &sites {
+        let mut t_sum = 0.0;
+        let mut o_sum = 0.0;
+        for _ in 0..cfg.repeats {
+            let ch = vt.establish(&dep, &opts, site.server, &mut rng);
+            t_sum += curl::fetch(&ch, site, &mut rng).total.as_secs_f64();
+            let ch = ot.establish(&dep, &opts, site.server, &mut rng);
+            o_sum += curl::fetch(&ch, site, &mut rng).total.as_secs_f64();
+        }
+        tor.push(t_sum / cfg.repeats as f64);
+        obfs4.push(o_sum / cfg.repeats as f64);
+    }
+    Result { tor, obfs4 }
+}
+
+impl Result {
+    /// Paired t-test obfs4 − Tor.
+    pub fn ttest(&self) -> PairedTTest {
+        PairedTTest::run(&self.obfs4, &self.tor)
+    }
+
+    /// Renders the Figure 4 boxplots (log-scale y in the paper).
+    pub fn render(&self) -> String {
+        let entries = vec![
+            ("tor".to_string(), Summary::of(&self.tor)),
+            ("obfs4".to_string(), Summary::of(&self.obfs4)),
+        ];
+        let mut out =
+            String::from("Figure 4 — Fixed guard, variable middle/exit: access time (s, log)\n");
+        out.push_str(&ascii_boxplots(&entries, 100, true));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_guard_equalizes_medians() {
+        let r = run(&Scenario::baseline(41), &Config::quick());
+        let t_med = ptperf_stats::median(&r.tor);
+        let o_med = ptperf_stats::median(&r.obfs4);
+        let ratio = o_med / t_med;
+        assert!(
+            (0.7..1.4).contains(&ratio),
+            "medians diverge: tor {t_med:.2} obfs4 {o_med:.2}"
+        );
+    }
+
+    #[test]
+    fn mean_difference_is_small() {
+        let r = run(&Scenario::baseline(42), &Config::quick());
+        let t = r.ttest();
+        let tor_mean = ptperf_stats::mean(&r.tor);
+        assert!(
+            t.mean_diff.abs() < tor_mean * 0.3,
+            "diff {:.2} vs mean {tor_mean:.2}",
+            t.mean_diff
+        );
+    }
+
+    #[test]
+    fn render_has_both_series() {
+        let r = run(&Scenario::baseline(43), &Config::quick());
+        let text = r.render();
+        assert!(text.contains("tor"));
+        assert!(text.contains("obfs4"));
+        assert!(text.contains("log"));
+    }
+}

@@ -1,0 +1,196 @@
+//! **Figure 8** — reliability of bulk downloads (§4.6).
+//!
+//! 8a: the fraction of complete / partial / failed download attempts per
+//! PT (stacked bars). 8b: the ECDF of the *portion of the file* that
+//! arrived, for the three worst offenders (meek, dnstt, snowflake).
+//! The paper: those three end >80% of attempts partial; camoufler and
+//! meek fail outright ~10% of the time.
+
+use std::collections::BTreeMap;
+
+use ptperf_stats::{ascii_ecdf, Ecdf};
+use ptperf_transports::{transport_for, PtId};
+use ptperf_web::{filedl, ReliabilityCounts, FILE_SIZES};
+
+use crate::scenario::{Epoch, Scenario};
+
+use super::figure_order;
+
+/// The PTs whose download fractions Figure 8b plots.
+pub const WORST: [PtId; 3] = [PtId::Meek, PtId::Dnstt, PtId::Snowflake];
+
+/// Configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Attempts per (PT, size) (paper: 20 for Fig. 8b).
+    pub attempts: usize,
+    /// File sizes.
+    pub sizes: [u64; 5],
+}
+
+impl Config {
+    /// Test-scale preset: the paper's real file sizes (simulated
+    /// transfers cost the same regardless of size), fewer attempts.
+    pub fn quick() -> Config {
+        Config {
+            attempts: 6,
+            sizes: FILE_SIZES,
+        }
+    }
+
+    /// The paper's scale.
+    pub fn paper() -> Config {
+        Config {
+            attempts: 20,
+            sizes: FILE_SIZES,
+        }
+    }
+}
+
+/// Result of the reliability experiment.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// Outcome counts per PT (Fig. 8a).
+    pub counts: BTreeMap<PtId, ReliabilityCounts>,
+    /// Downloaded fraction per attempt per PT (Fig. 8b).
+    pub fractions: BTreeMap<PtId, Vec<f64>>,
+}
+
+/// Runs the experiment. The paper's file campaign coincided with the
+/// surge itself (§5.3: "post-September 2022, in 8 out of 10 attempts, we
+/// failed"), so a pre-surge scenario is lifted to the surge epoch.
+pub fn run(scenario: &Scenario, cfg: &Config) -> Result {
+    let mut scenario = scenario.clone();
+    if matches!(scenario.epoch, Epoch::PreSurge) {
+        scenario.epoch = Epoch::Surge;
+    }
+    let dep = scenario.deployment();
+    let opts = scenario.access_options();
+    let file_server = scenario.server_region;
+
+    let mut counts: BTreeMap<PtId, ReliabilityCounts> = BTreeMap::new();
+    let mut fractions: BTreeMap<PtId, Vec<f64>> = BTreeMap::new();
+    for pt in figure_order() {
+        if pt == PtId::Vanilla {
+            continue; // Fig. 8 covers the PTs
+        }
+        let transport = transport_for(pt);
+        let mut rng = scenario.rng(&format!("fig8/{pt}"));
+        let c = counts.entry(pt).or_default();
+        let f = fractions.entry(pt).or_default();
+        for &size in &cfg.sizes {
+            for _ in 0..cfg.attempts {
+                let ch = transport.establish(&dep, &opts, file_server, &mut rng);
+                let d = filedl::download(&ch, size, &mut rng);
+                c.record(d.outcome);
+                f.push(d.fraction);
+            }
+        }
+    }
+    Result { counts, fractions }
+}
+
+impl Result {
+    /// Renders Figure 8a as a table of outcome fractions.
+    pub fn render_stacked(&self) -> String {
+        let mut out = String::from(
+            "Figure 8a — Fraction of complete / partial / failed file downloads\n",
+        );
+        let mut table = ptperf_stats::Table::new(["PT", "complete", "partial", "failed"]);
+        for (pt, c) in &self.counts {
+            let (comp, part, fail) = c.fractions();
+            table.row([
+                pt.name().to_string(),
+                format!("{comp:.2}"),
+                format!("{part:.2}"),
+                format!("{fail:.2}"),
+            ]);
+        }
+        out.push_str(&table.render());
+        out
+    }
+
+    /// Renders Figure 8b (ECDF of downloaded portion for the worst PTs).
+    pub fn render_ecdf(&self) -> String {
+        let series: Vec<(String, Vec<(f64, f64)>)> = WORST
+            .iter()
+            .map(|&pt| {
+                (
+                    pt.name().to_string(),
+                    Ecdf::new(&self.fractions[&pt]).points(),
+                )
+            })
+            .collect();
+        let mut out = String::from(
+            "Figure 8b — ECDF of the portion of the file downloaded per attempt\n",
+        );
+        out.push_str(&ascii_ecdf(&series, 80, 16));
+        out
+    }
+
+    /// The non-complete fraction for a PT.
+    pub fn incomplete_fraction(&self, pt: PtId) -> f64 {
+        let (complete, _, _) = self.counts[&pt].fractions();
+        1.0 - complete
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> Result {
+        run(&Scenario::baseline(81), &Config::quick())
+    }
+
+    #[test]
+    fn worst_trio_mostly_fails_bulk() {
+        let r = result();
+        // The paper: >80% of attempts end incomplete for these three.
+        for pt in WORST {
+            assert!(
+                r.incomplete_fraction(pt) > 0.75,
+                "{pt}: incomplete {:.2}",
+                r.incomplete_fraction(pt)
+            );
+        }
+    }
+
+    #[test]
+    fn reliable_pts_mostly_complete() {
+        let r = result();
+        for pt in [PtId::Obfs4, PtId::Cloak, PtId::Psiphon, PtId::WebTunnel, PtId::Shadowsocks] {
+            let (complete, _, _) = r.counts[&pt].fractions();
+            assert!(complete > 0.8, "{pt}: complete {complete:.2}");
+        }
+    }
+
+    #[test]
+    fn camoufler_and_meek_fail_outright_sometimes() {
+        let r = result();
+        for pt in [PtId::Camoufler, PtId::Meek] {
+            let (_, _, failed) = r.counts[&pt].fractions();
+            assert!(failed > 0.02, "{pt}: failed {failed:.2}");
+        }
+    }
+
+    #[test]
+    fn fractions_are_valid() {
+        let r = result();
+        for (pt, v) in &r.fractions {
+            assert!(
+                v.iter().all(|&f| (0.0..=1.0).contains(&f)),
+                "{pt} has out-of-range fractions"
+            );
+        }
+    }
+
+    #[test]
+    fn renders_include_worst_trio() {
+        let r = result();
+        let text = r.render_stacked() + &r.render_ecdf();
+        for pt in WORST {
+            assert!(text.contains(pt.name()));
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! **Extension (Appendix A.4)** — media streaming through the PTs.
+//!
+//! The paper names audio streaming as the next use case to evaluate;
+//! this runner does it, plus SD video, with the standard QoE metrics:
+//! startup delay, rebuffer count, rebuffer ratio, and a "watchable"
+//! verdict (< 5% stall time). The expectation from the paper's
+//! mechanics: everything streams audio except the pathological
+//! transports; video separates the carrier-capped PTs (dnstt,
+//! marionette under the video bitrate; camoufler killed by per-request
+//! latency) from the rest.
+
+use std::collections::BTreeMap;
+
+use ptperf_sim::SimDuration;
+use ptperf_stats::Table;
+use ptperf_transports::{transport_for, PtId};
+use ptperf_web::streaming::{play, MediaStream, StreamingSession};
+
+use crate::scenario::Scenario;
+
+use super::figure_order;
+
+/// Configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Sessions per (PT, medium).
+    pub sessions: usize,
+    /// Media duration per session.
+    pub duration: SimDuration,
+}
+
+impl Config {
+    /// Test-scale preset.
+    pub fn quick() -> Config {
+        Config {
+            sessions: 5,
+            duration: SimDuration::from_secs(120),
+        }
+    }
+
+    /// A fuller run.
+    pub fn paper() -> Config {
+        Config {
+            sessions: 20,
+            duration: SimDuration::from_secs(600),
+        }
+    }
+}
+
+/// Aggregate QoE for one (PT, medium).
+#[derive(Debug, Clone, Copy)]
+pub struct Qoe {
+    /// Mean startup delay (seconds).
+    pub startup_s: f64,
+    /// Mean rebuffer events per session.
+    pub rebuffers: f64,
+    /// Mean rebuffer ratio.
+    pub rebuffer_ratio: f64,
+    /// Fraction of sessions that were watchable.
+    pub watchable: f64,
+}
+
+impl Qoe {
+    fn from_sessions(sessions: &[StreamingSession]) -> Qoe {
+        let n = sessions.len() as f64;
+        Qoe {
+            startup_s: sessions.iter().map(|s| s.startup_delay.as_secs_f64()).sum::<f64>() / n,
+            rebuffers: sessions.iter().map(|s| f64::from(s.rebuffer_events)).sum::<f64>() / n,
+            rebuffer_ratio: sessions.iter().map(|s| s.rebuffer_ratio).sum::<f64>() / n,
+            watchable: sessions.iter().filter(|s| s.watchable()).count() as f64 / n,
+        }
+    }
+}
+
+/// Result of the streaming experiment.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// QoE per PT for audio.
+    pub audio: BTreeMap<PtId, Qoe>,
+    /// QoE per PT for SD video.
+    pub video: BTreeMap<PtId, Qoe>,
+}
+
+/// Runs the experiment.
+pub fn run(scenario: &Scenario, cfg: &Config) -> Result {
+    let dep = scenario.deployment();
+    let opts = scenario.access_options();
+    let media_server = scenario.server_region;
+
+    let mut audio = BTreeMap::new();
+    let mut video = BTreeMap::new();
+    for pt in figure_order() {
+        let transport = transport_for(pt);
+        let mut rng = scenario.rng(&format!("streaming/{pt}"));
+        let run_medium = |media: MediaStream, rng: &mut ptperf_sim::SimRng| {
+            let sessions: Vec<StreamingSession> = (0..cfg.sessions)
+                .map(|_| {
+                    let ch = transport.establish(&dep, &opts, media_server, rng);
+                    play(&ch, &media, rng)
+                })
+                .collect();
+            Qoe::from_sessions(&sessions)
+        };
+        audio.insert(pt, run_medium(MediaStream::audio(cfg.duration), &mut rng));
+        video.insert(pt, run_medium(MediaStream::video(cfg.duration), &mut rng));
+    }
+    Result { audio, video }
+}
+
+impl Result {
+    /// Renders the QoE table.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Extension (App. A.4) — Media streaming QoE per PT\n",
+        );
+        for (label, data) in [("audio 128 kbit/s", &self.audio), ("video 1 Mbit/s", &self.video)] {
+            out.push_str(&format!("\n{label}:\n"));
+            let mut table = Table::new(["PT", "startup (s)", "rebuffers", "stall %", "watchable"]);
+            for pt in figure_order() {
+                let q = &data[&pt];
+                table.row([
+                    pt.name().to_string(),
+                    format!("{:.1}", q.startup_s),
+                    format!("{:.1}", q.rebuffers),
+                    format!("{:.0}%", q.rebuffer_ratio * 100.0),
+                    format!("{:.0}%", q.watchable * 100.0),
+                ]);
+            }
+            out.push_str(&table.render());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> Result {
+        run(&Scenario::baseline(141), &Config::quick())
+    }
+
+    #[test]
+    fn good_pts_stream_video() {
+        let r = result();
+        for pt in [PtId::Vanilla, PtId::Obfs4, PtId::WebTunnel, PtId::Cloak, PtId::Conjure] {
+            assert!(
+                r.video[&pt].watchable > 0.6,
+                "{pt}: video watchable {:.2}",
+                r.video[&pt].watchable
+            );
+        }
+    }
+
+    #[test]
+    fn carrier_capped_pts_cannot_stream_video() {
+        let r = result();
+        for pt in [PtId::Dnstt, PtId::Marionette, PtId::Camoufler] {
+            assert!(
+                r.video[&pt].watchable < 0.4,
+                "{pt}: video watchable {:.2}",
+                r.video[&pt].watchable
+            );
+        }
+    }
+
+    #[test]
+    fn audio_is_broadly_feasible() {
+        // Audio's 16 kB/s fits under every carrier cap except the
+        // per-request-latency pathologies.
+        let r = result();
+        for pt in [PtId::Vanilla, PtId::Obfs4, PtId::Dnstt, PtId::Shadowsocks] {
+            assert!(
+                r.audio[&pt].watchable > 0.6,
+                "{pt}: audio watchable {:.2}",
+                r.audio[&pt].watchable
+            );
+        }
+    }
+
+    #[test]
+    fn camoufler_latency_breaks_even_audio() {
+        // 6.5 s of per-segment overhead against 10 s segments: stalls.
+        let r = result();
+        assert!(
+            r.audio[&PtId::Camoufler].rebuffer_ratio > 0.05
+                || r.audio[&PtId::Camoufler].watchable < 0.8,
+            "{:?}",
+            r.audio[&PtId::Camoufler]
+        );
+    }
+
+    #[test]
+    fn render_covers_both_media() {
+        let text = result().render();
+        assert!(text.contains("audio 128"));
+        assert!(text.contains("video 1 Mbit"));
+        assert!(text.contains("watchable"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Measurement primitives shared by the experiment runners: run a
+//! workload through a transport, aggregate per-site averages, and hold
+//! paired samples for the statistical tables.
+
+use std::collections::BTreeMap;
+
+use ptperf_sim::SimRng;
+use ptperf_stats::{PairedTTest, Summary};
+use ptperf_transports::{transport_for, PtId};
+use ptperf_web::{curl, SiteList, Website};
+
+use crate::scenario::Scenario;
+
+/// Per-PT samples aligned by target (site or file), the unit the paper's
+/// paired t-tests operate on.
+#[derive(Debug, Clone, Default)]
+pub struct PairedSamples {
+    per_pt: BTreeMap<PtId, Vec<f64>>,
+}
+
+impl PairedSamples {
+    /// Creates an empty collection.
+    pub fn new() -> PairedSamples {
+        PairedSamples::default()
+    }
+
+    /// Appends one sample for `pt` (targets must be pushed in the same
+    /// order for every PT).
+    pub fn push(&mut self, pt: PtId, value: f64) {
+        self.per_pt.entry(pt).or_default().push(value);
+    }
+
+    /// The sample vector for a PT.
+    ///
+    /// # Panics
+    /// Panics if the PT was never measured.
+    pub fn samples(&self, pt: PtId) -> &[f64] {
+        self.per_pt
+            .get(&pt)
+            .unwrap_or_else(|| panic!("no samples for {pt}"))
+    }
+
+    /// All measured PTs, in stable order.
+    pub fn pts(&self) -> Vec<PtId> {
+        self.per_pt.keys().copied().collect()
+    }
+
+    /// Boxplot summary for a PT.
+    pub fn summary(&self, pt: PtId) -> Summary {
+        Summary::of(self.samples(pt))
+    }
+
+    /// Paired t-test between two PTs (first − second).
+    ///
+    /// # Panics
+    /// Panics if sample vectors are unaligned.
+    pub fn ttest(&self, a: PtId, b: PtId) -> PairedTTest {
+        PairedTTest::run(self.samples(a), self.samples(b))
+    }
+
+    /// Every ordered PT pair `(a, b)` with `a < b` in enum order, as the
+    /// appendix tables enumerate them.
+    pub fn pairs(&self) -> Vec<(PtId, PtId)> {
+        let pts = self.pts();
+        let mut out = Vec::new();
+        for (i, &a) in pts.iter().enumerate() {
+            for &b in &pts[i + 1..] {
+                out.push((a, b));
+            }
+        }
+        out
+    }
+
+    /// Mean across sites for a PT.
+    pub fn mean(&self, pt: PtId) -> f64 {
+        ptperf_stats::mean(self.samples(pt))
+    }
+
+    /// Median across sites for a PT.
+    pub fn median(&self, pt: PtId) -> f64 {
+        ptperf_stats::median(self.samples(pt))
+    }
+}
+
+/// The standard website workload of the paper: `n` sites from each of
+/// Tranco and CBL.
+pub fn target_sites(n_per_list: usize) -> Vec<Website> {
+    let mut sites = Website::top(SiteList::Tranco, n_per_list);
+    sites.extend(Website::top(SiteList::Cbl, n_per_list));
+    sites
+}
+
+/// Measures curl website access time for one PT over `sites`, averaging
+/// `repeats` fetches per site (the paper used five). Returns per-site
+/// averages in site order.
+pub fn curl_site_averages(
+    scenario: &Scenario,
+    pt: PtId,
+    sites: &[Website],
+    repeats: usize,
+    rng: &mut SimRng,
+) -> Vec<f64> {
+    let dep = scenario.deployment();
+    let opts = scenario.access_options();
+    let transport = transport_for(pt);
+    sites
+        .iter()
+        .map(|site| {
+            let mut total = 0.0;
+            for _ in 0..repeats {
+                let ch = transport.establish(&dep, &opts, site.server, rng);
+                let fetch = curl::fetch(&ch, site, rng);
+                total += fetch.total.as_secs_f64();
+            }
+            total / repeats as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptperf_sim::Location;
+
+    #[test]
+    fn paired_samples_align() {
+        let mut ps = PairedSamples::new();
+        for site in 0..10 {
+            ps.push(PtId::Vanilla, site as f64);
+            ps.push(PtId::Obfs4, site as f64 + 1.0);
+        }
+        let t = ps.ttest(PtId::Obfs4, PtId::Vanilla);
+        assert!((t.mean_diff - 1.0).abs() < 1e-12);
+        assert_eq!(ps.pairs().len(), 1);
+    }
+
+    #[test]
+    fn target_sites_mixes_lists() {
+        let sites = target_sites(5);
+        assert_eq!(sites.len(), 10);
+        assert_eq!(sites[0].list, SiteList::Tranco);
+        assert_eq!(sites[5].list, SiteList::Cbl);
+    }
+
+    #[test]
+    fn curl_averages_are_positive_and_per_site() {
+        let scenario = Scenario::baseline(5);
+        let sites = target_sites(4);
+        let mut rng = scenario.rng("test");
+        let avgs = curl_site_averages(&scenario, PtId::Vanilla, &sites, 2, &mut rng);
+        assert_eq!(avgs.len(), 8);
+        assert!(avgs.iter().all(|&t| t > 0.0 && t <= 120.0));
+    }
+
+    #[test]
+    fn faster_transport_shows_in_averages() {
+        let scenario = Scenario::baseline(6);
+        let sites = target_sites(10);
+        let mut rng = scenario.rng("cmp");
+        let obfs4 = curl_site_averages(&scenario, PtId::Obfs4, &sites, 2, &mut rng);
+        let marionette = curl_site_averages(&scenario, PtId::Marionette, &sites, 2, &mut rng);
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&marionette) > mean(&obfs4) * 2.0,
+            "marionette {} vs obfs4 {}",
+            mean(&marionette),
+            mean(&obfs4)
+        );
+        let _ = Location::London; // keep the import meaningful in tests
+    }
+}

@@ -1,0 +1,127 @@
+//! Measurement scenarios: the shared configuration an experiment runs
+//! under — deployment seed, client/server locations, access medium, and
+//! the snowflake load epoch.
+
+use ptperf_sim::{Location, Medium, SimRng};
+use ptperf_transports::{AccessOptions, Deployment};
+
+/// The snowflake load epoch (§5.3): before the September-2022 Iran
+/// protests, the surge, and the elevated plateau the paper kept observing
+/// through March 2023.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Epoch {
+    /// Pre-September 2022: normal load.
+    PreSurge,
+    /// Peak surge (October–November 2022).
+    Surge,
+    /// The post-surge plateau (users never went back down).
+    Plateau,
+    /// An explicit load multiplier, for sweeps.
+    LoadMult(f64),
+}
+
+impl Epoch {
+    /// The infrastructure load multiplier for this epoch.
+    pub fn load_mult(self) -> f64 {
+        match self {
+            Epoch::PreSurge => 1.0,
+            Epoch::Surge => 3.2,
+            Epoch::Plateau => 2.2,
+            Epoch::LoadMult(m) => m.max(0.1),
+        }
+    }
+}
+
+/// A measurement scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Master seed: drives consensus generation and every measurement.
+    pub seed: u64,
+    /// Client vantage point.
+    pub client: Location,
+    /// Where self-hosted PT servers run.
+    pub server_region: Location,
+    /// Client access medium.
+    pub medium: Medium,
+    /// Snowflake load epoch.
+    pub epoch: Epoch,
+}
+
+impl Scenario {
+    /// The campaign's primary configuration: London client, Frankfurt
+    /// servers, wired, pre-surge.
+    pub fn baseline(seed: u64) -> Scenario {
+        Scenario {
+            seed,
+            client: Location::London,
+            server_region: Location::Frankfurt,
+            medium: Medium::Wired,
+            epoch: Epoch::PreSurge,
+        }
+    }
+
+    /// Builds the deployment for this scenario.
+    pub fn deployment(&self) -> Deployment {
+        Deployment::standard(self.seed, self.server_region)
+    }
+
+    /// Per-measurement access options.
+    pub fn access_options(&self) -> AccessOptions {
+        let mut opts = AccessOptions::new(self.client);
+        opts.medium = self.medium;
+        opts.load_mult = self.epoch.load_mult();
+        opts
+    }
+
+    /// A deterministic RNG for an experiment named `tag` under this
+    /// scenario: different experiments draw decorrelated streams, but the
+    /// same (seed, tag) is always identical.
+    pub fn rng(&self, tag: &str) -> SimRng {
+        let mut h = self.seed ^ 0x5851_F42D_4C95_7F2D;
+        for b in tag.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+        }
+        SimRng::new(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epochs_order_by_load() {
+        assert!(Epoch::PreSurge.load_mult() < Epoch::Plateau.load_mult());
+        assert!(Epoch::Plateau.load_mult() < Epoch::Surge.load_mult());
+        assert_eq!(Epoch::LoadMult(5.0).load_mult(), 5.0);
+    }
+
+    #[test]
+    fn scenario_rng_is_stable_and_tag_sensitive() {
+        let s = Scenario::baseline(1);
+        let mut a = s.rng("fig2a");
+        let mut b = s.rng("fig2a");
+        let mut c = s.rng("fig2b");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut a2 = s.rng("fig2a");
+        assert_ne!(a2.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn access_options_reflect_scenario() {
+        let mut s = Scenario::baseline(2);
+        s.epoch = Epoch::Surge;
+        s.medium = Medium::Wireless;
+        let opts = s.access_options();
+        assert_eq!(opts.medium, Medium::Wireless);
+        assert!((opts.load_mult - 3.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deployment_is_reproducible() {
+        let s = Scenario::baseline(3);
+        let a = s.deployment();
+        let b = s.deployment();
+        assert_eq!(a.consensus.len(), b.consensus.len());
+    }
+}

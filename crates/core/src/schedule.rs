@@ -1,0 +1,265 @@
+//! Ethical measurement scheduling (§5.1, §5.3).
+//!
+//! The paper spread 1.25M measurements over more than a year so as not
+//! to burden the volunteer-run Tor network, ran camoufler/dnstt "in
+//! small batches" to spare IM providers and DNS resolvers, and dropped
+//! to 100–200 measurements per day on snowflake once the surge hit.
+//! This module encodes those rules as a planner: given a measurement
+//! count and per-infrastructure limits, it lays the measurements out on
+//! the simulated clock and can verify a plan respects every limit.
+
+use ptperf_sim::{SimDuration, SimTime};
+use ptperf_transports::PtId;
+
+/// Rate limits for one transport's infrastructure.
+#[derive(Debug, Clone, Copy)]
+pub struct RateLimits {
+    /// Maximum measurements per day.
+    pub per_day: u32,
+    /// Maximum measurements per batch (back-to-back runs).
+    pub batch: u32,
+    /// Minimum gap between batches.
+    pub batch_gap: SimDuration,
+}
+
+impl RateLimits {
+    /// The paper's defaults for ordinary PTs over the public Tor
+    /// network: generous but spread out.
+    pub fn standard() -> RateLimits {
+        RateLimits {
+            per_day: 2_000,
+            batch: 100,
+            batch_gap: SimDuration::from_secs(300),
+        }
+    }
+
+    /// Third-party-carrier PTs (camoufler's IM providers, dnstt's DoH
+    /// resolvers): "small batches" (§5.1).
+    pub fn gentle() -> RateLimits {
+        RateLimits {
+            per_day: 500,
+            batch: 20,
+            batch_gap: SimDuration::from_secs(900),
+        }
+    }
+
+    /// Snowflake after the surge: "only 100–200 measurements in a day"
+    /// (§5.3).
+    pub fn surge_cautious() -> RateLimits {
+        RateLimits {
+            per_day: 150,
+            batch: 25,
+            batch_gap: SimDuration::from_secs(1800),
+        }
+    }
+
+    /// The limits the campaign applied to a transport in an epoch.
+    pub fn for_transport(pt: PtId, surged: bool) -> RateLimits {
+        match pt {
+            PtId::Snowflake if surged => RateLimits::surge_cautious(),
+            PtId::Camoufler | PtId::Dnstt => RateLimits::gentle(),
+            _ => RateLimits::standard(),
+        }
+    }
+}
+
+/// One planned measurement slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slot {
+    /// When the measurement fires.
+    pub at: SimTime,
+    /// Its index in the campaign.
+    pub index: u32,
+}
+
+/// Lays out `count` measurements starting at `start`, obeying `limits`.
+/// Within a batch, measurements are spaced by `within_batch_gap`.
+pub fn plan(
+    count: u32,
+    start: SimTime,
+    limits: &RateLimits,
+    within_batch_gap: SimDuration,
+) -> Vec<Slot> {
+    assert!(limits.batch > 0 && limits.per_day > 0);
+    const DAY: SimDuration = SimDuration::from_secs(24 * 3600);
+    let mut slots = Vec::with_capacity(count as usize);
+    let mut t = start;
+    let mut day_start = start;
+    let mut in_day = 0u32;
+    let mut in_batch = 0u32;
+    for index in 0..count {
+        if in_day >= limits.per_day {
+            // Next day.
+            day_start += DAY;
+            t = day_start;
+            in_day = 0;
+            in_batch = 0;
+        } else if in_batch >= limits.batch {
+            t += limits.batch_gap;
+            in_batch = 0;
+            // The batch gap may roll past midnight; treat day accounting
+            // on slot times.
+            if t.duration_since(day_start) >= DAY {
+                day_start += DAY;
+                in_day = 0;
+            }
+        }
+        slots.push(Slot { at: t, index });
+        t += within_batch_gap;
+        in_day += 1;
+        in_batch += 1;
+    }
+    slots
+}
+
+/// Checks a plan against limits; returns the first violation, if any.
+pub fn verify(slots: &[Slot], limits: &RateLimits) -> Result<(), String> {
+    const DAY_NS: u64 = 24 * 3600 * 1_000_000_000;
+    // Per-day limit: sliding by calendar day from the first slot.
+    if let Some(first) = slots.first() {
+        let mut day_counts = std::collections::BTreeMap::new();
+        for s in slots {
+            let day = s.at.as_nanos().saturating_sub(first.at.as_nanos()) / DAY_NS;
+            *day_counts.entry(day).or_insert(0u32) += 1;
+        }
+        for (day, n) in day_counts {
+            if n > limits.per_day {
+                return Err(format!("day {day}: {n} measurements > {}", limits.per_day));
+            }
+        }
+    }
+    // Batch limit: any run of consecutive slots spaced closer than the
+    // batch gap must not exceed the batch size.
+    let mut run = 1u32;
+    for pair in slots.windows(2) {
+        let gap = pair[1].at.duration_since(pair[0].at);
+        if gap < limits.batch_gap {
+            run += 1;
+            if run > limits.batch {
+                return Err(format!(
+                    "batch of {run} consecutive measurements exceeds {}",
+                    limits.batch
+                ));
+            }
+        } else {
+            run = 1;
+        }
+    }
+    Ok(())
+}
+
+/// Total wall-clock span of a plan.
+pub fn span(slots: &[Slot]) -> SimDuration {
+    match (slots.first(), slots.last()) {
+        (Some(a), Some(b)) => b.at.duration_since(a.at),
+        _ => SimDuration::ZERO,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_respects_its_own_limits() {
+        for limits in [
+            RateLimits::standard(),
+            RateLimits::gentle(),
+            RateLimits::surge_cautious(),
+        ] {
+            let slots = plan(1_000, SimTime::ZERO, &limits, SimDuration::from_secs(10));
+            assert_eq!(slots.len(), 1_000);
+            verify(&slots, &limits).expect("self-consistent plan");
+        }
+    }
+
+    #[test]
+    fn surge_limits_stretch_the_campaign_over_days() {
+        let slots = plan(
+            1_000,
+            SimTime::ZERO,
+            &RateLimits::surge_cautious(),
+            SimDuration::from_secs(10),
+        );
+        // 1000 measurements at ≤150/day need ≥ 6 days, like the paper's
+        // "this led us to complete the post-September measurements in
+        // months".
+        assert!(
+            span(&slots) > SimDuration::from_secs(6 * 24 * 3600),
+            "span {}",
+            span(&slots)
+        );
+    }
+
+    #[test]
+    fn standard_limits_finish_quickly() {
+        let slots = plan(
+            1_000,
+            SimTime::ZERO,
+            &RateLimits::standard(),
+            SimDuration::from_secs(5),
+        );
+        assert!(span(&slots) < SimDuration::from_secs(24 * 3600));
+    }
+
+    #[test]
+    fn verify_catches_oversized_batches() {
+        let limits = RateLimits {
+            per_day: 1_000,
+            batch: 3,
+            batch_gap: SimDuration::from_secs(100),
+        };
+        // Five back-to-back slots, 1 s apart: a 5-batch.
+        let slots: Vec<Slot> = (0..5)
+            .map(|i| Slot {
+                at: SimTime::ZERO + SimDuration::from_secs(i),
+                index: i as u32,
+            })
+            .collect();
+        assert!(verify(&slots, &limits).is_err());
+    }
+
+    #[test]
+    fn verify_catches_daily_overload() {
+        let limits = RateLimits {
+            per_day: 10,
+            batch: 100,
+            batch_gap: SimDuration::from_secs(1),
+        };
+        let slots: Vec<Slot> = (0..20)
+            .map(|i| Slot {
+                at: SimTime::ZERO + SimDuration::from_secs(i * 60),
+                index: i as u32,
+            })
+            .collect();
+        assert!(verify(&slots, &limits).is_err());
+    }
+
+    #[test]
+    fn transport_limit_assignment() {
+        assert_eq!(RateLimits::for_transport(PtId::Obfs4, false).per_day, 2_000);
+        assert_eq!(RateLimits::for_transport(PtId::Camoufler, false).per_day, 500);
+        assert_eq!(RateLimits::for_transport(PtId::Dnstt, true).per_day, 500);
+        assert_eq!(
+            RateLimits::for_transport(PtId::Snowflake, true).per_day,
+            150
+        );
+        assert_eq!(
+            RateLimits::for_transport(PtId::Snowflake, false).per_day,
+            2_000
+        );
+    }
+
+    #[test]
+    fn slots_are_monotone() {
+        let slots = plan(
+            500,
+            SimTime::ZERO,
+            &RateLimits::gentle(),
+            SimDuration::from_secs(30),
+        );
+        for pair in slots.windows(2) {
+            assert!(pair[1].at > pair[0].at);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Constant-time comparison helpers.
+//!
+//! Transport handshakes compare MACs and auth tags; doing that with `==`
+//! would leak the first-differing-byte position through timing. These
+//! helpers accumulate differences without early exit.
+
+/// Constant-time equality of two byte slices.
+///
+/// Returns `false` immediately (and safely — length is public) when the
+/// lengths differ; otherwise examines every byte.
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+/// Constant-time conditional select of a byte: `cond ? a : b` where `cond`
+/// must be 0 or 1.
+pub fn ct_select(cond: u8, a: u8, b: u8) -> u8 {
+    debug_assert!(cond <= 1);
+    let mask = cond.wrapping_neg();
+    (a & mask) | (b & !mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_slices() {
+        assert!(ct_eq(b"same bytes", b"same bytes"));
+        assert!(ct_eq(b"", b""));
+    }
+
+    #[test]
+    fn different_slices() {
+        assert!(!ct_eq(b"aaaa", b"aaab"));
+        assert!(!ct_eq(b"baaa", b"aaaa"));
+    }
+
+    #[test]
+    fn different_lengths() {
+        assert!(!ct_eq(b"abc", b"abcd"));
+    }
+
+    #[test]
+    fn select() {
+        assert_eq!(ct_select(1, 0xAA, 0x55), 0xAA);
+        assert_eq!(ct_select(0, 0xAA, 0x55), 0x55);
+    }
+}

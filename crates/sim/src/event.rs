@@ -1,0 +1,289 @@
+//! The discrete-event engine.
+//!
+//! [`Engine`] owns the virtual clock, the seeded RNG, and a priority queue
+//! of scheduled actions. Actions are boxed closures taking `&mut Engine`,
+//! so an action can schedule further actions, advance protocol state
+//! machines, or sample randomness. Ties in firing time are broken by a
+//! monotonically increasing sequence number, which makes execution order —
+//! and therefore every simulation result — fully deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// A scheduled action.
+type Action = Box<dyn FnOnce(&mut Engine)>;
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    action: Action,
+}
+
+// BinaryHeap is a max-heap; invert the ordering to pop the earliest event
+// (and, among equal times, the earliest-scheduled one) first.
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The discrete-event simulation engine.
+///
+/// # Example
+/// ```
+/// use ptperf_sim::{Engine, SimDuration};
+/// use std::cell::Cell;
+/// use std::rc::Rc;
+///
+/// let mut engine = Engine::new(42);
+/// let fired = Rc::new(Cell::new(false));
+/// let flag = fired.clone();
+/// engine.schedule_in(SimDuration::from_millis(10), move |eng| {
+///     assert_eq!(eng.now().as_nanos(), 10_000_000);
+///     flag.set(true);
+/// });
+/// engine.run();
+/// assert!(fired.get());
+/// ```
+pub struct Engine {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled>,
+    rng: SimRng,
+    executed: u64,
+}
+
+impl Engine {
+    /// Creates an engine with the clock at zero and a seeded RNG.
+    pub fn new(seed: u64) -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            rng: SimRng::new(seed),
+            executed: 0,
+        }
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The engine's random number generator.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Number of events executed so far (for diagnostics and tests).
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending.
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `action` to run at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error; the engine clamps to `now`
+    /// in release builds and asserts in debug builds so tests catch it.
+    pub fn schedule_at(&mut self, at: SimTime, action: impl FnOnce(&mut Engine) + 'static) {
+        debug_assert!(at >= self.now, "scheduled an event in the past");
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            action: Box::new(action),
+        });
+    }
+
+    /// Schedules `action` to run `delay` after the current instant.
+    pub fn schedule_in(&mut self, delay: SimDuration, action: impl FnOnce(&mut Engine) + 'static) {
+        self.schedule_at(self.now + delay, action);
+    }
+
+    /// Runs events until the queue is empty.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs events with firing time `<= deadline`; the clock ends at
+    /// `deadline` even if the queue drained earlier.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            match self.queue.peek() {
+                Some(ev) if ev.at <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Executes the next pending event, if any. Returns whether one ran.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some(ev) => {
+                debug_assert!(ev.at >= self.now, "event queue went backwards");
+                self.now = ev.at;
+                self.executed += 1;
+                (ev.action)(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Advances the clock by `delay` without running anything (useful when
+    /// composing closed-form phase calculations with event-driven parts).
+    ///
+    /// # Panics
+    /// Panics (debug) if pending events exist before the new instant —
+    /// skipping over scheduled work would silently corrupt causality.
+    pub fn advance(&mut self, delay: SimDuration) {
+        let target = self.now + delay;
+        debug_assert!(
+            self.queue.peek().is_none_or(|ev| ev.at >= target),
+            "Engine::advance would skip pending events"
+        );
+        self.now = target;
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut eng = Engine::new(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for &(ms, tag) in &[(30u64, 'c'), (10, 'a'), (20, 'b')] {
+            let log = log.clone();
+            eng.schedule_in(SimDuration::from_millis(ms), move |_| {
+                log.borrow_mut().push(tag);
+            });
+        }
+        eng.run();
+        assert_eq!(*log.borrow(), vec!['a', 'b', 'c']);
+        assert_eq!(eng.now().as_nanos(), 30_000_000);
+    }
+
+    #[test]
+    fn ties_break_by_scheduling_order() {
+        let mut eng = Engine::new(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for tag in ['x', 'y', 'z'] {
+            let log = log.clone();
+            eng.schedule_in(SimDuration::from_millis(5), move |_| {
+                log.borrow_mut().push(tag);
+            });
+        }
+        eng.run();
+        assert_eq!(*log.borrow(), vec!['x', 'y', 'z']);
+    }
+
+    #[test]
+    fn actions_can_schedule_more_actions() {
+        let mut eng = Engine::new(1);
+        let count = Rc::new(RefCell::new(0u32));
+        fn chain(eng: &mut Engine, count: Rc<RefCell<u32>>, left: u32) {
+            if left == 0 {
+                return;
+            }
+            eng.schedule_in(SimDuration::from_millis(1), move |eng| {
+                *count.borrow_mut() += 1;
+                chain(eng, count, left - 1);
+            });
+        }
+        chain(&mut eng, count.clone(), 5);
+        eng.run();
+        assert_eq!(*count.borrow(), 5);
+        assert_eq!(eng.now().as_nanos(), 5_000_000);
+        assert_eq!(eng.events_executed(), 5);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut eng = Engine::new(1);
+        let hits = Rc::new(RefCell::new(0u32));
+        for ms in [10u64, 20, 30, 40] {
+            let hits = hits.clone();
+            eng.schedule_in(SimDuration::from_millis(ms), move |_| {
+                *hits.borrow_mut() += 1;
+            });
+        }
+        eng.run_until(SimTime::from_nanos(25_000_000));
+        assert_eq!(*hits.borrow(), 2);
+        assert_eq!(eng.now().as_nanos(), 25_000_000);
+        assert_eq!(eng.events_pending(), 2);
+        eng.run();
+        assert_eq!(*hits.borrow(), 4);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut eng = Engine::new(1);
+        eng.run_until(SimTime::from_nanos(1_000));
+        assert_eq!(eng.now().as_nanos(), 1_000);
+    }
+
+    #[test]
+    fn advance_moves_clock() {
+        let mut eng = Engine::new(1);
+        eng.advance(SimDuration::from_secs(3));
+        assert_eq!(eng.now().as_secs_f64(), 3.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        fn run(seed: u64) -> Vec<u64> {
+            let mut eng = Engine::new(seed);
+            let out = Rc::new(RefCell::new(Vec::new()));
+            for _ in 0..10 {
+                let out = out.clone();
+                eng.schedule_in(SimDuration::from_millis(1), move |eng| {
+                    let v = eng.rng().next_u64();
+                    out.borrow_mut().push(v);
+                });
+            }
+            eng.run();
+            Rc::try_unwrap(out).unwrap().into_inner()
+        }
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99), run(100));
+    }
+}

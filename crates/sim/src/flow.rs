@@ -1,0 +1,586 @@
+//! Flow-level bandwidth sharing.
+//!
+//! When several transfers share a bottleneck (a Tor relay, a PT bridge, a
+//! client access link), each gets a **max–min fair** share of the node's
+//! capacity — the fluid approximation of what competing TCP flows converge
+//! to. This module provides:
+//!
+//! * [`maxmin_rates`] — the progressive-filling (water-filling) allocator
+//!   over a set of capacity-constrained nodes, with optional per-flow rate
+//!   caps (a PT's carrier constraint, e.g. dnstt's DNS-window ceiling);
+//! * `fluid_schedule` — a deterministic fluid simulator that, given flows
+//!   with start times and sizes, computes each flow's completion time under
+//!   continuous max–min re-allocation (used for browser-style parallel
+//!   sub-resource loading).
+
+use crate::time::{SimDuration, SimTime};
+
+/// Index of a capacity-constrained node inside a [`FairNetwork`].
+pub type NodeId = usize;
+
+/// A set of nodes, each with a service capacity in bytes per second.
+#[derive(Debug, Clone, Default)]
+pub struct FairNetwork {
+    capacity: Vec<f64>,
+}
+
+impl FairNetwork {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        FairNetwork::default()
+    }
+
+    /// Adds a node with the given capacity (bytes/s) and returns its id.
+    ///
+    /// # Panics
+    /// Panics if the capacity is not positive and finite.
+    pub fn add_node(&mut self, capacity_bps: f64) -> NodeId {
+        assert!(
+            capacity_bps > 0.0 && capacity_bps.is_finite(),
+            "node capacity must be positive and finite, got {capacity_bps}"
+        );
+        self.capacity.push(capacity_bps);
+        self.capacity.len() - 1
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.capacity.len()
+    }
+
+    /// True if the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.capacity.is_empty()
+    }
+
+    /// Capacity of a node.
+    pub fn capacity(&self, node: NodeId) -> f64 {
+        self.capacity[node]
+    }
+}
+
+/// A flow requesting bandwidth through a set of nodes.
+#[derive(Debug, Clone)]
+pub struct FlowDemand {
+    /// The nodes this flow traverses (order does not matter for
+    /// allocation). An empty path means the flow is only limited by `cap`.
+    pub nodes: Vec<NodeId>,
+    /// Optional rate ceiling imposed by the flow itself (bytes/s), e.g. a
+    /// transport's carrier constraint.
+    pub cap: Option<f64>,
+}
+
+/// Computes max–min fair rates (bytes/s) for `flows` over `net` by
+/// progressive filling.
+///
+/// Invariants (property-tested):
+/// * no node's capacity is exceeded;
+/// * a flow is only below the equal share of some node it traverses if its
+///   own cap binds;
+/// * the allocation is Pareto-efficient: every flow is limited by a
+///   saturated node or its cap.
+///
+/// # Panics
+/// Panics if a flow references a node outside the network, or has an empty
+/// path and no cap (such a flow has unbounded demand).
+pub fn maxmin_rates(net: &FairNetwork, flows: &[FlowDemand]) -> Vec<f64> {
+    for (i, f) in flows.iter().enumerate() {
+        assert!(
+            !f.nodes.is_empty() || f.cap.is_some(),
+            "flow {i} has no node constraint and no cap: demand is unbounded"
+        );
+        for &n in &f.nodes {
+            assert!(n < net.len(), "flow {i} references unknown node {n}");
+        }
+        if let Some(c) = f.cap {
+            assert!(c > 0.0 && c.is_finite(), "flow {i} has invalid cap {c}");
+        }
+    }
+
+    let mut rate = vec![0.0f64; flows.len()];
+    let mut frozen = vec![false; flows.len()];
+    let mut used = vec![0.0f64; net.len()];
+    let mut remaining = flows.len();
+
+    while remaining > 0 {
+        // Per-node equal share among still-unfrozen flows.
+        let mut count = vec![0usize; net.len()];
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            for &n in &f.nodes {
+                count[n] += 1;
+            }
+        }
+        // The binding level this round: the smallest of all node shares and
+        // all unfrozen flow caps.
+        let mut level = f64::INFINITY;
+        for n in 0..net.len() {
+            if count[n] > 0 {
+                let share = ((net.capacity[n] - used[n]) / count[n] as f64).max(0.0);
+                level = level.min(share);
+            }
+        }
+        for (i, f) in flows.iter().enumerate() {
+            if !frozen[i] {
+                if let Some(c) = f.cap {
+                    level = level.min(c);
+                }
+            }
+        }
+        debug_assert!(level.is_finite(), "no binding constraint found");
+
+        // Determine the freeze set against a *snapshot* of `used` —
+        // freezing mutates `used`, and recomputing shares mid-round with
+        // stale per-node counts would wrongly freeze flows whose binding
+        // node is not actually saturated at this level.
+        let eps = 1e-9 * level.max(1.0);
+        let mut freeze_set: Vec<usize> = Vec::new();
+        for n in 0..net.len() {
+            if count[n] == 0 {
+                continue;
+            }
+            let share = ((net.capacity[n] - used[n]) / count[n] as f64).max(0.0);
+            if share <= level + eps {
+                for (i, f) in flows.iter().enumerate() {
+                    if !frozen[i] && f.nodes.contains(&n) && !freeze_set.contains(&i) {
+                        freeze_set.push(i);
+                    }
+                }
+            }
+        }
+        for (i, f) in flows.iter().enumerate() {
+            if !frozen[i] && !freeze_set.contains(&i) {
+                if let Some(c) = f.cap {
+                    if c <= level + eps {
+                        freeze_set.push(i);
+                    }
+                }
+            }
+        }
+        if freeze_set.is_empty() {
+            // Defensive: guarantee termination under floating-point
+            // pathologies by freezing everything at the level.
+            debug_assert!(false, "progressive filling made no progress");
+            freeze_set.extend((0..flows.len()).filter(|&i| !frozen[i]));
+        }
+        for i in freeze_set {
+            let at = flows[i].cap.map_or(level, |c| c.min(level));
+            freeze(i, at, flows, &mut rate, &mut frozen, &mut used, &mut remaining);
+        }
+    }
+    rate
+}
+
+fn freeze(
+    i: usize,
+    level: f64,
+    flows: &[FlowDemand],
+    rate: &mut [f64],
+    frozen: &mut [bool],
+    used: &mut [f64],
+    remaining: &mut usize,
+) {
+    rate[i] = level;
+    frozen[i] = true;
+    for &n in &flows[i].nodes {
+        used[n] += level;
+    }
+    *remaining -= 1;
+}
+
+/// A flow submitted to the fluid scheduler.
+#[derive(Debug, Clone)]
+pub struct FluidFlow {
+    /// When the flow's first byte becomes available to send.
+    pub start: SimTime,
+    /// Payload size in bytes.
+    pub bytes: f64,
+    /// Nodes traversed (see [`FlowDemand::nodes`]).
+    pub nodes: Vec<NodeId>,
+    /// Optional per-flow rate cap (see [`FlowDemand::cap`]).
+    pub cap: Option<f64>,
+    /// Fixed latency added to the flow's completion (propagation, slow
+    /// start excess, protocol chatter).
+    pub extra_latency: SimDuration,
+}
+
+/// Completion report for one fluid flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FluidCompletion {
+    /// When the last byte (plus `extra_latency`) arrives.
+    pub finish: SimTime,
+}
+
+/// Runs the fluid schedule: flows join at their start times, continuously
+/// share bandwidth max–min fairly, and leave when their bytes are done.
+///
+/// Deterministic, event-stepped: between consecutive events (a flow
+/// arriving or finishing) rates are constant, so each flow's remaining
+/// bytes decrease linearly. Complexity is O(E² · N) for E flows — fine for
+/// browser workloads (tens of sub-resources).
+pub fn fluid_schedule(net: &FairNetwork, flows: &[FluidFlow]) -> Vec<FluidCompletion> {
+    #[derive(Clone)]
+    struct Live {
+        remaining: f64,
+        done: bool,
+    }
+    let mut live: Vec<Live> = flows
+        .iter()
+        .map(|f| Live {
+            remaining: f.bytes.max(0.0),
+            done: false,
+        })
+        .collect();
+    let mut finish = vec![SimTime::ZERO; flows.len()];
+
+    // Process in virtual time.
+    let mut now = flows
+        .iter()
+        .map(|f| f.start)
+        .min()
+        .unwrap_or(SimTime::ZERO);
+
+    loop {
+        // Active = started, not done. Pending = not yet started.
+        let mut active_idx = Vec::new();
+        let mut next_start: Option<SimTime> = None;
+        for (i, f) in flows.iter().enumerate() {
+            if live[i].done {
+                continue;
+            }
+            if f.start <= now {
+                if live[i].remaining <= 0.0 {
+                    // Zero-byte flow: completes the moment it starts.
+                    live[i].done = true;
+                    finish[i] = f.start + f.extra_latency;
+                    continue;
+                }
+                active_idx.push(i);
+            } else {
+                next_start = Some(next_start.map_or(f.start, |s: SimTime| s.min(f.start)));
+            }
+        }
+        if active_idx.is_empty() {
+            match next_start {
+                Some(t) => {
+                    now = t;
+                    continue;
+                }
+                None => break,
+            }
+        }
+
+        let demands: Vec<FlowDemand> = active_idx
+            .iter()
+            .map(|&i| FlowDemand {
+                nodes: flows[i].nodes.clone(),
+                cap: flows[i].cap,
+            })
+            .collect();
+        let rates = maxmin_rates(net, &demands);
+
+        // Time until the first active flow drains at current rates.
+        let mut dt_finish = f64::INFINITY;
+        for (k, &i) in active_idx.iter().enumerate() {
+            if rates[k] > 0.0 {
+                dt_finish = dt_finish.min(live[i].remaining / rates[k]);
+            }
+        }
+        debug_assert!(
+            dt_finish.is_finite(),
+            "active flows exist but none can make progress"
+        );
+        let mut dt = dt_finish;
+        if let Some(t) = next_start {
+            let until_start = t.duration_since(now).as_secs_f64();
+            if until_start < dt {
+                dt = until_start;
+            }
+        }
+
+        // Advance: drain bytes, mark completions.
+        let step = SimDuration::from_secs_f64(dt);
+        let after = now + step;
+        for (k, &i) in active_idx.iter().enumerate() {
+            live[i].remaining -= rates[k] * dt;
+            if live[i].remaining <= 1e-6 {
+                live[i].done = true;
+                finish[i] = after + flows[i].extra_latency;
+            }
+        }
+        now = after;
+    }
+
+    finish.into_iter().map(|finish| FluidCompletion { finish }).collect()
+}
+
+/// Helpers for benchmarking and stress-testing the allocator on random
+/// instances (used by `ptperf-bench`; kept here so instance generation is
+/// versioned with the allocator).
+pub mod maxmin_demo {
+    use super::{maxmin_rates, FairNetwork, FlowDemand};
+    use crate::rng::SimRng;
+
+    /// A random allocator instance.
+    pub struct Instance {
+        /// The node set.
+        pub net: FairNetwork,
+        /// The flow demands.
+        pub flows: Vec<FlowDemand>,
+    }
+
+    /// Generates a random instance: `n_nodes` nodes with capacities in
+    /// `[1, 100]` MB/s, `n_flows` flows each crossing 1–3 random nodes,
+    /// a third of them rate-capped.
+    pub fn random_instance(rng: &mut SimRng, n_nodes: usize, n_flows: usize) -> Instance {
+        assert!(n_nodes > 0);
+        let mut net = FairNetwork::new();
+        for _ in 0..n_nodes {
+            net.add_node(rng.range_f64(1.0e6, 100.0e6));
+        }
+        let flows = (0..n_flows)
+            .map(|_| {
+                let hops = 1 + rng.below(3) as usize;
+                let mut nodes: Vec<usize> = (0..hops)
+                    .map(|_| rng.below(n_nodes as u64) as usize)
+                    .collect();
+                nodes.sort_unstable();
+                nodes.dedup();
+                let cap = if rng.chance(0.33) {
+                    Some(rng.range_f64(0.1e6, 10.0e6))
+                } else {
+                    None
+                };
+                FlowDemand { nodes, cap }
+            })
+            .collect();
+        Instance { net, flows }
+    }
+
+    /// Solves an instance.
+    pub fn solve(instance: &Instance) -> Vec<f64> {
+        maxmin_rates(&instance.net, &instance.flows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(caps: &[f64]) -> FairNetwork {
+        let mut n = FairNetwork::new();
+        for &c in caps {
+            n.add_node(c);
+        }
+        n
+    }
+
+    #[test]
+    fn single_flow_gets_full_capacity() {
+        let n = net(&[100.0]);
+        let rates = maxmin_rates(
+            &n,
+            &[FlowDemand {
+                nodes: vec![0],
+                cap: None,
+            }],
+        );
+        assert_eq!(rates, vec![100.0]);
+    }
+
+    #[test]
+    fn equal_flows_split_evenly() {
+        let n = net(&[90.0]);
+        let f = FlowDemand {
+            nodes: vec![0],
+            cap: None,
+        };
+        let rates = maxmin_rates(&n, &[f.clone(), f.clone(), f]);
+        for r in rates {
+            assert!((r - 30.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn capped_flow_releases_capacity_to_others() {
+        let n = net(&[100.0]);
+        let rates = maxmin_rates(
+            &n,
+            &[
+                FlowDemand {
+                    nodes: vec![0],
+                    cap: Some(10.0),
+                },
+                FlowDemand {
+                    nodes: vec![0],
+                    cap: None,
+                },
+            ],
+        );
+        assert!((rates[0] - 10.0).abs() < 1e-9);
+        assert!((rates[1] - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_node_flow_limited_by_tightest_node() {
+        let n = net(&[100.0, 30.0]);
+        let rates = maxmin_rates(
+            &n,
+            &[FlowDemand {
+                nodes: vec![0, 1],
+                cap: None,
+            }],
+        );
+        assert!((rates[0] - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classic_maxmin_example() {
+        // Two nodes: A (cap 10) shared by f0,f1; B (cap 4) shared by f1,f2.
+        // Max-min: f1 and f2 get 2 each (B binds), f0 gets 8.
+        let n = net(&[10.0, 4.0]);
+        let rates = maxmin_rates(
+            &n,
+            &[
+                FlowDemand {
+                    nodes: vec![0],
+                    cap: None,
+                },
+                FlowDemand {
+                    nodes: vec![0, 1],
+                    cap: None,
+                },
+                FlowDemand {
+                    nodes: vec![1],
+                    cap: None,
+                },
+            ],
+        );
+        assert!((rates[1] - 2.0).abs() < 1e-9, "{rates:?}");
+        assert!((rates[2] - 2.0).abs() < 1e-9, "{rates:?}");
+        assert!((rates[0] - 8.0).abs() < 1e-9, "{rates:?}");
+    }
+
+    #[test]
+    fn cap_only_flow_allowed() {
+        let n = net(&[]);
+        let rates = maxmin_rates(
+            &n,
+            &[FlowDemand {
+                nodes: vec![],
+                cap: Some(7.0),
+            }],
+        );
+        assert_eq!(rates, vec![7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbounded")]
+    fn rejects_unconstrained_flow() {
+        let n = net(&[1.0]);
+        let _ = maxmin_rates(
+            &n,
+            &[FlowDemand {
+                nodes: vec![],
+                cap: None,
+            }],
+        );
+    }
+
+    #[test]
+    fn fluid_single_flow_duration() {
+        let n = net(&[10.0]); // 10 bytes/s
+        let done = fluid_schedule(
+            &n,
+            &[FluidFlow {
+                start: SimTime::ZERO,
+                bytes: 100.0,
+                nodes: vec![0],
+                cap: None,
+                extra_latency: SimDuration::ZERO,
+            }],
+        );
+        assert!((done[0].finish.as_secs_f64() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fluid_two_flows_share_then_speed_up() {
+        // Two equal flows share 10 B/s: each runs at 5 until the first
+        // finishes... they finish together at t=20 (100 bytes each).
+        let n = net(&[10.0]);
+        let f = FluidFlow {
+            start: SimTime::ZERO,
+            bytes: 100.0,
+            nodes: vec![0],
+            cap: None,
+            extra_latency: SimDuration::ZERO,
+        };
+        let done = fluid_schedule(&n, &[f.clone(), f]);
+        assert!((done[0].finish.as_secs_f64() - 20.0).abs() < 1e-6);
+        assert!((done[1].finish.as_secs_f64() - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fluid_late_arrival_shares_remaining() {
+        // Flow A (200 B) starts at 0; flow B (50 B) starts at t=10.
+        // 0–10: A alone at 10 B/s → 100 B left.
+        // 10–20: both at 5 B/s → B done at t=20 (50 B), A has 50 left.
+        // 20–25: A alone at 10 B/s → done at t=25.
+        let n = net(&[10.0]);
+        let done = fluid_schedule(
+            &n,
+            &[
+                FluidFlow {
+                    start: SimTime::ZERO,
+                    bytes: 200.0,
+                    nodes: vec![0],
+                    cap: None,
+                    extra_latency: SimDuration::ZERO,
+                },
+                FluidFlow {
+                    start: SimTime::from_nanos(10_000_000_000),
+                    bytes: 50.0,
+                    nodes: vec![0],
+                    cap: None,
+                    extra_latency: SimDuration::ZERO,
+                },
+            ],
+        );
+        assert!((done[1].finish.as_secs_f64() - 20.0).abs() < 1e-6, "{done:?}");
+        assert!((done[0].finish.as_secs_f64() - 25.0).abs() < 1e-6, "{done:?}");
+    }
+
+    #[test]
+    fn fluid_extra_latency_added() {
+        let n = net(&[10.0]);
+        let done = fluid_schedule(
+            &n,
+            &[FluidFlow {
+                start: SimTime::ZERO,
+                bytes: 10.0,
+                nodes: vec![0],
+                cap: None,
+                extra_latency: SimDuration::from_secs(2),
+            }],
+        );
+        assert!((done[0].finish.as_secs_f64() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fluid_zero_byte_flow_completes_at_start() {
+        let n = net(&[10.0]);
+        let done = fluid_schedule(
+            &n,
+            &[FluidFlow {
+                start: SimTime::from_nanos(5),
+                bytes: 0.0,
+                nodes: vec![0],
+                cap: None,
+                extra_latency: SimDuration::ZERO,
+            }],
+        );
+        assert_eq!(done[0].finish.as_nanos(), 5);
+    }
+}

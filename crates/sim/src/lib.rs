@@ -1,0 +1,47 @@
+//! # ptperf-sim — deterministic discrete-event network simulator
+//!
+//! The simulation substrate underneath the PTPerf reproduction. The
+//! original study measured the live Tor network; this crate provides the
+//! controllable, reproducible stand-in: a virtual clock and event engine,
+//! a seeded random number generator, a six-region geographic topology with
+//! realistic inter-region delays, a TCP-like transfer-time model
+//! (slow start, Mathis loss ceiling, retransmission expansion), max–min
+//! fair bandwidth sharing for concurrent flows, and a relay/bridge load
+//! model.
+//!
+//! Everything is deterministic given a seed: same seed, same results,
+//! bit for bit, across platforms.
+//!
+//! ## Layering
+//!
+//! ```text
+//! Engine (clock + event queue + RNG)        event.rs
+//!   ├─ SimTime / SimDuration                time.rs
+//!   ├─ SimRng + distributions               rng.rs
+//!   ├─ Location / Medium / PathSample       topology.rs
+//!   ├─ TransferModel (TCP-like timing)      xfer.rs
+//!   ├─ FairNetwork / fluid_schedule         flow.rs
+//!   └─ LoadProfile / LoadTimeline           load.rs
+//! ```
+//!
+//! Higher layers (`ptperf-tor`, `ptperf-transports`, `ptperf-web`) compose
+//! these primitives; they never talk to a real network.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod flow;
+pub mod load;
+pub mod rng;
+pub mod time;
+pub mod topology;
+pub mod xfer;
+
+pub use event::Engine;
+pub use flow::{fluid_schedule, maxmin_demo, maxmin_rates, FairNetwork, FlowDemand, FluidCompletion, FluidFlow, NodeId};
+pub use load::{effective_capacity, LoadProfile, LoadTimeline};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};
+pub use topology::{base_owd, base_rtt, sample_path, Continent, Location, Medium, PathSample};
+pub use xfer::{TransferModel, INIT_WINDOW, MSS};

@@ -1,0 +1,249 @@
+//! Text rendering for the `repro` binary: aligned Markdown-ish tables,
+//! ASCII boxplots (the paper's dominant figure type), and ASCII ECDF
+//! plots.
+
+use crate::desc::Summary;
+
+/// A simple table builder producing aligned Markdown output.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Table {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Table {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows exist.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders an aligned Markdown table.
+    pub fn render(&self) -> String {
+        let ncol = self.headers.len();
+        let mut width = vec![0usize; ncol];
+        for (i, h) in self.headers.iter().enumerate() {
+            width[i] = h.chars().count();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut s = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                let pad = width[i] - c.chars().count();
+                s.push(' ');
+                s.push_str(c);
+                s.push_str(&" ".repeat(pad + 1));
+                s.push('|');
+            }
+            s.push('\n');
+            s
+        };
+        let mut out = fmt_row(&self.headers);
+        let mut sep = String::from("|");
+        for w in &width {
+            sep.push_str(&"-".repeat(w + 2));
+            sep.push('|');
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        out
+    }
+}
+
+/// Renders labeled boxplots as horizontal ASCII bars spanning
+/// `[min … q1 ▐ median ▌ q3 … max]`, optionally on a log scale
+/// (the paper's Figures 4, 5, 7, 10b, 12 use log axes).
+pub fn ascii_boxplots(entries: &[(String, Summary)], width: usize, log_scale: bool) -> String {
+    if entries.is_empty() {
+        return String::new();
+    }
+    let xform = |v: f64| -> f64 {
+        if log_scale {
+            v.max(1e-3).log10()
+        } else {
+            v
+        }
+    };
+    let lo = entries
+        .iter()
+        .map(|(_, s)| xform(s.min))
+        .fold(f64::INFINITY, f64::min);
+    let hi = entries
+        .iter()
+        .map(|(_, s)| xform(s.max))
+        .fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-9);
+    let label_w = entries.iter().map(|(l, _)| l.chars().count()).max().unwrap();
+    let plot_w = width.saturating_sub(label_w + 2).max(20);
+    let col = |v: f64| -> usize {
+        (((xform(v) - lo) / span) * (plot_w - 1) as f64).round() as usize
+    };
+
+    let mut out = String::new();
+    for (label, s) in entries {
+        let mut line: Vec<char> = vec![' '; plot_w];
+        let (cmin, cq1, cmed, cq3, cmax) = (col(s.min), col(s.q1), col(s.median), col(s.q3), col(s.max));
+        for c in line.iter_mut().take(cmax + 1).skip(cmin) {
+            *c = '-';
+        }
+        for c in line.iter_mut().take(cq3 + 1).skip(cq1) {
+            *c = '=';
+        }
+        line[cmin] = '|';
+        line[cmax] = '|';
+        line[cmed] = '#';
+        out.push_str(&format!(
+            "{label:label_w$}  {}  (med {:.2}, mean {:.2})\n",
+            line.iter().collect::<String>(),
+            s.median,
+            s.mean
+        ));
+    }
+    let scale = if log_scale { "log10" } else { "linear" };
+    out.push_str(&format!(
+        "{:label_w$}  [{scale} scale: {:.3} .. {:.3}]\n",
+        "", if log_scale { 10f64.powf(lo) } else { lo },
+        if log_scale { 10f64.powf(hi) } else { hi },
+    ));
+    out
+}
+
+/// Renders one or more ECDF series as an ASCII grid; each series is drawn
+/// with its own glyph.
+pub fn ascii_ecdf(series: &[(String, Vec<(f64, f64)>)], width: usize, height: usize) -> String {
+    if series.is_empty() || series.iter().all(|(_, pts)| pts.is_empty()) {
+        return String::new();
+    }
+    const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '@', '%', '&', '~'];
+    let lo = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().map(|p| p.0))
+        .fold(f64::INFINITY, f64::min);
+    let hi = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().map(|p| p.0))
+        .fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-9);
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in pts {
+            let cx = (((x - lo) / span) * (width - 1) as f64).round() as usize;
+            let cy = ((1.0 - y) * (height - 1) as f64).round() as usize;
+            grid[cy.min(height - 1)][cx.min(width - 1)] = glyph;
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in grid.iter().enumerate() {
+        let yval = 1.0 - ri as f64 / (height - 1) as f64;
+        out.push_str(&format!("{yval:4.2} |{}\n", row.iter().collect::<String>()));
+    }
+    out.push_str(&format!(
+        "     +{}\n      x: {lo:.2} .. {hi:.2}   ",
+        "-".repeat(width)
+    ));
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("[{}] {}  ", GLYPHS[si % GLYPHS.len()], name));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_markdown() {
+        let mut t = Table::new(["PT", "median (s)"]);
+        t.row(["obfs4", "2.40"]);
+        t.row(["marionette", "20.80"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("PT"));
+        assert!(lines[1].starts_with("|--"));
+        // All lines equal length (alignment).
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn boxplot_renders_every_entry() {
+        let entries = vec![
+            ("tor".to_string(), Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0])),
+            ("obfs4".to_string(), Summary::of(&[2.0, 3.0, 4.0, 6.0, 9.0])),
+        ];
+        let s = ascii_boxplots(&entries, 80, false);
+        assert!(s.contains("tor"));
+        assert!(s.contains("obfs4"));
+        assert!(s.contains('#'), "median marker missing:\n{s}");
+    }
+
+    #[test]
+    fn boxplot_log_scale_compresses() {
+        let entries = vec![(
+            "wide".to_string(),
+            Summary::of(&[0.1, 1.0, 10.0, 100.0, 1000.0]),
+        )];
+        let s = ascii_boxplots(&entries, 70, true);
+        assert!(s.contains("log10"));
+    }
+
+    #[test]
+    fn ecdf_plot_has_axes_and_legend() {
+        let pts: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64, i as f64 / 10.0)).collect();
+        let s = ascii_ecdf(&[("meek".to_string(), pts)], 40, 10);
+        assert!(s.contains("meek"));
+        assert!(s.contains("1.00"));
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn empty_inputs_render_empty() {
+        assert_eq!(ascii_boxplots(&[], 80, false), "");
+        assert_eq!(ascii_ecdf(&[], 40, 10), "");
+    }
+}

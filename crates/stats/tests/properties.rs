@@ -1,0 +1,139 @@
+//! Property tests for the statistics: order-statistic invariants, ECDF
+//! laws, t-test symmetries, and special-function identities.
+
+use proptest::prelude::*;
+
+use ptperf_stats::{
+    inc_beta, mean, median, quantile, std_dev, student_t_cdf, student_t_quantile, Ecdf,
+    PairedTTest, Summary, Welford,
+};
+
+fn finite_vec(min_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1.0e6f64..1.0e6, min_len..min_len + 60)
+}
+
+proptest! {
+    /// Quantiles lie within [min, max] and are monotone in q.
+    #[test]
+    fn quantile_bounds_and_monotonicity(xs in finite_vec(1), q1 in 0.0f64..=1.0, q2 in 0.0f64..=1.0) {
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let (qa, qb) = (q1.min(q2), q1.max(q2));
+        let va = quantile(&xs, qa);
+        let vb = quantile(&xs, qb);
+        prop_assert!(va >= lo - 1e-9 && va <= hi + 1e-9);
+        prop_assert!(va <= vb + 1e-9);
+    }
+
+    /// Five-number summaries are ordered.
+    #[test]
+    fn summary_is_ordered(xs in finite_vec(1)) {
+        let s = Summary::of(&xs);
+        prop_assert!(s.min <= s.q1 + 1e-9);
+        prop_assert!(s.q1 <= s.median + 1e-9);
+        prop_assert!(s.median <= s.q3 + 1e-9);
+        prop_assert!(s.q3 <= s.max + 1e-9);
+        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert_eq!(s.n, xs.len());
+    }
+
+    /// Shifting a sample shifts mean/median and leaves the SD unchanged.
+    #[test]
+    fn shift_equivariance(xs in finite_vec(2), shift in -1000.0f64..1000.0) {
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        prop_assert!((mean(&shifted) - mean(&xs) - shift).abs() < 1e-6);
+        prop_assert!((median(&shifted) - median(&xs) - shift).abs() < 1e-6);
+        prop_assert!((std_dev(&shifted) - std_dev(&xs)).abs() < 1e-6);
+    }
+
+    /// Welford matches the batch formulas on arbitrary samples.
+    #[test]
+    fn welford_matches_batch(xs in finite_vec(2)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        prop_assert!((w.mean() - mean(&xs)).abs() < 1e-6 * (1.0 + mean(&xs).abs()));
+        prop_assert!((w.std_dev() - std_dev(&xs)).abs() < 1e-6 * (1.0 + std_dev(&xs)));
+    }
+
+    /// The ECDF is a proper CDF: monotone, 0 below min, 1 at max, and
+    /// quantile∘eval identities hold.
+    #[test]
+    fn ecdf_laws(xs in finite_vec(1), probe in -1.0e6f64..1.0e6) {
+        let e = Ecdf::new(&xs);
+        prop_assert_eq!(e.eval(e.min() - 1.0), 0.0);
+        prop_assert_eq!(e.eval(e.max()), 1.0);
+        let at = e.eval(probe);
+        prop_assert!((0.0..=1.0).contains(&at));
+        // eval is monotone.
+        prop_assert!(e.eval(probe) <= e.eval(probe + 1.0) + 1e-12);
+        // The q-quantile's CDF value is at least q.
+        for q in [0.1, 0.5, 0.9] {
+            prop_assert!(e.eval(e.quantile(q)) >= q - 1e-12);
+        }
+    }
+
+    /// The paired t-test is antisymmetric and shift-covariant.
+    #[test]
+    fn ttest_antisymmetry(
+        a in finite_vec(3),
+        noise in proptest::collection::vec(-10.0f64..10.0, 3..63),
+    ) {
+        let n = a.len().min(noise.len());
+        prop_assume!(n >= 3);
+        let a = &a[..n];
+        let b: Vec<f64> = a.iter().zip(&noise).map(|(x, e)| x + e).collect();
+        let ab = PairedTTest::run(a, &b);
+        let ba = PairedTTest::run(&b, a);
+        prop_assert!((ab.mean_diff + ba.mean_diff).abs() < 1e-9);
+        if ab.t.is_finite() {
+            prop_assert!((ab.t + ba.t).abs() < 1e-6);
+            prop_assert!((ab.p - ba.p).abs() < 1e-9);
+        }
+        // CI mirrors.
+        prop_assert!((ab.ci_lower + ba.ci_upper).abs() < 1e-6);
+    }
+
+    /// Adding a constant to both paired samples changes nothing.
+    #[test]
+    fn ttest_shift_invariance(
+        a in finite_vec(3),
+        shift in -1000.0f64..1000.0,
+    ) {
+        let b: Vec<f64> = a.iter().map(|x| x * 1.01 + 3.0).collect();
+        let t1 = PairedTTest::run(&a, &b);
+        let a2: Vec<f64> = a.iter().map(|x| x + shift).collect();
+        let b2: Vec<f64> = b.iter().map(|x| x + shift).collect();
+        let t2 = PairedTTest::run(&a2, &b2);
+        prop_assert!((t1.mean_diff - t2.mean_diff).abs() < 1e-6);
+        if t1.t.is_finite() && t2.t.is_finite() {
+            prop_assert!((t1.t - t2.t).abs() < 1e-4);
+        }
+    }
+
+    /// The t CDF is a proper CDF: monotone, symmetric about zero.
+    #[test]
+    fn t_cdf_laws(t in -50.0f64..50.0, df in 1.0f64..200.0) {
+        let c = student_t_cdf(t, df);
+        prop_assert!((0.0..=1.0).contains(&c));
+        prop_assert!(student_t_cdf(t + 0.5, df) >= c - 1e-12);
+        prop_assert!((student_t_cdf(-t, df) - (1.0 - c)).abs() < 1e-9);
+    }
+
+    /// Quantile inverts the CDF across df.
+    #[test]
+    fn t_quantile_inverts(p in 0.01f64..0.99, df in 1.0f64..300.0) {
+        let q = student_t_quantile(p, df);
+        prop_assert!((student_t_cdf(q, df) - p).abs() < 1e-6);
+    }
+
+    /// The regularized incomplete beta respects its reflection identity.
+    #[test]
+    fn inc_beta_reflection(a in 0.1f64..20.0, b in 0.1f64..20.0, x in 0.0f64..=1.0) {
+        let lhs = inc_beta(a, b, x);
+        let rhs = 1.0 - inc_beta(b, a, 1.0 - x);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&lhs));
+        prop_assert!((lhs - rhs).abs() < 1e-8, "I_x(a,b) reflection failed: {lhs} vs {rhs}");
+    }
+}

@@ -1,0 +1,463 @@
+//! The Tor control-port protocol (subset) and a controller state
+//! machine.
+//!
+//! The paper pinned circuits with stem and carml through exactly this
+//! interface (Appendix A.3): `SETCONF MaxClientCircuitsPending=1`,
+//! large `NewCircuitPeriod`/`MaxCircuitDirtiness` so circuits persist,
+//! `LeaveStreamsUnattached=1` plus `EXTENDCIRCUIT`/`ATTACHSTREAM` to
+//! force a specific path. [`TorController`] implements the server side
+//! of that conversation over real command/reply lines and translates
+//! the resulting state into the [`PathConfig`] the simulator consumes.
+
+use std::collections::BTreeMap;
+
+use crate::path::{CircuitSpec, PathConfig};
+use crate::relay::RelayId;
+
+/// A parsed control command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `SETCONF key=value [key=value...]`.
+    SetConf(Vec<(String, String)>),
+    /// `GETCONF key`.
+    GetConf(String),
+    /// `EXTENDCIRCUIT 0 relay1,relay2,relay3` — build a circuit on an
+    /// explicit path.
+    ExtendCircuit(Vec<RelayId>),
+    /// `ATTACHSTREAM stream_id circuit_id`.
+    AttachStream {
+        /// Stream to attach.
+        stream: u32,
+        /// Circuit to attach it to.
+        circuit: u32,
+    },
+    /// `CLOSECIRCUIT circuit_id`.
+    CloseCircuit(u32),
+    /// `SIGNAL NEWNYM` — rotate to a fresh identity.
+    SignalNewNym,
+}
+
+/// Control protocol parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlError {
+    /// Unknown command keyword.
+    UnknownCommand(String),
+    /// Command arguments malformed.
+    BadArguments(String),
+}
+
+impl std::fmt::Display for ControlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControlError::UnknownCommand(c) => write!(f, "unknown control command {c}"),
+            ControlError::BadArguments(c) => write!(f, "bad arguments for {c}"),
+        }
+    }
+}
+
+impl std::error::Error for ControlError {}
+
+impl Command {
+    /// Parses one control line.
+    pub fn parse(line: &str) -> Result<Command, ControlError> {
+        let line = line.trim();
+        let (keyword, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match keyword.to_ascii_uppercase().as_str() {
+            "SETCONF" => {
+                let mut pairs = Vec::new();
+                for part in rest.split_whitespace() {
+                    let (k, v) = part
+                        .split_once('=')
+                        .ok_or_else(|| ControlError::BadArguments("SETCONF".into()))?;
+                    pairs.push((k.to_string(), v.to_string()));
+                }
+                if pairs.is_empty() {
+                    return Err(ControlError::BadArguments("SETCONF".into()));
+                }
+                Ok(Command::SetConf(pairs))
+            }
+            "GETCONF" => {
+                if rest.trim().is_empty() || rest.contains(' ') {
+                    return Err(ControlError::BadArguments("GETCONF".into()));
+                }
+                Ok(Command::GetConf(rest.trim().to_string()))
+            }
+            "EXTENDCIRCUIT" => {
+                let mut parts = rest.split_whitespace();
+                let zero = parts
+                    .next()
+                    .ok_or_else(|| ControlError::BadArguments("EXTENDCIRCUIT".into()))?;
+                if zero != "0" {
+                    return Err(ControlError::BadArguments("EXTENDCIRCUIT".into()));
+                }
+                let path = parts
+                    .next()
+                    .ok_or_else(|| ControlError::BadArguments("EXTENDCIRCUIT".into()))?;
+                let relays: Result<Vec<RelayId>, _> = path
+                    .split(',')
+                    .map(|tok| {
+                        tok.trim_start_matches("relay#")
+                            .parse::<u32>()
+                            .map(RelayId)
+                            .map_err(|_| ControlError::BadArguments("EXTENDCIRCUIT".into()))
+                    })
+                    .collect();
+                let relays = relays?;
+                if relays.len() != 3 {
+                    return Err(ControlError::BadArguments("EXTENDCIRCUIT".into()));
+                }
+                Ok(Command::ExtendCircuit(relays))
+            }
+            "ATTACHSTREAM" => {
+                let mut parts = rest.split_whitespace();
+                let stream = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| ControlError::BadArguments("ATTACHSTREAM".into()))?;
+                let circuit = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| ControlError::BadArguments("ATTACHSTREAM".into()))?;
+                Ok(Command::AttachStream { stream, circuit })
+            }
+            "CLOSECIRCUIT" => {
+                let id = rest
+                    .trim()
+                    .parse()
+                    .map_err(|_| ControlError::BadArguments("CLOSECIRCUIT".into()))?;
+                Ok(Command::CloseCircuit(id))
+            }
+            "SIGNAL" => {
+                if rest.trim().eq_ignore_ascii_case("NEWNYM") {
+                    Ok(Command::SignalNewNym)
+                } else {
+                    Err(ControlError::BadArguments("SIGNAL".into()))
+                }
+            }
+            other => Err(ControlError::UnknownCommand(other.to_string())),
+        }
+    }
+
+    /// Formats the command back to its wire line.
+    pub fn format(&self) -> String {
+        match self {
+            Command::SetConf(pairs) => {
+                let body: Vec<String> =
+                    pairs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                format!("SETCONF {}", body.join(" "))
+            }
+            Command::GetConf(k) => format!("GETCONF {k}"),
+            Command::ExtendCircuit(path) => {
+                let body: Vec<String> = path.iter().map(|r| r.0.to_string()).collect();
+                format!("EXTENDCIRCUIT 0 {}", body.join(","))
+            }
+            Command::AttachStream { stream, circuit } => {
+                format!("ATTACHSTREAM {stream} {circuit}")
+            }
+            Command::CloseCircuit(id) => format!("CLOSECIRCUIT {id}"),
+            Command::SignalNewNym => "SIGNAL NEWNYM".to_string(),
+        }
+    }
+}
+
+/// A control reply line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// Status code (250 = OK, 552 = unrecognized entity, 512 = bad args).
+    pub code: u16,
+    /// Reply text.
+    pub text: String,
+}
+
+impl Reply {
+    /// `250 OK`.
+    pub fn ok() -> Reply {
+        Reply {
+            code: 250,
+            text: "OK".into(),
+        }
+    }
+
+    /// Whether the command succeeded.
+    pub fn is_ok(&self) -> bool {
+        self.code == 250
+    }
+
+    /// Formats as a wire line.
+    pub fn format(&self) -> String {
+        format!("{} {}", self.code, self.text)
+    }
+}
+
+/// The controller state machine: torrc options + explicitly built
+/// circuits + stream attachments.
+#[derive(Debug, Default)]
+pub struct TorController {
+    conf: BTreeMap<String, String>,
+    circuits: BTreeMap<u32, CircuitSpec>,
+    attachments: BTreeMap<u32, u32>,
+    next_circuit_id: u32,
+    newnym_count: u32,
+}
+
+impl TorController {
+    /// A fresh controller with Tor's defaults.
+    pub fn new() -> TorController {
+        let mut c = TorController {
+            next_circuit_id: 1,
+            ..TorController::default()
+        };
+        c.conf.insert("MaxClientCircuitsPending".into(), "32".into());
+        c.conf.insert("NewCircuitPeriod".into(), "30".into());
+        c.conf.insert("MaxCircuitDirtiness".into(), "600".into());
+        c.conf.insert("LeaveStreamsUnattached".into(), "0".into());
+        c
+    }
+
+    /// Handles one command line, returning the reply line — the loop a
+    /// stem/carml script drives.
+    pub fn handle_line(&mut self, line: &str) -> Reply {
+        match Command::parse(line) {
+            Ok(cmd) => self.handle(cmd),
+            Err(ControlError::UnknownCommand(c)) => Reply {
+                code: 510,
+                text: format!("Unrecognized command \"{c}\""),
+            },
+            Err(ControlError::BadArguments(c)) => Reply {
+                code: 512,
+                text: format!("Bad arguments to {c}"),
+            },
+        }
+    }
+
+    /// Handles a parsed command.
+    pub fn handle(&mut self, cmd: Command) -> Reply {
+        match cmd {
+            Command::SetConf(pairs) => {
+                for (k, v) in pairs {
+                    self.conf.insert(k, v);
+                }
+                Reply::ok()
+            }
+            Command::GetConf(k) => match self.conf.get(&k) {
+                Some(v) => Reply {
+                    code: 250,
+                    text: format!("{k}={v}"),
+                },
+                None => Reply {
+                    code: 552,
+                    text: format!("Unrecognized configuration key \"{k}\""),
+                },
+            },
+            Command::ExtendCircuit(path) => {
+                let id = self.next_circuit_id;
+                self.next_circuit_id += 1;
+                self.circuits.insert(
+                    id,
+                    CircuitSpec {
+                        guard: path[0],
+                        middle: path[1],
+                        exit: path[2],
+                    },
+                );
+                Reply {
+                    code: 250,
+                    text: format!("EXTENDED {id}"),
+                }
+            }
+            Command::AttachStream { stream, circuit } => {
+                if !self.circuits.contains_key(&circuit) {
+                    return Reply {
+                        code: 552,
+                        text: format!("Unknown circuit \"{circuit}\""),
+                    };
+                }
+                if self.conf.get("LeaveStreamsUnattached").map(String::as_str) != Some("1") {
+                    return Reply {
+                        code: 555,
+                        text: "Connection is not managed by controller.".into(),
+                    };
+                }
+                self.attachments.insert(stream, circuit);
+                Reply::ok()
+            }
+            Command::CloseCircuit(id) => {
+                if self.circuits.remove(&id).is_some() {
+                    self.attachments.retain(|_, c| *c != id);
+                    Reply::ok()
+                } else {
+                    Reply {
+                        code: 552,
+                        text: format!("Unknown circuit \"{id}\""),
+                    }
+                }
+            }
+            Command::SignalNewNym => {
+                self.newnym_count += 1;
+                Reply::ok()
+            }
+        }
+    }
+
+    /// The circuit a stream is attached to, if any.
+    pub fn circuit_for_stream(&self, stream: u32) -> Option<CircuitSpec> {
+        self.attachments
+            .get(&stream)
+            .and_then(|cid| self.circuits.get(cid))
+            .copied()
+    }
+
+    /// A configuration value.
+    pub fn conf(&self, key: &str) -> Option<&str> {
+        self.conf.get(key).map(String::as_str)
+    }
+
+    /// How many NEWNYM signals were received (guard rotations).
+    pub fn newnym_count(&self) -> u32 {
+        self.newnym_count
+    }
+
+    /// Translates a controller-built circuit into the simulator's
+    /// pinning config — what the paper's scripts effectively did.
+    pub fn path_config_for(&self, circuit_id: u32) -> Option<PathConfig> {
+        self.circuits.get(&circuit_id).map(|spec| PathConfig {
+            fixed_guard: Some(spec.guard),
+            fixed_middle: Some(spec.middle),
+            fixed_exit: Some(spec.exit),
+        })
+    }
+
+    /// True when the configuration pins circuits long enough for a
+    /// multi-fetch experiment (the Appendix A.3 recipe: one pending
+    /// circuit, long circuit lifetime).
+    pub fn circuits_persist(&self) -> bool {
+        let pending_ok = self
+            .conf("MaxClientCircuitsPending")
+            .and_then(|v| v.parse::<u32>().ok())
+            .is_some_and(|v| v <= 1);
+        let dirtiness_ok = self
+            .conf("MaxCircuitDirtiness")
+            .and_then(|v| v.parse::<u64>().ok())
+            .is_some_and(|v| v >= 3600);
+        pending_ok && dirtiness_ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_format_round_trip() {
+        for line in [
+            "SETCONF MaxClientCircuitsPending=1 MaxCircuitDirtiness=86400",
+            "GETCONF NewCircuitPeriod",
+            "EXTENDCIRCUIT 0 1,2,3",
+            "ATTACHSTREAM 7 1",
+            "CLOSECIRCUIT 1",
+            "SIGNAL NEWNYM",
+        ] {
+            let cmd = Command::parse(line).unwrap();
+            let cmd2 = Command::parse(&cmd.format()).unwrap();
+            assert_eq!(cmd, cmd2, "{line}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(matches!(
+            Command::parse("FROBNICATE 1"),
+            Err(ControlError::UnknownCommand(_))
+        ));
+        assert!(matches!(
+            Command::parse("SETCONF novalue"),
+            Err(ControlError::BadArguments(_))
+        ));
+        assert!(matches!(
+            Command::parse("EXTENDCIRCUIT 0 1,2"),
+            Err(ControlError::BadArguments(_))
+        ));
+        assert!(matches!(
+            Command::parse("EXTENDCIRCUIT 5 1,2,3"),
+            Err(ControlError::BadArguments(_))
+        ));
+    }
+
+    #[test]
+    fn appendix_a3_recipe() {
+        // The paper's stem/carml sequence, verbatim semantics.
+        let mut ctl = TorController::new();
+        assert!(ctl
+            .handle_line("SETCONF MaxClientCircuitsPending=1 NewCircuitPeriod=999999 MaxCircuitDirtiness=999999")
+            .is_ok());
+        assert!(ctl.handle_line("SETCONF LeaveStreamsUnattached=1").is_ok());
+        assert!(ctl.circuits_persist());
+
+        let reply = ctl.handle_line("EXTENDCIRCUIT 0 10,20,30");
+        assert_eq!(reply.code, 250);
+        assert!(reply.text.starts_with("EXTENDED"));
+        let circuit_id: u32 = reply.text.split(' ').nth(1).unwrap().parse().unwrap();
+
+        assert!(ctl
+            .handle_line(&format!("ATTACHSTREAM 42 {circuit_id}"))
+            .is_ok());
+        let spec = ctl.circuit_for_stream(42).unwrap();
+        assert_eq!(spec.guard, RelayId(10));
+        assert_eq!(spec.middle, RelayId(20));
+        assert_eq!(spec.exit, RelayId(30));
+
+        let cfg = ctl.path_config_for(circuit_id).unwrap();
+        assert_eq!(cfg.fixed_guard, Some(RelayId(10)));
+        assert_eq!(cfg.fixed_exit, Some(RelayId(30)));
+    }
+
+    #[test]
+    fn attach_requires_leave_streams_unattached() {
+        let mut ctl = TorController::new();
+        let reply = ctl.handle_line("EXTENDCIRCUIT 0 1,2,3");
+        let id: u32 = reply.text.split(' ').nth(1).unwrap().parse().unwrap();
+        // Default config: Tor manages streams itself.
+        assert_eq!(ctl.handle_line(&format!("ATTACHSTREAM 1 {id}")).code, 555);
+    }
+
+    #[test]
+    fn attach_to_unknown_circuit_fails() {
+        let mut ctl = TorController::new();
+        ctl.handle_line("SETCONF LeaveStreamsUnattached=1");
+        assert_eq!(ctl.handle_line("ATTACHSTREAM 1 99").code, 552);
+    }
+
+    #[test]
+    fn close_circuit_detaches_streams() {
+        let mut ctl = TorController::new();
+        ctl.handle_line("SETCONF LeaveStreamsUnattached=1");
+        let reply = ctl.handle_line("EXTENDCIRCUIT 0 1,2,3");
+        let id: u32 = reply.text.split(' ').nth(1).unwrap().parse().unwrap();
+        ctl.handle_line(&format!("ATTACHSTREAM 5 {id}"));
+        assert!(ctl.circuit_for_stream(5).is_some());
+        assert!(ctl.handle_line(&format!("CLOSECIRCUIT {id}")).is_ok());
+        assert!(ctl.circuit_for_stream(5).is_none());
+        assert_eq!(ctl.handle_line(&format!("CLOSECIRCUIT {id}")).code, 552);
+    }
+
+    #[test]
+    fn getconf_reads_back() {
+        let mut ctl = TorController::new();
+        let r = ctl.handle_line("GETCONF NewCircuitPeriod");
+        assert_eq!(r.text, "NewCircuitPeriod=30");
+        assert_eq!(ctl.handle_line("GETCONF NoSuchKey").code, 552);
+    }
+
+    #[test]
+    fn newnym_counts() {
+        let mut ctl = TorController::new();
+        ctl.handle_line("SIGNAL NEWNYM");
+        ctl.handle_line("SIGNAL NEWNYM");
+        assert_eq!(ctl.newnym_count(), 2);
+    }
+
+    #[test]
+    fn defaults_do_not_persist_circuits() {
+        assert!(!TorController::new().circuits_persist());
+    }
+}

@@ -1,0 +1,47 @@
+//! # ptperf-tor — the simulated Tor substrate
+//!
+//! A Tor network model sufficient for faithful pluggable-transport
+//! performance measurement:
+//!
+//! * [`consensus`] — synthetic relay population with realistic location,
+//!   bandwidth, flag, and background-load distributions;
+//! * [`relay`] — relay descriptors and load-dependent available capacity;
+//! * [`path`] — bandwidth-weighted path selection, guard persistence, and
+//!   the stem/carml-style pinning controls the paper's fixed-circuit
+//!   experiments need;
+//! * [`cell`] — real 514-byte cell and RELAY-cell codecs (the framing
+//!   overhead used by the timing model is *derived* from these);
+//! * [`onion`] — per-hop key derivation and layered encryption over real
+//!   bytes (HKDF + ChaCha20);
+//! * [`circuit`] — circuit build timing (telescoping extends), end-to-end
+//!   RTT, bottleneck capacity, and stream timing.
+//!
+//! The central mechanism reproduced from the paper: **the first hop
+//! governs circuit performance** (§4.2.1). Volunteer guards carry heavy
+//! background load; managed PT bridges do not; middles and exits carry
+//! proportionally less. Everything downstream (why obfs4 can beat vanilla
+//! Tor, why fixing the circuit equalizes them) emerges from that.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod circuit;
+pub mod control;
+pub mod consensus;
+pub mod ntor;
+pub mod onion;
+pub mod path;
+pub mod relay;
+pub mod socks;
+pub mod stream;
+
+pub use cell::{Cell, CellCommand, RelayCell, RelayCommand, CELL_LEN, RELAY_DATA_LEN};
+pub use control::{Command as ControlCommand, Reply as ControlReply, TorController};
+pub use circuit::{access_capacity, Circuit, CircuitOptions, Via};
+pub use consensus::{Consensus, ConsensusParams};
+pub use ntor::{ClientHandshake, NtorKeys, RelayIdentity};
+pub use onion::{HopCrypto, OnionStack};
+pub use path::{CircuitSpec, PathConfig, PathError, PathSelector, Role, PRIMARY_GUARDS, SAMPLED_GUARDS};
+pub use relay::{Relay, RelayFlags, RelayId};
+pub use stream::{StreamTransfer, SENDME_INCREMENT};

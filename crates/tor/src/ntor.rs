@@ -1,0 +1,317 @@
+//! The ntor circuit-extension handshake (tor-spec §5.1.4) — the key
+//! exchange run once per hop when a circuit is built or extended, whose
+//! round trips are what [`crate::Circuit`]'s telescoping build-time
+//! model charges for.
+//!
+//! Implemented over real bytes: the CREATE2/CREATED2 payload codecs, the
+//! X25519 double-DH, and the HMAC-based KDF producing the per-hop key
+//! seed that [`crate::OnionStack`] consumes. The tests prove the full
+//! loop: client onionskin → relay processing → client finishing → both
+//! sides hold identical onion keys and the client has authenticated the
+//! relay.
+
+use ptperf_crypto::{ct_eq, hmac_sha256, Keypair};
+
+/// Protocol identifier (tor-spec).
+pub const PROTOID: &[u8] = b"ntor-curve25519-sha256-1";
+
+/// Relay identity fingerprint length.
+pub const ID_LEN: usize = 20;
+
+/// CREATE2/EXTEND2 onionskin: `node_id ‖ B ‖ X` (84 bytes).
+pub const ONIONSKIN_LEN: usize = ID_LEN + 32 + 32;
+
+/// CREATED2 reply: `Y ‖ auth` (64 bytes).
+pub const REPLY_LEN: usize = 32 + 32;
+
+/// A relay's ntor identity: fingerprint + static onion key.
+pub struct RelayIdentity {
+    /// The 20-byte identity fingerprint.
+    pub node_id: [u8; ID_LEN],
+    /// The static onion keypair (`B = b·G`).
+    pub keypair: Keypair,
+}
+
+impl RelayIdentity {
+    /// Derives a deterministic identity from a seed (the simulator's
+    /// stand-in for the relay's persistent keys).
+    pub fn from_seed(seed: u64) -> RelayIdentity {
+        let mut rng = ptperf_sim::SimRng::new(seed ^ 0x6e74_6f72_0000_0000);
+        let mut node_id = [0u8; ID_LEN];
+        for b in node_id.iter_mut() {
+            *b = rng.next_u64() as u8;
+        }
+        let mut secret = [0u8; 32];
+        for b in secret.iter_mut() {
+            *b = rng.next_u64() as u8;
+        }
+        RelayIdentity {
+            node_id,
+            keypair: Keypair::from_secret(secret),
+        }
+    }
+}
+
+/// Handshake errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NtorError {
+    /// Payload had the wrong length.
+    BadLength(usize),
+    /// The onionskin addressed a different relay.
+    WrongRelay,
+    /// The server's auth tag failed verification.
+    BadAuth,
+}
+
+impl std::fmt::Display for NtorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NtorError::BadLength(n) => write!(f, "ntor payload has bad length {n}"),
+            NtorError::WrongRelay => write!(f, "onionskin addressed to another relay"),
+            NtorError::BadAuth => write!(f, "ntor auth tag invalid"),
+        }
+    }
+}
+
+impl std::error::Error for NtorError {}
+
+/// Client state held between sending CREATE2 and receiving CREATED2.
+pub struct ClientHandshake {
+    ephemeral: Keypair,
+    relay_id: [u8; ID_LEN],
+    relay_onion_key: [u8; 32],
+}
+
+/// The output of a completed handshake: the onion-layer key seed and the
+/// derived authentication tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NtorKeys {
+    /// Key seed for the hop's [`crate::HopCrypto`].
+    pub key_seed: [u8; 32],
+    /// Mutual-auth tag (the server sends it; the client verifies).
+    pub auth: [u8; 32],
+}
+
+impl ClientHandshake {
+    /// Starts a handshake toward a relay; returns the state and the
+    /// CREATE2 onionskin bytes.
+    pub fn start(
+        relay_id: [u8; ID_LEN],
+        relay_onion_key: [u8; 32],
+        ephemeral_secret: [u8; 32],
+    ) -> (ClientHandshake, Vec<u8>) {
+        let ephemeral = Keypair::from_secret(ephemeral_secret);
+        let mut onionskin = Vec::with_capacity(ONIONSKIN_LEN);
+        onionskin.extend_from_slice(&relay_id);
+        onionskin.extend_from_slice(&relay_onion_key);
+        onionskin.extend_from_slice(&ephemeral.public);
+        (
+            ClientHandshake {
+                ephemeral,
+                relay_id,
+                relay_onion_key,
+            },
+            onionskin,
+        )
+    }
+
+    /// Processes the CREATED2 reply; verifies the relay's auth tag and
+    /// returns the shared keys.
+    pub fn finish(self, reply: &[u8]) -> Result<NtorKeys, NtorError> {
+        if reply.len() != REPLY_LEN {
+            return Err(NtorError::BadLength(reply.len()));
+        }
+        let server_eph: [u8; 32] = reply[..32].try_into().unwrap();
+        let auth: [u8; 32] = reply[32..].try_into().unwrap();
+        let xy = self.ephemeral.diffie_hellman(&server_eph);
+        let xb = self.ephemeral.diffie_hellman(&self.relay_onion_key);
+        let keys = derive(
+            &xy,
+            &xb,
+            &self.relay_id,
+            &self.relay_onion_key,
+            &self.ephemeral.public,
+            &server_eph,
+        );
+        if !ct_eq(&keys.auth, &auth) {
+            return Err(NtorError::BadAuth);
+        }
+        Ok(keys)
+    }
+}
+
+/// Relay side: processes a CREATE2 onionskin; returns the CREATED2 reply
+/// bytes and the shared keys.
+pub fn server_handshake(
+    identity: &RelayIdentity,
+    onionskin: &[u8],
+    ephemeral_secret: [u8; 32],
+) -> Result<(Vec<u8>, NtorKeys), NtorError> {
+    if onionskin.len() != ONIONSKIN_LEN {
+        return Err(NtorError::BadLength(onionskin.len()));
+    }
+    let (id, rest) = onionskin.split_at(ID_LEN);
+    let (b, x) = rest.split_at(32);
+    if !ct_eq(id, &identity.node_id) || !ct_eq(b, &identity.keypair.public) {
+        return Err(NtorError::WrongRelay);
+    }
+    let client_pub: [u8; 32] = x.try_into().unwrap();
+    let server_eph = Keypair::from_secret(ephemeral_secret);
+    let xy = server_eph.diffie_hellman(&client_pub);
+    let xb = identity.keypair.diffie_hellman(&client_pub);
+    let keys = derive(
+        &xy,
+        &xb,
+        &identity.node_id,
+        &identity.keypair.public,
+        &client_pub,
+        &server_eph.public,
+    );
+    let mut reply = Vec::with_capacity(REPLY_LEN);
+    reply.extend_from_slice(&server_eph.public);
+    reply.extend_from_slice(&keys.auth);
+    Ok((reply, keys))
+}
+
+fn derive(
+    xy: &[u8; 32],
+    xb: &[u8; 32],
+    node_id: &[u8; ID_LEN],
+    b: &[u8; 32],
+    x: &[u8; 32],
+    y: &[u8; 32],
+) -> NtorKeys {
+    // secret_input = EXP(Y,x) | EXP(B,x) | ID | B | X | Y | PROTOID
+    let mut si = Vec::with_capacity(32 * 4 + ID_LEN + PROTOID.len());
+    si.extend_from_slice(xy);
+    si.extend_from_slice(xb);
+    si.extend_from_slice(node_id);
+    si.extend_from_slice(b);
+    si.extend_from_slice(x);
+    si.extend_from_slice(y);
+    si.extend_from_slice(PROTOID);
+
+    let mut key_label = PROTOID.to_vec();
+    key_label.extend_from_slice(b":key_extract");
+    let key_seed = hmac_sha256(&key_label, &si);
+
+    // auth_input = verify | ID | B | Y | X | PROTOID | "Server"
+    let mut verify_label = PROTOID.to_vec();
+    verify_label.extend_from_slice(b":verify");
+    let verify = hmac_sha256(&verify_label, &si);
+    let mut ai = Vec::new();
+    ai.extend_from_slice(&verify);
+    ai.extend_from_slice(node_id);
+    ai.extend_from_slice(b);
+    ai.extend_from_slice(y);
+    ai.extend_from_slice(x);
+    ai.extend_from_slice(PROTOID);
+    ai.extend_from_slice(b"Server");
+    let mut mac_label = PROTOID.to_vec();
+    mac_label.extend_from_slice(b":mac");
+    let auth = hmac_sha256(&mac_label, &ai);
+
+    NtorKeys { key_seed, auth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::onion::OnionStack;
+
+    #[test]
+    fn full_handshake_agrees() {
+        let relay = RelayIdentity::from_seed(1);
+        let (client, onionskin) =
+            ClientHandshake::start(relay.node_id, relay.keypair.public, [7u8; 32]);
+        assert_eq!(onionskin.len(), ONIONSKIN_LEN);
+        let (reply, server_keys) = server_handshake(&relay, &onionskin, [9u8; 32]).unwrap();
+        assert_eq!(reply.len(), REPLY_LEN);
+        let client_keys = client.finish(&reply).unwrap();
+        assert_eq!(client_keys, server_keys);
+    }
+
+    #[test]
+    fn derived_keys_drive_the_onion_layer() {
+        // The handshake's key seed must plug into HopCrypto and yield a
+        // working onion layer end to end.
+        let relay = RelayIdentity::from_seed(2);
+        let (client, onionskin) =
+            ClientHandshake::start(relay.node_id, relay.keypair.public, [3u8; 32]);
+        let (reply, server_keys) = server_handshake(&relay, &onionskin, [4u8; 32]).unwrap();
+        let client_keys = client.finish(&reply).unwrap();
+
+        let mut client_onion = OnionStack::new(&[client_keys.key_seed]);
+        let mut relay_onion = OnionStack::new(&[server_keys.key_seed]);
+        let mut payload = [0xABu8; crate::cell::CELL_PAYLOAD_LEN];
+        let original = payload;
+        client_onion.encrypt_outbound(&mut payload);
+        relay_onion.peel_at(0, &mut payload);
+        assert_eq!(payload, original);
+    }
+
+    #[test]
+    fn wrong_relay_rejects_onionskin() {
+        let relay = RelayIdentity::from_seed(3);
+        let other = RelayIdentity::from_seed(4);
+        let (_, onionskin) =
+            ClientHandshake::start(other.node_id, other.keypair.public, [5u8; 32]);
+        assert_eq!(
+            server_handshake(&relay, &onionskin, [6u8; 32]).unwrap_err(),
+            NtorError::WrongRelay
+        );
+    }
+
+    #[test]
+    fn tampered_reply_rejected() {
+        let relay = RelayIdentity::from_seed(5);
+        let (client, onionskin) =
+            ClientHandshake::start(relay.node_id, relay.keypair.public, [8u8; 32]);
+        let (mut reply, _) = server_handshake(&relay, &onionskin, [9u8; 32]).unwrap();
+        reply[40] ^= 0x01; // flip an auth bit
+        assert_eq!(client.finish(&reply).unwrap_err(), NtorError::BadAuth);
+    }
+
+    #[test]
+    fn impostor_without_onion_key_cannot_answer() {
+        let relay = RelayIdentity::from_seed(6);
+        let impostor = RelayIdentity::from_seed(7);
+        let (client, onionskin) =
+            ClientHandshake::start(relay.node_id, relay.keypair.public, [1u8; 32]);
+        // The impostor forges a reply using its own keys by forcing the
+        // id/key check to pass structurally: it simply cannot compute the
+        // right auth without `b`.
+        let forged = {
+            let mut fake_relay = RelayIdentity::from_seed(7);
+            fake_relay.node_id = relay.node_id;
+            // Keep the impostor's keypair; rewrite the onionskin so the
+            // structural check passes against the impostor's key.
+            let mut skin = onionskin.clone();
+            skin[ID_LEN..ID_LEN + 32].copy_from_slice(&impostor.keypair.public);
+            server_handshake(&fake_relay, &skin, [2u8; 32]).unwrap().0
+        };
+        assert_eq!(client.finish(&forged).unwrap_err(), NtorError::BadAuth);
+    }
+
+    #[test]
+    fn bad_lengths_rejected() {
+        let relay = RelayIdentity::from_seed(8);
+        assert_eq!(
+            server_handshake(&relay, &[0u8; 10], [0u8; 32]).unwrap_err(),
+            NtorError::BadLength(10)
+        );
+        let (client, _) = ClientHandshake::start(relay.node_id, relay.keypair.public, [1u8; 32]);
+        assert_eq!(client.finish(&[0u8; 5]).unwrap_err(), NtorError::BadLength(5));
+    }
+
+    #[test]
+    fn distinct_sessions_get_distinct_keys() {
+        let relay = RelayIdentity::from_seed(9);
+        let run = |cs: [u8; 32], ss: [u8; 32]| {
+            let (client, skin) = ClientHandshake::start(relay.node_id, relay.keypair.public, cs);
+            let (reply, _) = server_handshake(&relay, &skin, ss).unwrap();
+            client.finish(&reply).unwrap().key_seed
+        };
+        assert_ne!(run([1u8; 32], [2u8; 32]), run([3u8; 32], [4u8; 32]));
+    }
+}

@@ -1,0 +1,205 @@
+//! Onion layering: per-hop key derivation and layered encryption of relay
+//! cell payloads.
+//!
+//! Each circuit hop holds a pair of directional ChaCha20 keys derived via
+//! HKDF from an ntor-style shared secret. The client onion-encrypts a
+//! relay payload once per hop (exit layer innermost); each relay peels one
+//! layer. This module implements that with real bytes so tests can verify
+//! the end-to-end property the protocol relies on: only the exit sees
+//! plaintext, any single missing layer yields garbage.
+
+use ptperf_crypto::{hkdf, ChaCha20};
+
+use crate::cell::CELL_PAYLOAD_LEN;
+
+/// Directional cipher state for one hop.
+pub struct HopCrypto {
+    forward: ChaCha20,
+    backward: ChaCha20,
+}
+
+impl HopCrypto {
+    /// Derives hop keys from a shared secret and circuit context, following
+    /// the ntor pattern: HKDF(secret, info) → Kf ‖ Kb ‖ nonce material.
+    pub fn derive(shared_secret: &[u8; 32], context: &[u8]) -> HopCrypto {
+        let mut okm = [0u8; 88]; // 32 + 32 key bytes + 2 × 12 nonce bytes
+        hkdf(b"ptperf-onion-v1", shared_secret, context, &mut okm);
+        let kf: [u8; 32] = okm[0..32].try_into().unwrap();
+        let kb: [u8; 32] = okm[32..64].try_into().unwrap();
+        let nf: [u8; 12] = okm[64..76].try_into().unwrap();
+        let nb: [u8; 12] = okm[76..88].try_into().unwrap();
+        HopCrypto {
+            forward: ChaCha20::new(&kf, &nf, 0),
+            backward: ChaCha20::new(&kb, &nb, 0),
+        }
+    }
+
+    /// Applies the forward (client→exit) keystream in place.
+    pub fn forward(&mut self, payload: &mut [u8]) {
+        self.forward.apply(payload);
+    }
+
+    /// Applies the backward (exit→client) keystream in place.
+    pub fn backward(&mut self, payload: &mut [u8]) {
+        self.backward.apply(payload);
+    }
+}
+
+/// The client side of a circuit's onion crypto: one [`HopCrypto`] per hop,
+/// guard first.
+pub struct OnionStack {
+    hops: Vec<HopCrypto>,
+}
+
+impl OnionStack {
+    /// Builds the stack from per-hop shared secrets (guard first).
+    pub fn new(shared_secrets: &[[u8; 32]]) -> OnionStack {
+        OnionStack {
+            hops: shared_secrets
+                .iter()
+                .enumerate()
+                .map(|(i, s)| HopCrypto::derive(s, &[i as u8]))
+                .collect(),
+        }
+    }
+
+    /// Number of hops.
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// True if the stack has no hops.
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// Onion-encrypts a relay payload for sending toward the exit:
+    /// innermost layer (exit) first, then middle, then guard, so peeling
+    /// in path order recovers the plaintext at the exit.
+    pub fn encrypt_outbound(&mut self, payload: &mut [u8; CELL_PAYLOAD_LEN]) {
+        for hop in self.hops.iter_mut().rev() {
+            hop.forward(payload);
+        }
+    }
+
+    /// Removes all layers from a payload received from the guard (each
+    /// relay added its backward layer in path order).
+    pub fn decrypt_inbound(&mut self, payload: &mut [u8; CELL_PAYLOAD_LEN]) {
+        for hop in self.hops.iter_mut() {
+            hop.backward(payload);
+        }
+    }
+
+    /// Peels a single outbound layer, as relay `hop_index` would.
+    /// Exposed for tests that walk a cell hop by hop.
+    pub fn peel_at(&mut self, hop_index: usize, payload: &mut [u8; CELL_PAYLOAD_LEN]) {
+        self.hops[hop_index].forward(payload);
+    }
+
+    /// Adds a single inbound layer, as relay `hop_index` would.
+    pub fn wrap_at(&mut self, hop_index: usize, payload: &mut [u8; CELL_PAYLOAD_LEN]) {
+        self.hops[hop_index].backward(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{RelayCell, RelayCommand};
+
+    fn secrets(n: usize) -> Vec<[u8; 32]> {
+        (0..n)
+            .map(|i| {
+                let mut s = [0u8; 32];
+                for (j, b) in s.iter_mut().enumerate() {
+                    *b = (i * 37 + j) as u8;
+                }
+                s
+            })
+            .collect()
+    }
+
+    /// Simulates the relays: a client-encrypted payload travels the path,
+    /// each hop peeling one layer; only after the last peel is the
+    /// plaintext recovered.
+    #[test]
+    fn outbound_onion_peels_to_plaintext_only_at_exit() {
+        let s = secrets(3);
+        let mut client = OnionStack::new(&s);
+        // The relays derive the same per-hop keys from the same secrets.
+        let mut relays = OnionStack::new(&s);
+
+        let rc = RelayCell::new(RelayCommand::Data, 3, b"the payload".to_vec());
+        let plain = rc.encode();
+        let mut wire = plain;
+        client.encrypt_outbound(&mut wire);
+        assert_ne!(wire[..], plain[..], "payload must be encrypted on the wire");
+
+        // Guard peels: still ciphertext.
+        relays.peel_at(0, &mut wire);
+        assert_ne!(wire[..], plain[..], "middle must not see plaintext");
+        // Middle peels: still ciphertext.
+        relays.peel_at(1, &mut wire);
+        assert_ne!(wire[..], plain[..], "exit layer still applied");
+        // Exit peels: plaintext.
+        relays.peel_at(2, &mut wire);
+        assert_eq!(wire[..], plain[..]);
+        let back = RelayCell::decode(&wire).unwrap();
+        assert!(back.digest_ok());
+        assert_eq!(back.data, b"the payload");
+    }
+
+    #[test]
+    fn inbound_onion_unwraps_at_client() {
+        let s = secrets(3);
+        let mut client = OnionStack::new(&s);
+        let mut relays = OnionStack::new(&s);
+
+        let rc = RelayCell::new(RelayCommand::Data, 9, b"response".to_vec());
+        let plain = rc.encode();
+        let mut wire = plain;
+        // Exit wraps first, then middle, then guard (travel toward client).
+        relays.wrap_at(2, &mut wire);
+        relays.wrap_at(1, &mut wire);
+        relays.wrap_at(0, &mut wire);
+        assert_ne!(wire[..], plain[..]);
+        client.decrypt_inbound(&mut wire);
+        assert_eq!(wire[..], plain[..]);
+    }
+
+    #[test]
+    fn missing_layer_yields_garbage() {
+        let s = secrets(3);
+        let mut client = OnionStack::new(&s);
+        let mut relays = OnionStack::new(&s);
+        let rc = RelayCell::new(RelayCommand::Data, 1, b"x".to_vec());
+        let plain = rc.encode();
+        let mut wire = plain;
+        client.encrypt_outbound(&mut wire);
+        relays.peel_at(0, &mut wire);
+        // Skip the middle hop, peel as exit: garbage.
+        relays.peel_at(2, &mut wire);
+        assert_ne!(wire[..], plain[..]);
+    }
+
+    #[test]
+    fn different_circuits_use_different_keystreams() {
+        let mut a = OnionStack::new(&secrets(1));
+        let mut b = OnionStack::new(&[[9u8; 32]]);
+        let mut pa = [0u8; CELL_PAYLOAD_LEN];
+        let mut pb = [0u8; CELL_PAYLOAD_LEN];
+        a.encrypt_outbound(&mut pa);
+        b.encrypt_outbound(&mut pb);
+        assert_ne!(pa[..], pb[..]);
+    }
+
+    #[test]
+    fn keystream_advances_between_cells() {
+        let mut client = OnionStack::new(&secrets(1));
+        let mut c1 = [0u8; CELL_PAYLOAD_LEN];
+        let mut c2 = [0u8; CELL_PAYLOAD_LEN];
+        client.encrypt_outbound(&mut c1);
+        client.encrypt_outbound(&mut c2);
+        assert_ne!(c1[..], c2[..], "two zero cells must encrypt differently");
+    }
+}

@@ -1,0 +1,414 @@
+//! Path selection: bandwidth-weighted relay choice, guard persistence, and
+//! the circuit-pinning controls the paper's experiments rely on
+//! (stem/carml-style `MaxCircuitDirtiness`, fixed guard, fixed circuit —
+//! Appendix A.3).
+
+use ptperf_sim::SimRng;
+
+use crate::consensus::Consensus;
+use crate::relay::{Relay, RelayId};
+
+/// Which position a relay occupies in a circuit. Utilization differs by
+/// role: guards carry most of the Tor network's client traffic (the
+/// paper's §4.2.1 explanation), middles and exits less so.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// First hop.
+    Guard,
+    /// Second hop.
+    Middle,
+    /// Third hop.
+    Exit,
+}
+
+impl Role {
+    /// Scales a relay's sampled background utilization for this role.
+    ///
+    /// Guards see the relay's full background load; middles and exits see
+    /// less because client traffic fans out across many circuits beyond
+    /// the first hop and exit selection is strongly bandwidth-weighted.
+    pub fn utilization_factor(self) -> f64 {
+        match self {
+            Role::Guard => 1.0,
+            Role::Middle => 0.45,
+            Role::Exit => 0.65,
+        }
+    }
+}
+
+/// A chosen 3-hop circuit path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitSpec {
+    /// First hop (guard relay or PT bridge registered in the consensus).
+    pub guard: RelayId,
+    /// Second hop.
+    pub middle: RelayId,
+    /// Third hop.
+    pub exit: RelayId,
+}
+
+/// Pinning configuration, mirroring what the paper achieved with stem and
+/// carml (fixed guard / fixed full circuit; Appendix A.3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PathConfig {
+    /// Force this relay as the first hop.
+    pub fixed_guard: Option<RelayId>,
+    /// Force this relay as the second hop.
+    pub fixed_middle: Option<RelayId>,
+    /// Force this relay as the third hop.
+    pub fixed_exit: Option<RelayId>,
+}
+
+/// Path-selection error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathError {
+    /// No relay with the required flag remains after exclusions.
+    NoEligibleRelay(Role),
+}
+
+impl std::fmt::Display for PathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PathError::NoEligibleRelay(role) => {
+                write!(f, "no eligible relay for role {role:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+/// How many guards a client samples up front (guard-spec's
+/// `SAMPLED_GUARDS`, simplified).
+pub const SAMPLED_GUARDS: usize = 20;
+
+/// How many sampled guards are "primary" — tried in order until one is
+/// reachable.
+pub const PRIMARY_GUARDS: usize = 3;
+
+/// Selects circuit paths for one client, with Tor's guard-spec behavior:
+/// a bandwidth-weighted *sampled set* of guards is drawn once, the first
+/// few are primaries tried in order, and the client sticks to its
+/// current primary across circuits ("for a client, the guard node does
+/// not change often", §4.2.1). Marking a guard down fails over to the
+/// next sampled guard.
+#[derive(Debug)]
+pub struct PathSelector {
+    config: PathConfig,
+    sampled_guards: Vec<RelayId>,
+    down: Vec<RelayId>,
+}
+
+impl PathSelector {
+    /// A selector with default (unpinned) configuration.
+    pub fn new() -> Self {
+        PathSelector {
+            config: PathConfig::default(),
+            sampled_guards: Vec::new(),
+            down: Vec::new(),
+        }
+    }
+
+    /// A selector with pinning applied.
+    pub fn with_config(config: PathConfig) -> Self {
+        PathSelector {
+            config,
+            sampled_guards: Vec::new(),
+            down: Vec::new(),
+        }
+    }
+
+    /// The guard this client is currently pinned or settled on, if any:
+    /// the pin, else the first sampled guard not marked down.
+    pub fn current_guard(&self) -> Option<RelayId> {
+        self.config.fixed_guard.or_else(|| {
+            self.sampled_guards
+                .iter()
+                .find(|g| !self.down.contains(g))
+                .copied()
+        })
+    }
+
+    /// The client's sampled guard list (empty until the first selection).
+    pub fn sampled_guards(&self) -> &[RelayId] {
+        &self.sampled_guards
+    }
+
+    /// The primary guards: the first [`PRIMARY_GUARDS`] of the sample.
+    pub fn primary_guards(&self) -> &[RelayId] {
+        &self.sampled_guards[..self.sampled_guards.len().min(PRIMARY_GUARDS)]
+    }
+
+    /// Marks a guard unreachable; subsequent selections fail over to the
+    /// next sampled guard.
+    pub fn mark_guard_down(&mut self, guard: RelayId) {
+        if !self.down.contains(&guard) {
+            self.down.push(guard);
+        }
+    }
+
+    /// Marks a guard reachable again.
+    pub fn mark_guard_up(&mut self, guard: RelayId) {
+        self.down.retain(|g| *g != guard);
+    }
+
+    /// Drops guard state entirely (a "new identity" in Tor terms): the
+    /// next selection samples a fresh guard list.
+    pub fn rotate_guard(&mut self) {
+        self.sampled_guards.clear();
+        self.down.clear();
+    }
+
+    fn ensure_sampled(&mut self, consensus: &Consensus, rng: &mut SimRng) {
+        if !self.sampled_guards.is_empty() {
+            return;
+        }
+        // Bandwidth-weighted sampling without replacement.
+        let mut taken: Vec<RelayId> = Vec::new();
+        for _ in 0..SAMPLED_GUARDS {
+            match weighted_pick(
+                rng,
+                consensus.relays(),
+                |r| r.flags.guard && r.flags.fast,
+                &taken,
+            ) {
+                Some(g) => taken.push(g),
+                None => break, // consensus has fewer eligible guards
+            }
+        }
+        self.sampled_guards = taken;
+    }
+
+    /// Picks a circuit path.
+    ///
+    /// Bandwidth-weighted without replacement; honors pinning; keeps the
+    /// persistent (primary) guard across calls.
+    pub fn select(&mut self, consensus: &Consensus, rng: &mut SimRng) -> Result<CircuitSpec, PathError> {
+        let guard = match self.config.fixed_guard {
+            Some(g) => g,
+            None => {
+                self.ensure_sampled(consensus, rng);
+                self.current_guard()
+                    .ok_or(PathError::NoEligibleRelay(Role::Guard))?
+            }
+        };
+        let exit = match self.config.fixed_exit {
+            Some(e) => e,
+            None => weighted_pick(rng, consensus.relays(), |r| r.flags.exit, &[guard])
+                .ok_or(PathError::NoEligibleRelay(Role::Exit))?,
+        };
+        let middle = match self.config.fixed_middle {
+            Some(m) => m,
+            None => weighted_pick(rng, consensus.relays(), |_| true, &[guard, exit])
+                .ok_or(PathError::NoEligibleRelay(Role::Middle))?,
+        };
+        Ok(CircuitSpec {
+            guard,
+            middle,
+            exit,
+        })
+    }
+}
+
+impl Default for PathSelector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bandwidth-weighted sample over relays passing `filter`, excluding ids in
+/// `exclude`. Returns `None` when nothing qualifies.
+fn weighted_pick(
+    rng: &mut SimRng,
+    relays: &[Relay],
+    filter: impl Fn(&Relay) -> bool,
+    exclude: &[RelayId],
+) -> Option<RelayId> {
+    let total: f64 = relays
+        .iter()
+        .filter(|r| filter(r) && !exclude.contains(&r.id))
+        .map(|r| r.bandwidth_bps)
+        .sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut target = rng.next_f64() * total;
+    for r in relays {
+        if !filter(r) || exclude.contains(&r.id) {
+            continue;
+        }
+        target -= r.bandwidth_bps;
+        if target <= 0.0 {
+            return Some(r.id);
+        }
+    }
+    // Floating-point tail: return the last eligible relay.
+    relays
+        .iter()
+        .rev()
+        .find(|r| filter(r) && !exclude.contains(&r.id))
+        .map(|r| r.id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptperf_sim::SimRng;
+
+    fn consensus(seed: u64) -> Consensus {
+        let mut rng = SimRng::new(seed);
+        Consensus::generate(&mut rng)
+    }
+
+    #[test]
+    fn selects_distinct_relays() {
+        let c = consensus(1);
+        let mut rng = SimRng::new(2);
+        let mut sel = PathSelector::new();
+        for _ in 0..200 {
+            let spec = sel.select(&c, &mut rng).unwrap();
+            assert_ne!(spec.guard, spec.middle);
+            assert_ne!(spec.guard, spec.exit);
+            assert_ne!(spec.middle, spec.exit);
+        }
+    }
+
+    #[test]
+    fn guard_persists_across_circuits() {
+        let c = consensus(3);
+        let mut rng = SimRng::new(4);
+        let mut sel = PathSelector::new();
+        let first = sel.select(&c, &mut rng).unwrap();
+        for _ in 0..50 {
+            let spec = sel.select(&c, &mut rng).unwrap();
+            assert_eq!(spec.guard, first.guard);
+        }
+    }
+
+    #[test]
+    fn rotate_guard_resamples() {
+        let c = consensus(5);
+        let mut rng = SimRng::new(6);
+        let mut sel = PathSelector::new();
+        let first = sel.select(&c, &mut rng).unwrap().guard;
+        let mut changed = false;
+        for _ in 0..20 {
+            sel.rotate_guard();
+            if sel.select(&c, &mut rng).unwrap().guard != first {
+                changed = true;
+                break;
+            }
+        }
+        assert!(changed, "guard never changed after 20 rotations");
+    }
+
+    #[test]
+    fn guard_sample_has_spec_size_and_no_duplicates() {
+        let c = consensus(21);
+        let mut rng = SimRng::new(22);
+        let mut sel = PathSelector::new();
+        sel.select(&c, &mut rng).unwrap();
+        let sample = sel.sampled_guards();
+        assert_eq!(sample.len(), SAMPLED_GUARDS);
+        let mut dedup = sample.to_vec();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), sample.len(), "duplicate guards in sample");
+        assert_eq!(sel.primary_guards().len(), PRIMARY_GUARDS);
+        assert_eq!(sel.primary_guards()[0], sel.current_guard().unwrap());
+    }
+
+    #[test]
+    fn guard_failover_walks_the_sample_in_order() {
+        let c = consensus(23);
+        let mut rng = SimRng::new(24);
+        let mut sel = PathSelector::new();
+        let first = sel.select(&c, &mut rng).unwrap().guard;
+        let sample = sel.sampled_guards().to_vec();
+        assert_eq!(first, sample[0]);
+
+        sel.mark_guard_down(sample[0]);
+        assert_eq!(sel.select(&c, &mut rng).unwrap().guard, sample[1]);
+        sel.mark_guard_down(sample[1]);
+        assert_eq!(sel.select(&c, &mut rng).unwrap().guard, sample[2]);
+        // Recovery restores the original primary.
+        sel.mark_guard_up(sample[0]);
+        assert_eq!(sel.select(&c, &mut rng).unwrap().guard, sample[0]);
+    }
+
+    #[test]
+    fn all_guards_down_is_an_error() {
+        let c = consensus(25);
+        let mut rng = SimRng::new(26);
+        let mut sel = PathSelector::new();
+        sel.select(&c, &mut rng).unwrap();
+        for g in sel.sampled_guards().to_vec() {
+            sel.mark_guard_down(g);
+        }
+        assert_eq!(
+            sel.select(&c, &mut rng).unwrap_err(),
+            PathError::NoEligibleRelay(Role::Guard)
+        );
+    }
+
+    #[test]
+    fn middles_and_exits_vary() {
+        let c = consensus(7);
+        let mut rng = SimRng::new(8);
+        let mut sel = PathSelector::new();
+        let mut middles = std::collections::HashSet::new();
+        for _ in 0..100 {
+            middles.insert(sel.select(&c, &mut rng).unwrap().middle);
+        }
+        assert!(middles.len() > 20, "only {} distinct middles", middles.len());
+    }
+
+    #[test]
+    fn pinning_is_honored() {
+        let c = consensus(9);
+        let mut rng = SimRng::new(10);
+        let cfg = PathConfig {
+            fixed_guard: Some(RelayId(5)),
+            fixed_middle: Some(RelayId(6)),
+            fixed_exit: Some(RelayId(7)),
+        };
+        let mut sel = PathSelector::with_config(cfg);
+        let spec = sel.select(&c, &mut rng).unwrap();
+        assert_eq!(
+            spec,
+            CircuitSpec {
+                guard: RelayId(5),
+                middle: RelayId(6),
+                exit: RelayId(7)
+            }
+        );
+    }
+
+    #[test]
+    fn selection_is_bandwidth_biased() {
+        let c = consensus(11);
+        let mut rng = SimRng::new(12);
+        // Mean bandwidth of selected exits should exceed the population mean.
+        let pop_mean: f64 = c.exits().map(|r| r.bandwidth_bps).sum::<f64>()
+            / c.exits().count() as f64;
+        let mut sel = PathSelector::new();
+        let n = 400;
+        let mean_sel: f64 = (0..n)
+            .map(|_| {
+                let spec = sel.select(&c, &mut rng).unwrap();
+                c.relay(spec.exit).bandwidth_bps
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            mean_sel > pop_mean * 1.3,
+            "selected mean {mean_sel:.0} vs population {pop_mean:.0}"
+        );
+    }
+
+    #[test]
+    fn guard_role_sees_most_load() {
+        assert!(Role::Guard.utilization_factor() > Role::Exit.utilization_factor());
+        assert!(Role::Exit.utilization_factor() > Role::Middle.utilization_factor());
+    }
+}

@@ -1,0 +1,96 @@
+//! Relay descriptors and flags.
+//!
+//! A relay is the unit of the simulated Tor network: a host with a
+//! location, an advertised bandwidth, directory flags, and a sampled
+//! background utilization (volunteer relays carry real user traffic; our
+//! measurement flows only get what is left — the mechanism behind the
+//! paper's §4.2.1 finding).
+
+use ptperf_sim::{effective_capacity, Location};
+
+/// Identifier of a relay within a [`crate::Consensus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelayId(pub u32);
+
+impl std::fmt::Display for RelayId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "relay#{}", self.0)
+    }
+}
+
+/// Directory flags, a subset of the real consensus flags that matter for
+/// path selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RelayFlags {
+    /// Eligible as the first hop of a circuit.
+    pub guard: bool,
+    /// Permits exit traffic to the public Internet.
+    pub exit: bool,
+    /// Meets the bandwidth threshold for general use.
+    pub fast: bool,
+    /// Long-lived enough for long-running streams.
+    pub stable: bool,
+}
+
+/// A relay descriptor.
+#[derive(Debug, Clone)]
+pub struct Relay {
+    /// Identity within the consensus.
+    pub id: RelayId,
+    /// Geographic location (datacenter region).
+    pub location: Location,
+    /// Advertised bandwidth in bytes per second.
+    pub bandwidth_bps: f64,
+    /// Directory flags.
+    pub flags: RelayFlags,
+    /// Background utilization in `[0, 1)`: the fraction of capacity
+    /// consumed by other users' traffic.
+    pub utilization: f64,
+}
+
+impl Relay {
+    /// Capacity available to a foreground measurement flow, given an
+    /// additional load multiplier (e.g. from a [`ptperf_sim::LoadTimeline`]).
+    pub fn available_bps(&self, load_multiplier: f64) -> f64 {
+        let util = (self.utilization * load_multiplier).clamp(0.0, 0.99);
+        effective_capacity(self.bandwidth_bps, util)
+    }
+
+    /// Convenience: available capacity with no extra load.
+    pub fn idle_available_bps(&self) -> f64 {
+        self.available_bps(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn relay(bw: f64, util: f64) -> Relay {
+        Relay {
+            id: RelayId(0),
+            location: Location::Frankfurt,
+            bandwidth_bps: bw,
+            flags: RelayFlags::default(),
+            utilization: util,
+        }
+    }
+
+    #[test]
+    fn available_capacity_reflects_utilization() {
+        let r = relay(100.0, 0.5);
+        assert_eq!(r.idle_available_bps(), 50.0);
+    }
+
+    #[test]
+    fn load_multiplier_scales_utilization() {
+        let r = relay(100.0, 0.3);
+        assert!((r.available_bps(2.0) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overload_clamps_but_never_zeroes() {
+        let r = relay(100.0, 0.5);
+        assert!(r.available_bps(10.0) >= 1.0);
+    }
+}

@@ -1,0 +1,336 @@
+//! SOCKS5 (RFC 1928) — the Tor client's application-facing front.
+//!
+//! The paper's clients all talk to a local SOCKS port ("we configured
+//! curl to send all the requests to the local SOCKS port", §4.1); this
+//! module implements the wire protocol those requests use: the method
+//! greeting/selection, the CONNECT request with IPv4/domain/IPv6
+//! address forms (Tor requires the *domain* form so DNS resolves at the
+//! exit), and the reply.
+
+/// SOCKS protocol version byte.
+pub const VERSION: u8 = 0x05;
+
+/// Authentication methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum AuthMethod {
+    /// No authentication (what Tor's SOCKS port accepts by default).
+    None = 0x00,
+    /// Username/password (RFC 1929; Tor uses it for stream isolation).
+    UserPass = 0x02,
+    /// No acceptable method.
+    NoAcceptable = 0xFF,
+}
+
+impl AuthMethod {
+    fn from_u8(v: u8) -> Option<AuthMethod> {
+        Some(match v {
+            0x00 => AuthMethod::None,
+            0x02 => AuthMethod::UserPass,
+            0xFF => AuthMethod::NoAcceptable,
+            _ => return None,
+        })
+    }
+}
+
+/// A SOCKS5 destination address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SocksAddr {
+    /// Raw IPv4.
+    V4([u8; 4]),
+    /// Domain name (the form Tor wants: resolution happens at the exit).
+    Domain(String),
+    /// Raw IPv6.
+    V6([u8; 16]),
+}
+
+/// SOCKS reply codes (subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ReplyCode {
+    /// Request granted.
+    Succeeded = 0x00,
+    /// General failure.
+    GeneralFailure = 0x01,
+    /// Network unreachable.
+    NetworkUnreachable = 0x03,
+    /// Host unreachable.
+    HostUnreachable = 0x04,
+    /// TTL expired (Tor: timeout building the circuit/stream).
+    TtlExpired = 0x06,
+}
+
+impl ReplyCode {
+    fn from_u8(v: u8) -> Option<ReplyCode> {
+        Some(match v {
+            0x00 => ReplyCode::Succeeded,
+            0x01 => ReplyCode::GeneralFailure,
+            0x03 => ReplyCode::NetworkUnreachable,
+            0x04 => ReplyCode::HostUnreachable,
+            0x06 => ReplyCode::TtlExpired,
+            _ => return None,
+        })
+    }
+}
+
+/// Codec errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SocksError {
+    /// Not enough bytes yet.
+    Truncated,
+    /// Wrong version byte.
+    BadVersion(u8),
+    /// Unknown command, address type, method, or reply code.
+    Malformed,
+    /// Domain name was not UTF-8.
+    BadDomain,
+}
+
+impl std::fmt::Display for SocksError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SocksError::Truncated => write!(f, "socks message truncated"),
+            SocksError::BadVersion(v) => write!(f, "bad socks version {v:#x}"),
+            SocksError::Malformed => write!(f, "malformed socks message"),
+            SocksError::BadDomain => write!(f, "domain is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for SocksError {}
+
+/// Encodes the client method greeting.
+pub fn encode_greeting(methods: &[AuthMethod]) -> Vec<u8> {
+    assert!(!methods.is_empty() && methods.len() <= 255);
+    let mut out = vec![VERSION, methods.len() as u8];
+    out.extend(methods.iter().map(|&m| m as u8));
+    out
+}
+
+/// Decodes a client greeting into its offered methods.
+pub fn decode_greeting(bytes: &[u8]) -> Result<Vec<AuthMethod>, SocksError> {
+    if bytes.len() < 2 {
+        return Err(SocksError::Truncated);
+    }
+    if bytes[0] != VERSION {
+        return Err(SocksError::BadVersion(bytes[0]));
+    }
+    let n = bytes[1] as usize;
+    if bytes.len() != 2 + n {
+        return Err(SocksError::Truncated);
+    }
+    bytes[2..]
+        .iter()
+        .map(|&b| AuthMethod::from_u8(b).ok_or(SocksError::Malformed))
+        .collect()
+}
+
+/// Encodes the server's method selection.
+pub fn encode_method_selection(method: AuthMethod) -> [u8; 2] {
+    [VERSION, method as u8]
+}
+
+/// Decodes a method selection.
+pub fn decode_method_selection(bytes: &[u8]) -> Result<AuthMethod, SocksError> {
+    if bytes.len() != 2 {
+        return Err(SocksError::Truncated);
+    }
+    if bytes[0] != VERSION {
+        return Err(SocksError::BadVersion(bytes[0]));
+    }
+    AuthMethod::from_u8(bytes[1]).ok_or(SocksError::Malformed)
+}
+
+fn encode_addr(addr: &SocksAddr, port: u16, out: &mut Vec<u8>) {
+    match addr {
+        SocksAddr::V4(ip) => {
+            out.push(0x01);
+            out.extend_from_slice(ip);
+        }
+        SocksAddr::Domain(name) => {
+            assert!(name.len() <= 255, "domain too long for socks");
+            out.push(0x03);
+            out.push(name.len() as u8);
+            out.extend_from_slice(name.as_bytes());
+        }
+        SocksAddr::V6(ip) => {
+            out.push(0x04);
+            out.extend_from_slice(ip);
+        }
+    }
+    out.extend_from_slice(&port.to_be_bytes());
+}
+
+fn decode_addr(bytes: &[u8]) -> Result<(SocksAddr, u16, usize), SocksError> {
+    match bytes.first() {
+        Some(0x01) => {
+            if bytes.len() < 7 {
+                return Err(SocksError::Truncated);
+            }
+            let ip = [bytes[1], bytes[2], bytes[3], bytes[4]];
+            let port = u16::from_be_bytes([bytes[5], bytes[6]]);
+            Ok((SocksAddr::V4(ip), port, 7))
+        }
+        Some(0x03) => {
+            let len = *bytes.get(1).ok_or(SocksError::Truncated)? as usize;
+            if bytes.len() < 2 + len + 2 {
+                return Err(SocksError::Truncated);
+            }
+            let name = std::str::from_utf8(&bytes[2..2 + len])
+                .map_err(|_| SocksError::BadDomain)?
+                .to_string();
+            let port = u16::from_be_bytes([bytes[2 + len], bytes[3 + len]]);
+            Ok((SocksAddr::Domain(name), port, 2 + len + 2))
+        }
+        Some(0x04) => {
+            if bytes.len() < 19 {
+                return Err(SocksError::Truncated);
+            }
+            let mut ip = [0u8; 16];
+            ip.copy_from_slice(&bytes[1..17]);
+            let port = u16::from_be_bytes([bytes[17], bytes[18]]);
+            Ok((SocksAddr::V6(ip), port, 19))
+        }
+        Some(_) => Err(SocksError::Malformed),
+        None => Err(SocksError::Truncated),
+    }
+}
+
+/// Encodes a CONNECT request.
+pub fn encode_connect(addr: &SocksAddr, port: u16) -> Vec<u8> {
+    let mut out = vec![VERSION, 0x01 /* CONNECT */, 0x00 /* RSV */];
+    encode_addr(addr, port, &mut out);
+    out
+}
+
+/// Decodes a CONNECT request; returns the destination.
+pub fn decode_connect(bytes: &[u8]) -> Result<(SocksAddr, u16), SocksError> {
+    if bytes.len() < 4 {
+        return Err(SocksError::Truncated);
+    }
+    if bytes[0] != VERSION {
+        return Err(SocksError::BadVersion(bytes[0]));
+    }
+    if bytes[1] != 0x01 || bytes[2] != 0x00 {
+        return Err(SocksError::Malformed);
+    }
+    let (addr, port, used) = decode_addr(&bytes[3..])?;
+    if bytes.len() != 3 + used {
+        return Err(SocksError::Malformed);
+    }
+    Ok((addr, port))
+}
+
+/// Encodes a reply.
+pub fn encode_reply(code: ReplyCode, bound: &SocksAddr, port: u16) -> Vec<u8> {
+    let mut out = vec![VERSION, code as u8, 0x00];
+    encode_addr(bound, port, &mut out);
+    out
+}
+
+/// Decodes a reply; returns the code and bound address.
+pub fn decode_reply(bytes: &[u8]) -> Result<(ReplyCode, SocksAddr, u16), SocksError> {
+    if bytes.len() < 4 {
+        return Err(SocksError::Truncated);
+    }
+    if bytes[0] != VERSION {
+        return Err(SocksError::BadVersion(bytes[0]));
+    }
+    let code = ReplyCode::from_u8(bytes[1]).ok_or(SocksError::Malformed)?;
+    let (addr, port, used) = decode_addr(&bytes[3..])?;
+    if bytes.len() != 3 + used {
+        return Err(SocksError::Malformed);
+    }
+    Ok((code, addr, port))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greeting_round_trip() {
+        let wire = encode_greeting(&[AuthMethod::None, AuthMethod::UserPass]);
+        assert_eq!(
+            decode_greeting(&wire).unwrap(),
+            vec![AuthMethod::None, AuthMethod::UserPass]
+        );
+    }
+
+    #[test]
+    fn greeting_rejects_bad_version() {
+        assert_eq!(decode_greeting(&[0x04, 1, 0]), Err(SocksError::BadVersion(0x04)));
+    }
+
+    #[test]
+    fn method_selection_round_trip() {
+        let wire = encode_method_selection(AuthMethod::None);
+        assert_eq!(decode_method_selection(&wire).unwrap(), AuthMethod::None);
+    }
+
+    #[test]
+    fn connect_domain_round_trip() {
+        // Tor clients always use the domain form so the exit resolves.
+        let wire = encode_connect(&SocksAddr::Domain("blocked.example.com".into()), 443);
+        let (addr, port) = decode_connect(&wire).unwrap();
+        assert_eq!(addr, SocksAddr::Domain("blocked.example.com".into()));
+        assert_eq!(port, 443);
+    }
+
+    #[test]
+    fn connect_v4_and_v6_round_trip() {
+        for addr in [SocksAddr::V4([127, 0, 0, 1]), SocksAddr::V6([0xfe; 16])] {
+            let wire = encode_connect(&addr, 9050);
+            let (back, port) = decode_connect(&wire).unwrap();
+            assert_eq!(back, addr);
+            assert_eq!(port, 9050);
+        }
+    }
+
+    #[test]
+    fn connect_rejects_trailing_garbage() {
+        let mut wire = encode_connect(&SocksAddr::V4([1, 2, 3, 4]), 80);
+        wire.push(0xAA);
+        assert_eq!(decode_connect(&wire), Err(SocksError::Malformed));
+    }
+
+    #[test]
+    fn connect_rejects_non_connect_command() {
+        let mut wire = encode_connect(&SocksAddr::V4([1, 2, 3, 4]), 80);
+        wire[1] = 0x02; // BIND
+        assert_eq!(decode_connect(&wire), Err(SocksError::Malformed));
+    }
+
+    #[test]
+    fn reply_round_trip() {
+        let wire = encode_reply(ReplyCode::Succeeded, &SocksAddr::V4([0, 0, 0, 0]), 0);
+        let (code, addr, port) = decode_reply(&wire).unwrap();
+        assert_eq!(code, ReplyCode::Succeeded);
+        assert_eq!(addr, SocksAddr::V4([0, 0, 0, 0]));
+        assert_eq!(port, 0);
+    }
+
+    #[test]
+    fn reply_failure_codes() {
+        for code in [
+            ReplyCode::GeneralFailure,
+            ReplyCode::NetworkUnreachable,
+            ReplyCode::HostUnreachable,
+            ReplyCode::TtlExpired,
+        ] {
+            let wire = encode_reply(code, &SocksAddr::V4([0, 0, 0, 0]), 0);
+            assert_eq!(decode_reply(&wire).unwrap().0, code);
+        }
+    }
+
+    #[test]
+    fn truncated_messages_wait() {
+        let wire = encode_connect(&SocksAddr::Domain("x.example".into()), 80);
+        for cut in 0..wire.len() {
+            assert!(
+                decode_connect(&wire[..cut]).is_err(),
+                "cut at {cut} should not parse"
+            );
+        }
+    }
+}

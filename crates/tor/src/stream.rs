@@ -1,0 +1,225 @@
+//! Event-driven, cell-level stream transfer with Tor's SENDME flow
+//! control — the discrete-event counterpart of the closed-form
+//! [`TransferModel`](ptperf_sim::TransferModel).
+//!
+//! The closed-form model (used by the bulk experiments for speed) claims
+//! that a Tor stream's throughput is `min(bottleneck, window/RTT)`.
+//! This module *earns* that claim: it simulates the actual protocol —
+//! the exit emits RELAY_DATA cells while its package window is open, the
+//! client acknowledges every [`SENDME_INCREMENT`] cells with a SENDME
+//! that takes half an RTT to return, windows close and reopen — on the
+//! [`Engine`], and the tests check the event-driven completion time
+//! agrees with the formula in both regimes (bandwidth-bound and
+//! window-bound).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ptperf_sim::{Engine, SimDuration, SimTime};
+
+use crate::cell::RELAY_DATA_LEN;
+use crate::circuit::CIRC_WINDOW_CELLS;
+
+/// Cells acknowledged per SENDME (Tor's circuit-level increment).
+pub const SENDME_INCREMENT: u32 = 100;
+
+/// Parameters of an event-driven stream transfer.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamTransfer {
+    /// Application bytes to deliver.
+    pub bytes: u64,
+    /// Circuit round-trip time (client ↔ exit).
+    pub rtt: SimDuration,
+    /// Bottleneck service rate along the path, bytes/second.
+    pub bottleneck_bps: f64,
+    /// Circuit package window in cells.
+    pub window_cells: u32,
+}
+
+impl StreamTransfer {
+    /// A transfer with Tor's default window.
+    pub fn new(bytes: u64, rtt: SimDuration, bottleneck_bps: f64) -> StreamTransfer {
+        StreamTransfer {
+            bytes,
+            rtt,
+            bottleneck_bps,
+            window_cells: CIRC_WINDOW_CELLS,
+        }
+    }
+
+    /// Total cells needed.
+    pub fn total_cells(&self) -> u64 {
+        self.bytes.div_ceil(RELAY_DATA_LEN as u64)
+    }
+
+    /// The closed-form prediction: fluid time at
+    /// `min(bottleneck, window/RTT)` plus half an RTT for the final
+    /// cell's propagation.
+    pub fn predicted(&self) -> SimDuration {
+        let window_rate = self.window_cells as f64 * RELAY_DATA_LEN as f64
+            / self.rtt.as_secs_f64().max(1e-9);
+        let rate = self.bottleneck_bps.min(window_rate);
+        SimDuration::from_secs_f64(self.bytes as f64 / rate)
+            + SimDuration::from_nanos(self.rtt.as_nanos() / 2)
+    }
+
+    /// Runs the transfer on the event engine; returns the time at which
+    /// the last cell reaches the client.
+    pub fn run(&self, engine: &mut Engine) -> SimDuration {
+        #[derive(Debug)]
+        struct State {
+            cells_left: u64,
+            window: i64,
+            sending: bool,
+            unacked_at_client: u32,
+            finished_at: Option<SimTime>,
+        }
+        let state = Rc::new(RefCell::new(State {
+            cells_left: self.total_cells().max(1),
+            window: self.window_cells as i64,
+            sending: false,
+            unacked_at_client: 0,
+            finished_at: None,
+        }));
+
+        let cell_time = SimDuration::from_secs_f64(RELAY_DATA_LEN as f64 / self.bottleneck_bps);
+        let half_rtt = SimDuration::from_nanos(self.rtt.as_nanos() / 2);
+        let start = engine.now();
+
+        // The exit's send loop: emit one cell per service interval while
+        // the window is open.
+        fn try_send(
+            engine: &mut Engine,
+            state: Rc<RefCell<State>>,
+            cell_time: SimDuration,
+            half_rtt: SimDuration,
+        ) {
+            {
+                let mut s = state.borrow_mut();
+                if s.sending || s.cells_left == 0 || s.window <= 0 {
+                    return;
+                }
+                s.sending = true;
+                s.window -= 1;
+                s.cells_left -= 1;
+            }
+            // The cell occupies the bottleneck for `cell_time`, then
+            // propagates for half an RTT to the client.
+            let st = state.clone();
+            engine.schedule_in(cell_time, move |engine| {
+                {
+                    let mut s = st.borrow_mut();
+                    s.sending = false;
+                }
+                // Cell arrives at the client after propagation.
+                let at_client = st.clone();
+                let was_last = at_client.borrow().cells_left == 0;
+                engine.schedule_in(half_rtt, move |engine| {
+                    let mut s = at_client.borrow_mut();
+                    s.unacked_at_client += 1;
+                    if was_last && s.finished_at.is_none() {
+                        s.finished_at = Some(engine.now());
+                    }
+                    if s.unacked_at_client >= SENDME_INCREMENT {
+                        s.unacked_at_client -= SENDME_INCREMENT;
+                        // SENDME travels back half an RTT, reopening the
+                        // window at the exit.
+                        let back = at_client.clone();
+                        drop(s);
+                        engine.schedule_in(half_rtt, move |engine| {
+                            back.borrow_mut().window += SENDME_INCREMENT as i64;
+                            try_send(engine, back.clone(), cell_time, half_rtt);
+                        });
+                    }
+                });
+                try_send(engine, st.clone(), cell_time, half_rtt);
+            });
+        }
+
+        try_send(engine, state.clone(), cell_time, half_rtt);
+        engine.run();
+
+        let finished = state
+            .borrow()
+            .finished_at
+            .expect("transfer must complete: windows always reopen");
+        finished.duration_since(start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_one(bytes: u64, rtt_ms: u64, rate: f64) -> (f64, f64) {
+        let xfer = StreamTransfer::new(bytes, SimDuration::from_millis(rtt_ms), rate);
+        let mut engine = Engine::new(1);
+        let actual = xfer.run(&mut engine).as_secs_f64();
+        let predicted = xfer.predicted().as_secs_f64();
+        (actual, predicted)
+    }
+
+    #[test]
+    fn bandwidth_bound_regime_matches_formula() {
+        // Window 1000 cells / 100 ms = ~5 MB/s >> 200 kB/s bottleneck:
+        // the bottleneck governs.
+        let (actual, predicted) = run_one(2_000_000, 100, 200_000.0);
+        let err = (actual - predicted).abs() / predicted;
+        assert!(err < 0.05, "actual {actual:.2} vs predicted {predicted:.2}");
+    }
+
+    #[test]
+    fn window_bound_regime_matches_formula() {
+        // Window 1000 × 498 B per 600 ms ≈ 830 kB/s << 20 MB/s bottleneck:
+        // the SENDME window governs.
+        let (actual, predicted) = run_one(3_000_000, 600, 20.0e6);
+        let err = (actual - predicted).abs() / predicted;
+        assert!(err < 0.10, "actual {actual:.2} vs predicted {predicted:.2}");
+    }
+
+    #[test]
+    fn window_bound_is_slower_than_raw_bandwidth() {
+        let (actual, _) = run_one(3_000_000, 600, 20.0e6);
+        let raw = 3_000_000.0 / 20.0e6;
+        assert!(actual > raw * 3.0, "window must throttle: {actual:.2} vs raw {raw:.2}");
+    }
+
+    #[test]
+    fn tiny_transfer_takes_about_half_an_rtt_plus_service() {
+        let (actual, _) = run_one(400, 100, 1.0e6);
+        assert!(actual > 0.05, "{actual}");
+        assert!(actual < 0.06, "{actual}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run_one(1_000_000, 200, 500_000.0);
+        let b = run_one(1_000_000, 200, 500_000.0);
+        assert_eq!(a.0, b.0);
+    }
+
+    #[test]
+    fn event_count_scales_with_cells() {
+        let xfer = StreamTransfer::new(500_000, SimDuration::from_millis(50), 1.0e6);
+        let mut engine = Engine::new(1);
+        xfer.run(&mut engine);
+        let cells = xfer.total_cells();
+        // ≥2 events per cell (service completion + client arrival).
+        assert!(engine.events_executed() >= 2 * cells);
+    }
+
+    #[test]
+    fn smaller_window_is_slower_when_window_binds() {
+        let mut small = StreamTransfer::new(2_000_000, SimDuration::from_millis(400), 10.0e6);
+        small.window_cells = 200;
+        let mut engine = Engine::new(1);
+        let t_small = small.run(&mut engine).as_secs_f64();
+        let big = StreamTransfer::new(2_000_000, SimDuration::from_millis(400), 10.0e6);
+        let mut engine = Engine::new(1);
+        let t_big = big.run(&mut engine).as_secs_f64();
+        assert!(
+            t_small > t_big * 2.0,
+            "window 200: {t_small:.2}s vs window 1000: {t_big:.2}s"
+        );
+    }
+}

@@ -1,0 +1,247 @@
+//! Shared channel-construction machinery used by every transport model.
+//!
+//! All twelve PTs (and vanilla Tor) route through a Tor circuit; what
+//! differs is the first hop (bridge vs volunteer guard), whether a
+//! forwarding PT server sits before it, the transport's own bootstrap
+//! cost, its framing overhead, and its carrier constraints. This module
+//! builds the common part so each transport's `establish` stays focused
+//! on what makes that transport different.
+
+use ptperf_sim::{Location, SimDuration, SimRng};
+use ptperf_tor::{Circuit, CircuitOptions, PathSelector, RelayId, Via};
+use ptperf_web::Channel;
+
+use crate::transport::{AccessOptions, Deployment};
+
+/// The first Tor hop of a tunnel.
+#[derive(Debug, Clone, Copy)]
+pub enum FirstHop {
+    /// A specific relay (a set-1 PT bridge, or a pinned guard).
+    Bridge(RelayId),
+    /// A volunteer guard chosen by normal path selection.
+    VolunteerGuard,
+}
+
+/// Everything needed to build the Tor portion of a channel.
+#[derive(Debug, Clone, Copy)]
+pub struct TorChannelSpec {
+    /// First hop choice.
+    pub first_hop: FirstHop,
+    /// Optional PT forwarding server before the first hop (hop sets 2/3).
+    pub via: Option<Via>,
+    /// Load multiplier on the first hop's utilization.
+    pub guard_load_mult: f64,
+}
+
+/// Builds the base channel through a Tor circuit: circuit construction
+/// time as `setup`, stream-open and request round trips, and the
+/// response-path transfer model. Transport models then add their own
+/// bootstrap, framing overhead, caps, and failure behavior.
+pub fn tor_channel(
+    dep: &Deployment,
+    opts: &AccessOptions,
+    spec: TorChannelSpec,
+    dest: Location,
+    rng: &mut SimRng,
+) -> Channel {
+    // Resolve the circuit path: the first hop may be pinned by the
+    // experiment (fixed-circuit runs), then by the transport's bridge,
+    // then by guard selection.
+    let mut path_cfg = opts.path;
+    if path_cfg.fixed_guard.is_none() {
+        if let FirstHop::Bridge(id) = spec.first_hop {
+            path_cfg.fixed_guard = Some(id);
+        }
+    }
+    let mut selector = PathSelector::with_config(path_cfg);
+    let circuit_spec = selector
+        .select(&dep.consensus, rng)
+        .expect("generated consensus always has eligible relays");
+
+    let mut copts = CircuitOptions::new(opts.client);
+    copts.medium = opts.medium;
+    copts.guard_load_mult = spec.guard_load_mult;
+    copts.via = spec.via;
+    let circuit = Circuit::establish(&dep.consensus, circuit_spec, &copts, rng);
+    let dest_leg = circuit.dest_leg(&dep.consensus, dest, rng);
+
+    Channel {
+        setup: circuit.build_time,
+        stream_open: circuit.stream_open_time(dest_leg),
+        request_rtt: circuit.rtt + dest_leg.rtt,
+        response: circuit.transfer_model(dest_leg),
+        rate_cap: None,
+        per_request_extra: SimDuration::ZERO,
+        max_parallel_streams: usize::MAX,
+        hazard_per_sec: 0.0,
+        connect_failure_p: 0.0,
+    }
+}
+
+/// Applies a multiplicative wire-framing overhead (wire bytes per payload
+/// byte, ≥ 1) to a channel's response model: the goodput shrinks by the
+/// factor the codec actually produces.
+pub fn apply_frame_overhead(channel: &mut Channel, overhead: f64) {
+    debug_assert!(overhead >= 1.0, "framing overhead must be ≥ 1, got {overhead}");
+    channel.response.bottleneck_bps /= overhead;
+}
+
+/// Samples a handshake duration of `round_trips` exchanges on the
+/// client → first-infrastructure path, plus jittered processing.
+pub fn bootstrap_time(
+    opts: &AccessOptions,
+    infra: Location,
+    round_trips: u32,
+    rng: &mut SimRng,
+) -> SimDuration {
+    let path = ptperf_sim::sample_path(rng, opts.client, infra, opts.medium, 0.10);
+    path.rtt * round_trips as u64 + rng.jitter(SimDuration::from_millis(10), 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::PtId;
+    use ptperf_sim::Medium;
+
+    fn setup() -> (Deployment, AccessOptions, SimRng) {
+        (
+            Deployment::standard(1, Location::Frankfurt),
+            AccessOptions::new(Location::London),
+            SimRng::new(2),
+        )
+    }
+
+    #[test]
+    fn vanilla_channel_has_positive_costs() {
+        let (dep, opts, mut rng) = setup();
+        let ch = tor_channel(
+            &dep,
+            &opts,
+            TorChannelSpec {
+                first_hop: FirstHop::VolunteerGuard,
+                via: None,
+                guard_load_mult: 1.0,
+            },
+            Location::NewYork,
+            &mut rng,
+        );
+        assert!(ch.setup > SimDuration::ZERO);
+        assert!(ch.stream_open > SimDuration::ZERO);
+        assert!(ch.response.bottleneck_bps > 0.0);
+        assert_eq!(ch.hazard_per_sec, 0.0);
+    }
+
+    #[test]
+    fn bridge_first_hop_is_used() {
+        let (dep, opts, mut rng) = setup();
+        let bridge = dep.bridge(PtId::Obfs4);
+        // With the bridge as guard, the first hop is always the bridge, so
+        // repeated establishments never see the heavy-tailed volunteer
+        // guard distribution. Check via capacity: the bridge is lightly
+        // loaded, so the bottleneck rarely drops to volunteer-guard lows.
+        for _ in 0..20 {
+            let ch = tor_channel(
+                &dep,
+                &opts,
+                TorChannelSpec {
+                    first_hop: FirstHop::Bridge(bridge),
+                    via: None,
+                    guard_load_mult: 1.0,
+                },
+                Location::NewYork,
+                &mut rng,
+            );
+            assert!(ch.response.bottleneck_bps > 0.0);
+        }
+    }
+
+    #[test]
+    fn experiment_pinning_overrides_bridge() {
+        let (dep, mut opts, mut rng) = setup();
+        let pinned = RelayId(3);
+        opts.path.fixed_guard = Some(pinned);
+        // Even with a bridge requested, the experiment's pin wins (this is
+        // how the fixed-circuit experiments equalize Tor and PT paths).
+        let _ = tor_channel(
+            &dep,
+            &opts,
+            TorChannelSpec {
+                first_hop: FirstHop::Bridge(dep.bridge(PtId::Obfs4)),
+                via: None,
+                guard_load_mult: 1.0,
+            },
+            Location::NewYork,
+            &mut rng,
+        );
+        // No assertion on internals possible here beyond not panicking;
+        // the integration tests check the fixed-circuit null result.
+    }
+
+    #[test]
+    fn via_reduces_bottleneck_to_server_capacity() {
+        let (dep, opts, mut rng) = setup();
+        let ch = tor_channel(
+            &dep,
+            &opts,
+            TorChannelSpec {
+                first_hop: FirstHop::VolunteerGuard,
+                via: Some(Via {
+                    location: Location::Frankfurt,
+                    capacity_bps: 20_000.0,
+                    extra_loss: 0.0,
+                }),
+                guard_load_mult: 1.0,
+            },
+            Location::NewYork,
+            &mut rng,
+        );
+        assert!(ch.response.bottleneck_bps <= 20_000.0);
+    }
+
+    #[test]
+    fn frame_overhead_shrinks_goodput() {
+        let (dep, opts, mut rng) = setup();
+        let mut ch = tor_channel(
+            &dep,
+            &opts,
+            TorChannelSpec {
+                first_hop: FirstHop::VolunteerGuard,
+                via: None,
+                guard_load_mult: 1.0,
+            },
+            Location::NewYork,
+            &mut rng,
+        );
+        let before = ch.response.bottleneck_bps;
+        apply_frame_overhead(&mut ch, 1.25);
+        assert!((ch.response.bottleneck_bps - before / 1.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bootstrap_scales_with_round_trips() {
+        let (_, opts, mut rng) = setup();
+        let one = bootstrap_time(&opts, Location::Frankfurt, 1, &mut rng);
+        let mut rng2 = SimRng::new(2);
+        let three = bootstrap_time(&opts, Location::Frankfurt, 3, &mut rng2);
+        assert!(three > one);
+    }
+
+    #[test]
+    fn wireless_medium_propagates() {
+        let (dep, mut opts, mut rng) = setup();
+        opts.medium = Medium::Wireless;
+        let ch = tor_channel(
+            &dep,
+            &opts,
+            TorChannelSpec {
+                first_hop: FirstHop::VolunteerGuard,
+                via: None,
+                guard_load_mult: 1.0,
+            },
+            Location::NewYork,
+            &mut rng,
+        );
+        assert!(ch.response.loss > 0.0);
+    }
+}

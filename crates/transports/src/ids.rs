@@ -1,0 +1,245 @@
+//! Transport identities and the paper's category taxonomy (§2).
+
+/// The twelve evaluated pluggable transports, plus vanilla Tor as the
+/// baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PtId {
+    /// Vanilla Tor — no pluggable transport (baseline).
+    Vanilla,
+    /// obfs4: scramblesuit successor, fully random obfuscation.
+    Obfs4,
+    /// shadowsocks: encrypted SOCKS-style proxy.
+    Shadowsocks,
+    /// meek: domain fronting through a CDN.
+    Meek,
+    /// psiphon: SSH-tunnel proxy network.
+    Psiphon,
+    /// conjure: refraction networking over phantom IPs.
+    Conjure,
+    /// snowflake: WebRTC through volunteer browser proxies.
+    Snowflake,
+    /// dnstt: DNS-over-HTTPS/TLS tunneling.
+    Dnstt,
+    /// camoufler: tunneling over instant-messaging channels.
+    Camoufler,
+    /// webtunnel: HTTPT-style tunneling inside HTTPS.
+    WebTunnel,
+    /// cloak: TLS-mimicking steganographic proxy.
+    Cloak,
+    /// stegotorus: chopper + steganographic covers.
+    Stegotorus,
+    /// marionette: programmable traffic-model obfuscation.
+    Marionette,
+}
+
+impl PtId {
+    /// The twelve PTs evaluated in the paper, in the order they appear in
+    /// Figure 2's category grouping.
+    pub const ALL_PTS: [PtId; 12] = [
+        PtId::Meek,
+        PtId::Psiphon,
+        PtId::Conjure,
+        PtId::Snowflake,
+        PtId::Dnstt,
+        PtId::Camoufler,
+        PtId::WebTunnel,
+        PtId::Cloak,
+        PtId::Stegotorus,
+        PtId::Marionette,
+        PtId::Obfs4,
+        PtId::Shadowsocks,
+    ];
+
+    /// All measured configurations: vanilla Tor first, then the PTs.
+    pub const ALL_WITH_VANILLA: [PtId; 13] = [
+        PtId::Vanilla,
+        PtId::Meek,
+        PtId::Psiphon,
+        PtId::Conjure,
+        PtId::Snowflake,
+        PtId::Dnstt,
+        PtId::Camoufler,
+        PtId::WebTunnel,
+        PtId::Cloak,
+        PtId::Stegotorus,
+        PtId::Marionette,
+        PtId::Obfs4,
+        PtId::Shadowsocks,
+    ];
+
+    /// The lowercase name the paper uses.
+    pub fn name(self) -> &'static str {
+        match self {
+            PtId::Vanilla => "tor",
+            PtId::Obfs4 => "obfs4",
+            PtId::Shadowsocks => "shadowsocks",
+            PtId::Meek => "meek",
+            PtId::Psiphon => "psiphon",
+            PtId::Conjure => "conjure",
+            PtId::Snowflake => "snowflake",
+            PtId::Dnstt => "dnstt",
+            PtId::Camoufler => "camoufler",
+            PtId::WebTunnel => "webtunnel",
+            PtId::Cloak => "cloak",
+            PtId::Stegotorus => "stegotorus",
+            PtId::Marionette => "marionette",
+        }
+    }
+
+    /// The paper's category for this transport (§2). Vanilla Tor has no
+    /// category.
+    pub fn category(self) -> Option<Category> {
+        Some(match self {
+            PtId::Vanilla => return None,
+            PtId::Meek | PtId::Psiphon | PtId::Conjure | PtId::Snowflake => Category::ProxyLayer,
+            PtId::Dnstt | PtId::Camoufler | PtId::WebTunnel => Category::Tunneling,
+            PtId::Cloak | PtId::Stegotorus | PtId::Marionette => Category::Mimicry,
+            PtId::Obfs4 | PtId::Shadowsocks => Category::FullyEncrypted,
+        })
+    }
+
+    /// The implementation set (§4.1): where the PT server sits relative to
+    /// the Tor circuit.
+    pub fn hop_set(self) -> HopSet {
+        match self {
+            PtId::Vanilla => HopSet::NoPt,
+            // Set 1: PT server is the first Tor hop. (dnstt's server is a
+            // guard too, but the DoH resolver adds a hop — captured in its
+            // model, not here.)
+            PtId::Obfs4 | PtId::Meek | PtId::Conjure | PtId::WebTunnel | PtId::Dnstt => {
+                HopSet::ServerIsGuard
+            }
+            // Set 2: PT server forwards to a separate guard.
+            PtId::Shadowsocks
+            | PtId::Snowflake
+            | PtId::Camoufler
+            | PtId::Stegotorus
+            | PtId::Psiphon => HopSet::ServerBeforeGuard,
+            // Set 3: the Tor client runs on the PT server.
+            PtId::Marionette | PtId::Cloak => HopSet::TorClientOnServer,
+        }
+    }
+}
+
+impl std::fmt::Display for PtId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The unobservability-technology categories of §2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Category {
+    /// An extra proxy layer before Tor (meek, psiphon, conjure, snowflake).
+    ProxyLayer,
+    /// Content tunneled inside a standard application protocol
+    /// (dnstt, camoufler, webtunnel).
+    Tunneling,
+    /// Traffic shaped to mimic another protocol
+    /// (cloak, stegotorus, marionette).
+    Mimicry,
+    /// Uniformly random byte streams (obfs4, shadowsocks).
+    FullyEncrypted,
+}
+
+impl Category {
+    /// All categories in the paper's ordering.
+    pub const ALL: [Category; 4] = [
+        Category::ProxyLayer,
+        Category::Tunneling,
+        Category::Mimicry,
+        Category::FullyEncrypted,
+    ];
+
+    /// Display label matching the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::ProxyLayer => "proxy layer",
+            Category::Tunneling => "tunneling",
+            Category::Mimicry => "mimicry",
+            Category::FullyEncrypted => "fully encrypted",
+        }
+    }
+
+    /// The PTs in this category.
+    pub fn members(self) -> Vec<PtId> {
+        PtId::ALL_PTS
+            .iter()
+            .copied()
+            .filter(|pt| pt.category() == Some(self))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Where the PT server sits relative to the Tor circuit (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HopSet {
+    /// Vanilla Tor: no PT at all.
+    NoPt,
+    /// Set 1: the PT server doubles as the circuit's guard — 3 hops total.
+    ServerIsGuard,
+    /// Set 2: PT server forwards to a separate volunteer guard — 4 hops.
+    ServerBeforeGuard,
+    /// Set 3: the Tor client itself runs on the PT server — 4 hops.
+    TorClientOnServer,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_pts_are_listed() {
+        assert_eq!(PtId::ALL_PTS.len(), 12);
+        assert!(!PtId::ALL_PTS.contains(&PtId::Vanilla));
+        assert_eq!(PtId::ALL_WITH_VANILLA.len(), 13);
+    }
+
+    #[test]
+    fn category_assignment_matches_paper() {
+        assert_eq!(PtId::Meek.category(), Some(Category::ProxyLayer));
+        assert_eq!(PtId::Snowflake.category(), Some(Category::ProxyLayer));
+        assert_eq!(PtId::Dnstt.category(), Some(Category::Tunneling));
+        assert_eq!(PtId::Camoufler.category(), Some(Category::Tunneling));
+        assert_eq!(PtId::WebTunnel.category(), Some(Category::Tunneling));
+        assert_eq!(PtId::Cloak.category(), Some(Category::Mimicry));
+        assert_eq!(PtId::Marionette.category(), Some(Category::Mimicry));
+        assert_eq!(PtId::Obfs4.category(), Some(Category::FullyEncrypted));
+        assert_eq!(PtId::Shadowsocks.category(), Some(Category::FullyEncrypted));
+        assert_eq!(PtId::Vanilla.category(), None);
+    }
+
+    #[test]
+    fn categories_partition_the_pts() {
+        let total: usize = Category::ALL.iter().map(|c| c.members().len()).sum();
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn hop_sets_match_section_4_1() {
+        assert_eq!(PtId::Obfs4.hop_set(), HopSet::ServerIsGuard);
+        assert_eq!(PtId::Meek.hop_set(), HopSet::ServerIsGuard);
+        assert_eq!(PtId::Conjure.hop_set(), HopSet::ServerIsGuard);
+        assert_eq!(PtId::WebTunnel.hop_set(), HopSet::ServerIsGuard);
+        assert_eq!(PtId::Shadowsocks.hop_set(), HopSet::ServerBeforeGuard);
+        assert_eq!(PtId::Snowflake.hop_set(), HopSet::ServerBeforeGuard);
+        assert_eq!(PtId::Camoufler.hop_set(), HopSet::ServerBeforeGuard);
+        assert_eq!(PtId::Stegotorus.hop_set(), HopSet::ServerBeforeGuard);
+        assert_eq!(PtId::Psiphon.hop_set(), HopSet::ServerBeforeGuard);
+        assert_eq!(PtId::Marionette.hop_set(), HopSet::TorClientOnServer);
+        assert_eq!(PtId::Cloak.hop_set(), HopSet::TorClientOnServer);
+    }
+
+    #[test]
+    fn names_are_lowercase() {
+        for pt in PtId::ALL_WITH_VANILLA {
+            assert_eq!(pt.name(), pt.name().to_lowercase());
+        }
+    }
+}

@@ -1,0 +1,449 @@
+//! snowflake — WebRTC through short-lived volunteer browser proxies.
+//!
+//! The client asks a domain-fronted **broker** for a volunteer proxy,
+//! exchanges an SDP offer/answer through it, then speaks a WebRTC data
+//! channel (DTLS/SCTP) to the volunteer, which forwards to a Tor-operated
+//! bridge. Volunteers are home machines behind NATs: modest uplinks, and
+//! they leave whenever the person closes the tab — mid-transfer proxy
+//! loss is normal.
+//!
+//! Implemented pieces:
+//!
+//! * broker rendezvous message codec (offer/answer envelope with
+//!   client-poll semantics);
+//! * SCTP-like data-channel chunking (12-byte header: stream ‖ seq ‖
+//!   length, payload ≤ 1200 bytes) with reassembly;
+//! * a volunteer-proxy pool model whose wait time, proxy bandwidth, and
+//!   churn hazard all scale with the load multiplier — this single knob
+//!   replays the September-2022 Iran surge (§5.3).
+
+use ptperf_sim::{Location, SimDuration, SimRng};
+use ptperf_web::Channel;
+
+use crate::common::{bootstrap_time, tor_channel, FirstHop, TorChannelSpec};
+use crate::ids::PtId;
+use crate::transport::{AccessOptions, Deployment, PluggableTransport};
+
+/// Maximum payload per data-channel chunk.
+pub const MAX_CHUNK: usize = 1200;
+
+/// Chunk header: 4-byte stream id, 4-byte sequence, 4-byte length.
+pub const CHUNK_HEADER: usize = 12;
+
+/// A broker rendezvous message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BrokerMessage {
+    /// Client → broker: an SDP offer blob.
+    Offer(Vec<u8>),
+    /// Broker → client: a volunteer's SDP answer.
+    Answer(Vec<u8>),
+    /// Broker → client: no proxies available right now, retry.
+    Unavailable,
+}
+
+impl BrokerMessage {
+    /// Serializes with a 1-byte tag + 4-byte length.
+    pub fn encode(&self) -> Vec<u8> {
+        let (tag, body): (u8, &[u8]) = match self {
+            BrokerMessage::Offer(b) => (1, b),
+            BrokerMessage::Answer(b) => (2, b),
+            BrokerMessage::Unavailable => (3, &[]),
+        };
+        let mut out = vec![tag];
+        out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        out.extend_from_slice(body);
+        out
+    }
+
+    /// Parses a broker message.
+    pub fn decode(bytes: &[u8]) -> Option<BrokerMessage> {
+        if bytes.len() < 5 {
+            return None;
+        }
+        let len = u32::from_be_bytes(bytes[1..5].try_into().unwrap()) as usize;
+        if bytes.len() != 5 + len {
+            return None;
+        }
+        let body = bytes[5..].to_vec();
+        match bytes[0] {
+            1 => Some(BrokerMessage::Offer(body)),
+            2 => Some(BrokerMessage::Answer(body)),
+            3 if len == 0 => Some(BrokerMessage::Unavailable),
+            _ => None,
+        }
+    }
+}
+
+/// Splits a payload into data-channel chunks.
+pub fn chunk(stream: u32, payload: &[u8]) -> Vec<Vec<u8>> {
+    payload
+        .chunks(MAX_CHUNK)
+        .enumerate()
+        .map(|(seq, part)| {
+            let mut c = Vec::with_capacity(CHUNK_HEADER + part.len());
+            c.extend_from_slice(&stream.to_be_bytes());
+            c.extend_from_slice(&(seq as u32).to_be_bytes());
+            c.extend_from_slice(&(part.len() as u32).to_be_bytes());
+            c.extend_from_slice(part);
+            c
+        })
+        .collect()
+}
+
+/// Reassembles chunks (possibly out of order) back into the payload.
+/// Returns `None` if a sequence gap remains or a chunk is malformed.
+pub fn reassemble(stream: u32, chunks: &[Vec<u8>]) -> Option<Vec<u8>> {
+    let mut parts: Vec<Option<&[u8]>> = vec![None; chunks.len()];
+    for c in chunks {
+        if c.len() < CHUNK_HEADER {
+            return None;
+        }
+        let s = u32::from_be_bytes(c[0..4].try_into().unwrap());
+        if s != stream {
+            return None;
+        }
+        let seq = u32::from_be_bytes(c[4..8].try_into().unwrap()) as usize;
+        let len = u32::from_be_bytes(c[8..12].try_into().unwrap()) as usize;
+        if c.len() != CHUNK_HEADER + len || seq >= parts.len() {
+            return None;
+        }
+        parts[seq] = Some(&c[CHUNK_HEADER..]);
+    }
+    let mut out = Vec::new();
+    for p in parts {
+        out.extend_from_slice(p?);
+    }
+    Some(out)
+}
+
+/// NAT types, as snowflake's broker classifies endpoints for
+/// matchmaking: a client behind a symmetric NAT can only use a proxy
+/// with an unrestricted NAT, so those proxies are a scarce resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NatType {
+    /// Full-cone / no NAT: reachable by anyone.
+    Unrestricted,
+    /// Address/port-restricted cone: the common home-router case.
+    Restricted,
+    /// Symmetric: per-destination mappings; hardest to traverse.
+    Symmetric,
+}
+
+impl NatType {
+    /// Whether a client and proxy NAT pair can establish a WebRTC
+    /// connection (snowflake's matching rule: a symmetric endpoint needs
+    /// an unrestricted peer).
+    pub fn compatible(client: NatType, proxy: NatType) -> bool {
+        match (client, proxy) {
+            (NatType::Symmetric, NatType::Unrestricted) => true,
+            (NatType::Symmetric, _) => false,
+            (_, NatType::Symmetric) => client == NatType::Unrestricted,
+            _ => true,
+        }
+    }
+
+    /// Samples a volunteer proxy's NAT type: browser volunteers sit
+    /// behind home routers, so unrestricted proxies are the minority.
+    pub fn sample_proxy_nat(rng: &mut SimRng) -> NatType {
+        let roll = rng.next_f64();
+        if roll < 0.12 {
+            NatType::Unrestricted
+        } else if roll < 0.92 {
+            NatType::Restricted
+        } else {
+            NatType::Symmetric
+        }
+    }
+
+    /// Samples a client NAT type (clients in censored regions are often
+    /// behind carrier-grade symmetric NAT).
+    pub fn sample_client_nat(rng: &mut SimRng) -> NatType {
+        let roll = rng.next_f64();
+        if roll < 0.08 {
+            NatType::Unrestricted
+        } else if roll < 0.78 {
+            NatType::Restricted
+        } else {
+            NatType::Symmetric
+        }
+    }
+}
+
+/// Runs the broker's matchmaking loop: polls proxies until one is
+/// NAT-compatible with the client. Returns the matched proxy and the
+/// number of poll rounds it took (each round costs the client a broker
+/// round trip).
+pub fn broker_match(
+    rng: &mut SimRng,
+    client_nat: NatType,
+    load_mult: f64,
+) -> (VolunteerProxy, u32) {
+    let mut rounds = 1u32;
+    loop {
+        let proxy = sample_proxy(rng, load_mult);
+        let proxy_nat = NatType::sample_proxy_nat(rng);
+        if NatType::compatible(client_nat, proxy_nat) {
+            return (proxy, rounds);
+        }
+        rounds += 1;
+        // Defensive bound: with a 12% unrestricted pool the expected
+        // round count for symmetric clients is ~8; cap pathologies.
+        if rounds >= 64 {
+            return (proxy, rounds);
+        }
+    }
+}
+
+/// A sampled volunteer proxy.
+#[derive(Debug, Clone, Copy)]
+pub struct VolunteerProxy {
+    /// Where the volunteer sits (skewed to Europe/North America, where
+    /// most browser-extension volunteers run).
+    pub location: Location,
+    /// Usable forwarding bandwidth, bytes per second.
+    pub bandwidth_bps: f64,
+    /// Extra loss on the WebRTC leg (NAT traversal, home WiFi).
+    pub loss: f64,
+}
+
+/// Samples a volunteer from the pool. `load_mult` ≥ 1 stretches the pool:
+/// more users per proxy means each client's share shrinks.
+pub fn sample_proxy(rng: &mut SimRng, load_mult: f64) -> VolunteerProxy {
+    let location = *rng.choose(&[
+        Location::Frankfurt,
+        Location::London,
+        Location::London,
+        Location::NewYork,
+        Location::NewYork,
+        Location::Toronto,
+    ]);
+    // Home uplinks: log-normal around ~1.4 MB/s. Under surge each proxy
+    // serves load_mult× more clients *and* the matching degrades
+    // (superlinear: the broker hands out already-saturated proxies).
+    let bandwidth_bps =
+        (rng.lognormal(1.4e6, 0.8) / load_mult.max(1.0).powf(1.3)).max(20_000.0);
+    VolunteerProxy {
+        location,
+        bandwidth_bps,
+        loss: 0.004,
+    }
+}
+
+/// Broker wait time: queueing for a proxy assignment grows superlinearly
+/// as the pool saturates.
+pub fn broker_wait(rng: &mut SimRng, load_mult: f64) -> SimDuration {
+    let base = rng.lognormal(0.35, 0.4);
+    let queue = 0.3 * (load_mult.max(1.0) - 1.0).powi(2);
+    SimDuration::from_secs_f64(base + queue)
+}
+
+/// Proxy-churn hazard (deaths per second of connection): volunteers are
+/// browser tabs that close after minutes; under surge, reassignment and
+/// saturation kill connections even faster. Short website fetches rarely
+/// notice; bulk downloads almost always do (§4.6).
+pub fn churn_hazard(load_mult: f64) -> f64 {
+    (1.0 / 80.0) * load_mult.max(1.0)
+}
+
+/// The snowflake transport model.
+pub struct Snowflake;
+
+impl PluggableTransport for Snowflake {
+    fn id(&self) -> PtId {
+        PtId::Snowflake
+    }
+
+    fn establish(
+        &self,
+        dep: &Deployment,
+        opts: &AccessOptions,
+        dest: Location,
+        rng: &mut SimRng,
+    ) -> Channel {
+        let bridge = dep.bridge(PtId::Snowflake);
+        // NAT matchmaking: the broker keeps handing out proxies until one
+        // is compatible with the client's NAT; each extra round costs a
+        // broker poll.
+        let client_nat = NatType::sample_client_nat(rng);
+        let (proxy, match_rounds) = broker_match(rng, client_nat, opts.load_mult);
+
+        // Rendezvous: domain-fronted broker round trip(s) + queue wait,
+        // then ICE/DTLS to the volunteer (2 round trips).
+        let rendezvous = broker_wait(rng, opts.load_mult)
+            + SimDuration::from_millis(250) * u64::from(match_rounds.saturating_sub(1));
+        let ice = bootstrap_time(opts, proxy.location, 2, rng);
+
+        let mut ch = tor_channel(
+            dep,
+            opts,
+            TorChannelSpec {
+                first_hop: FirstHop::Bridge(bridge),
+                via: Some(ptperf_tor::Via {
+                    location: proxy.location,
+                    capacity_bps: proxy.bandwidth_bps,
+                    extra_loss: proxy.loss,
+                }),
+                // The Tor-operated snowflake bridge absorbs the surge too.
+                guard_load_mult: opts.load_mult,
+            },
+            dest,
+            rng,
+        );
+        ch.setup += rendezvous + ice;
+        // SCTP chunk header overhead.
+        crate::common::apply_frame_overhead(
+            &mut ch,
+            (MAX_CHUNK + CHUNK_HEADER) as f64 / MAX_CHUNK as f64,
+        );
+        ch.hazard_per_sec = churn_hazard(opts.load_mult);
+        // Under heavy surge the broker sometimes has nothing to hand out.
+        ch.connect_failure_p = (0.01 * (opts.load_mult - 1.0)).clamp(0.0, 0.15);
+        ch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broker_messages_round_trip() {
+        for msg in [
+            BrokerMessage::Offer(b"sdp-offer-blob".to_vec()),
+            BrokerMessage::Answer(b"sdp-answer".to_vec()),
+            BrokerMessage::Unavailable,
+        ] {
+            assert_eq!(BrokerMessage::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn broker_rejects_garbage() {
+        assert!(BrokerMessage::decode(&[]).is_none());
+        assert!(BrokerMessage::decode(&[9, 0, 0, 0, 0]).is_none());
+        let mut bad_len = BrokerMessage::Offer(b"x".to_vec()).encode();
+        bad_len.pop();
+        assert!(BrokerMessage::decode(&bad_len).is_none());
+    }
+
+    #[test]
+    fn chunks_round_trip_in_order() {
+        let payload: Vec<u8> = (0..5000u32).map(|i| (i % 251) as u8).collect();
+        let chunks = chunk(3, &payload);
+        assert_eq!(chunks.len(), 5);
+        assert_eq!(reassemble(3, &chunks).unwrap(), payload);
+    }
+
+    #[test]
+    fn chunks_reassemble_out_of_order() {
+        let payload = vec![7u8; 3 * MAX_CHUNK];
+        let mut chunks = chunk(1, &payload);
+        chunks.swap(0, 2);
+        assert_eq!(reassemble(1, &chunks).unwrap(), payload);
+    }
+
+    #[test]
+    fn reassembly_detects_gaps_and_wrong_stream() {
+        let payload = vec![7u8; 3 * MAX_CHUNK];
+        let mut chunks = chunk(1, &payload);
+        chunks.remove(1);
+        assert!(reassemble(1, &chunks).is_none());
+        let chunks = chunk(1, &payload);
+        assert!(reassemble(2, &chunks).is_none());
+    }
+
+    #[test]
+    fn surge_shrinks_proxy_bandwidth() {
+        let mut rng_a = SimRng::new(1);
+        let mut rng_b = SimRng::new(1);
+        let calm: f64 = (0..500).map(|_| sample_proxy(&mut rng_a, 1.0).bandwidth_bps).sum();
+        let surge: f64 = (0..500).map(|_| sample_proxy(&mut rng_b, 3.0).bandwidth_bps).sum();
+        assert!(surge < calm / 2.0, "surge {surge} calm {calm}");
+    }
+
+    #[test]
+    fn surge_grows_broker_wait_and_churn() {
+        let mut rng_a = SimRng::new(2);
+        let mut rng_b = SimRng::new(2);
+        let calm: f64 = (0..200)
+            .map(|_| broker_wait(&mut rng_a, 1.0).as_secs_f64())
+            .sum();
+        let surge: f64 = (0..200)
+            .map(|_| broker_wait(&mut rng_b, 3.5).as_secs_f64())
+            .sum();
+        assert!(surge > calm * 1.5);
+        assert!(churn_hazard(3.0) > churn_hazard(1.0) * 2.9);
+    }
+
+    #[test]
+    fn nat_compatibility_rules() {
+        use NatType::*;
+        assert!(NatType::compatible(Restricted, Restricted));
+        assert!(NatType::compatible(Restricted, Unrestricted));
+        assert!(NatType::compatible(Unrestricted, Symmetric));
+        assert!(NatType::compatible(Symmetric, Unrestricted));
+        assert!(!NatType::compatible(Symmetric, Restricted));
+        assert!(!NatType::compatible(Symmetric, Symmetric));
+        assert!(!NatType::compatible(Restricted, Symmetric));
+    }
+
+    #[test]
+    fn symmetric_clients_wait_longer_for_a_match() {
+        let mut rng = SimRng::new(20);
+        let n = 300;
+        let avg_rounds = |nat: NatType, rng: &mut SimRng| -> f64 {
+            (0..n).map(|_| broker_match(rng, nat, 1.0).1 as f64).sum::<f64>() / n as f64
+        };
+        let restricted = avg_rounds(NatType::Restricted, &mut rng);
+        let symmetric = avg_rounds(NatType::Symmetric, &mut rng);
+        assert!(restricted < 1.5, "restricted avg {restricted}");
+        assert!(
+            symmetric > restricted * 3.0,
+            "symmetric {symmetric} vs restricted {restricted}"
+        );
+    }
+
+    #[test]
+    fn matched_proxy_is_always_compatible_for_typical_clients() {
+        let mut rng = SimRng::new(21);
+        for _ in 0..100 {
+            let (_, rounds) = broker_match(&mut rng, NatType::Restricted, 1.0);
+            assert!(rounds <= 8, "restricted client took {rounds} rounds");
+        }
+    }
+
+    #[test]
+    fn establish_pre_surge_is_healthy() {
+        let dep = Deployment::standard(1, Location::Frankfurt);
+        let opts = AccessOptions::new(Location::London);
+        let mut rng = SimRng::new(3);
+        let ch = Snowflake.establish(&dep, &opts, Location::NewYork, &mut rng);
+        assert!(ch.connect_failure_p < 0.01);
+        // Base volunteer churn exists even pre-surge, but it is mild
+        // enough that a website fetch (~1 s exposure) is unaffected.
+        assert!(ch.hazard_per_sec < 0.02);
+    }
+
+    #[test]
+    fn establish_under_surge_degrades() {
+        let dep = Deployment::standard(1, Location::Frankfurt);
+        let mut opts = AccessOptions::new(Location::London);
+        opts.load_mult = 3.0;
+        // Average over several establishments (proxies are random).
+        let mut rng = SimRng::new(4);
+        let mut calm_bw = 0.0;
+        let mut surge_bw = 0.0;
+        for _ in 0..50 {
+            let calm_opts = AccessOptions::new(Location::London);
+            calm_bw += Snowflake
+                .establish(&dep, &calm_opts, Location::NewYork, &mut rng)
+                .response
+                .bottleneck_bps;
+            surge_bw += Snowflake
+                .establish(&dep, &opts, Location::NewYork, &mut rng)
+                .response
+                .bottleneck_bps;
+        }
+        assert!(surge_bw < calm_bw, "surge {surge_bw} calm {calm_bw}");
+    }
+}

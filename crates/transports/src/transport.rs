@@ -1,0 +1,251 @@
+//! The `PluggableTransport` trait, deployment registry, and access
+//! options shared by all transport implementations.
+
+use std::collections::BTreeMap;
+
+use ptperf_sim::{Location, LoadProfile, Medium, SimRng};
+use ptperf_tor::{Consensus, PathConfig, Relay, RelayFlags, RelayId};
+use ptperf_web::Channel;
+
+use crate::ids::PtId;
+
+/// A PT server host that is *not* a consensus relay (hop sets 2 and 3).
+#[derive(Debug, Clone, Copy)]
+pub struct PtServer {
+    /// Where the server runs.
+    pub location: Location,
+    /// Forwarding capacity available to one client, bytes per second.
+    pub capacity_bps: f64,
+}
+
+/// The deployed measurement infrastructure: a relay consensus plus the PT
+/// bridges/servers registered for the campaign.
+///
+/// Mirrors the paper's setup (Appendix A.3): obfs4/meek/snowflake/conjure
+/// use Tor-project-operated servers; the rest are self-hosted at the
+/// campaign's server location.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    /// The relay consensus, including registered PT bridges.
+    pub consensus: Consensus,
+    bridges: BTreeMap<PtId, RelayId>,
+    servers: BTreeMap<PtId, PtServer>,
+}
+
+impl Deployment {
+    /// Builds the standard campaign deployment.
+    ///
+    /// * `seed` drives consensus generation and bridge provisioning;
+    /// * `server_region` is where self-hosted PT servers run (the paper
+    ///   used Singapore, Frankfurt, and New York).
+    pub fn standard(seed: u64, server_region: Location) -> Deployment {
+        let mut rng = SimRng::new(seed);
+        let mut consensus = Consensus::generate(&mut rng);
+        let mut bridges = BTreeMap::new();
+        let mut servers = BTreeMap::new();
+
+        let mut add_bridge = |consensus: &mut Consensus,
+                              rng: &mut SimRng,
+                              pt: PtId,
+                              location: Location,
+                              capacity: f64,
+                              profile: LoadProfile| {
+            let id = consensus.add_relay(Relay {
+                id: RelayId(0), // reassigned by add_relay
+                location,
+                bandwidth_bps: capacity,
+                flags: RelayFlags {
+                    guard: true,
+                    exit: false,
+                    fast: true,
+                    stable: true,
+                },
+                utilization: profile.sample_utilization(rng),
+            });
+            bridges.insert(pt, id);
+        };
+
+        // Set 1 — PT server doubles as guard.
+        // Tor-operated bridges: well provisioned, lightly loaded (§4.2.1).
+        add_bridge(&mut consensus, &mut rng, PtId::Obfs4, Location::Frankfurt, 5.5e6, LoadProfile::ManagedBridge);
+        add_bridge(&mut consensus, &mut rng, PtId::Meek, Location::NewYork, 4.0e6, LoadProfile::ManagedBridge);
+        add_bridge(&mut consensus, &mut rng, PtId::Conjure, Location::Frankfurt, 6.0e6, LoadProfile::ManagedBridge);
+        // Snowflake's bridge (behind the volunteer proxies) is Tor-operated.
+        add_bridge(&mut consensus, &mut rng, PtId::Snowflake, Location::Frankfurt, 5.0e6, LoadProfile::ManagedBridge);
+        // Self-hosted set-1 servers at the campaign server region.
+        add_bridge(&mut consensus, &mut rng, PtId::WebTunnel, server_region, 5.0e6, LoadProfile::Dedicated);
+        add_bridge(&mut consensus, &mut rng, PtId::Dnstt, server_region, 5.0e6, LoadProfile::Dedicated);
+
+        // Sets 2 and 3 — separate PT server hosts (self-hosted).
+        for pt in [
+            PtId::Shadowsocks,
+            PtId::Psiphon,
+            PtId::Stegotorus,
+            PtId::Camoufler,
+            PtId::Cloak,
+            PtId::Marionette,
+        ] {
+            servers.insert(
+                pt,
+                PtServer {
+                    location: server_region,
+                    capacity_bps: rng.range_f64(4.0e6, 8.0e6),
+                },
+            );
+        }
+
+        Deployment {
+            consensus,
+            bridges,
+            servers,
+        }
+    }
+
+    /// The registered bridge relay for a set-1 PT.
+    ///
+    /// # Panics
+    /// Panics if the PT has no bridge in this deployment (wrong hop set).
+    pub fn bridge(&self, pt: PtId) -> RelayId {
+        *self
+            .bridges
+            .get(&pt)
+            .unwrap_or_else(|| panic!("{pt} has no registered bridge relay"))
+    }
+
+    /// The PT server host for a set-2/3 PT.
+    ///
+    /// # Panics
+    /// Panics if the PT has no server host (wrong hop set).
+    pub fn server(&self, pt: PtId) -> PtServer {
+        *self
+            .servers
+            .get(&pt)
+            .unwrap_or_else(|| panic!("{pt} has no registered server host"))
+    }
+
+    /// Replaces a PT's bridge with a private, self-hosted one at
+    /// `location` (§4.2.1's "hosting private PT servers" experiment).
+    pub fn host_private_bridge(&mut self, pt: PtId, location: Location, capacity_bps: f64) {
+        let id = self.consensus.add_relay(Relay {
+            id: RelayId(0),
+            location,
+            bandwidth_bps: capacity_bps,
+            flags: RelayFlags {
+                guard: true,
+                exit: false,
+                fast: true,
+                stable: true,
+            },
+            utilization: 0.03,
+        });
+        self.bridges.insert(pt, id);
+    }
+}
+
+/// Per-measurement access configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AccessOptions {
+    /// Client location.
+    pub client: Location,
+    /// Client access medium.
+    pub medium: Medium,
+    /// Load multiplier on PT-bridge infrastructure (the Iran-surge knob;
+    /// 1.0 = normal, §5.3 used ~3–4 at peak).
+    pub load_mult: f64,
+    /// Circuit pinning for the fixed-circuit experiments.
+    pub path: PathConfig,
+}
+
+impl AccessOptions {
+    /// Defaults: wired client at `client`, no surge, no pinning.
+    pub fn new(client: Location) -> AccessOptions {
+        AccessOptions {
+            client,
+            medium: Medium::Wired,
+            load_mult: 1.0,
+            path: PathConfig::default(),
+        }
+    }
+}
+
+/// A pluggable transport: turns a deployment + access options into a
+/// ready [`Channel`] for one measurement against `dest`.
+pub trait PluggableTransport {
+    /// Which transport this is.
+    fn id(&self) -> PtId;
+
+    /// Establishes the tunnel and returns the channel a client would see.
+    fn establish(
+        &self,
+        dep: &Deployment,
+        opts: &AccessOptions,
+        dest: Location,
+        rng: &mut SimRng,
+    ) -> Channel;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_deployment_registers_all_roles() {
+        let dep = Deployment::standard(1, Location::Frankfurt);
+        for pt in [
+            PtId::Obfs4,
+            PtId::Meek,
+            PtId::Conjure,
+            PtId::Snowflake,
+            PtId::WebTunnel,
+            PtId::Dnstt,
+        ] {
+            let id = dep.bridge(pt);
+            assert!(dep.consensus.relay(id).flags.guard, "{pt} bridge not a guard");
+        }
+        for pt in [
+            PtId::Shadowsocks,
+            PtId::Psiphon,
+            PtId::Stegotorus,
+            PtId::Camoufler,
+            PtId::Cloak,
+            PtId::Marionette,
+        ] {
+            assert!(dep.server(pt).capacity_bps > 0.0);
+        }
+    }
+
+    #[test]
+    fn bridges_are_lightly_loaded() {
+        let dep = Deployment::standard(2, Location::Frankfurt);
+        let bridge = dep.consensus.relay(dep.bridge(PtId::Obfs4));
+        assert!(bridge.utilization < 0.3, "bridge util {}", bridge.utilization);
+    }
+
+    #[test]
+    #[should_panic(expected = "no registered bridge")]
+    fn set2_pt_has_no_bridge() {
+        let dep = Deployment::standard(3, Location::Frankfurt);
+        let _ = dep.bridge(PtId::Shadowsocks);
+    }
+
+    #[test]
+    fn private_bridge_replaces_default() {
+        let mut dep = Deployment::standard(4, Location::Frankfurt);
+        let before = dep.bridge(PtId::Obfs4);
+        dep.host_private_bridge(PtId::Obfs4, Location::London, 3.0e6, );
+        let after = dep.bridge(PtId::Obfs4);
+        assert_ne!(before, after);
+        assert_eq!(dep.consensus.relay(after).location, Location::London);
+        assert!(dep.consensus.relay(after).utilization < 0.1);
+    }
+
+    #[test]
+    fn server_region_is_respected() {
+        let dep = Deployment::standard(5, Location::Singapore);
+        assert_eq!(dep.server(PtId::Cloak).location, Location::Singapore);
+        assert_eq!(
+            dep.consensus.relay(dep.bridge(PtId::WebTunnel)).location,
+            Location::Singapore
+        );
+    }
+}

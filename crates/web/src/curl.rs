@@ -1,0 +1,193 @@
+//! The curl client model: a single request for the default page of a
+//! website through a SOCKS-fronted tunnel, the paper's primary website
+//! workload (§4.2, Figure 2a).
+
+use ptperf_sim::{SimDuration, SimRng};
+
+use crate::channel::{Channel, Outcome};
+use crate::website::Website;
+
+/// Result of one curl fetch.
+#[derive(Debug, Clone, Copy)]
+pub struct FetchResult {
+    /// Time to first byte: request issued → first response byte.
+    /// Measured from the start of the attempt, so it includes channel
+    /// setup (as a cold `curl --socks5` invocation would experience).
+    pub ttfb: SimDuration,
+    /// Total access time (setup + stream + request + full response).
+    pub total: SimDuration,
+    /// How the attempt ended.
+    pub outcome: Outcome,
+    /// Fraction of the page that arrived (1.0 for complete fetches).
+    pub fraction: f64,
+}
+
+/// Page-load timeout used by the paper's curl/selenium website runs
+/// (Appendix A.3: 120 s).
+pub const PAGE_TIMEOUT: SimDuration = SimDuration::from_secs(120);
+
+/// Fetches a website's default page through `channel`, as
+/// `curl --socks5-hostname localhost:9050 https://site/` would.
+pub fn fetch(channel: &Channel, site: &Website, rng: &mut SimRng) -> FetchResult {
+    fetch_with_timeout(channel, site, PAGE_TIMEOUT, rng)
+}
+
+/// [`fetch`] with an explicit timeout.
+pub fn fetch_with_timeout(
+    channel: &Channel,
+    site: &Website,
+    timeout: SimDuration,
+    rng: &mut SimRng,
+) -> FetchResult {
+    // Hard connection failure: nothing ever arrives.
+    if rng.chance(channel.connect_failure_p) {
+        return FetchResult {
+            ttfb: timeout,
+            total: timeout,
+            outcome: Outcome::Failed,
+            fraction: 0.0,
+        };
+    }
+
+    let ttfb = channel.setup
+        + channel.stream_open
+        + channel.per_request_extra
+        + channel.request_rtt
+        + site.server_processing;
+
+    if ttfb >= timeout {
+        return FetchResult {
+            ttfb: timeout,
+            total: timeout,
+            outcome: Outcome::Failed,
+            fraction: 0.0,
+        };
+    }
+
+    let body_time = channel.transfer_time(site.main_size);
+    let total = ttfb + body_time;
+
+    // Connection death during the body transfer (exponential hazard).
+    if channel.hazard_per_sec > 0.0 {
+        let death_after = rng.exponential(1.0 / channel.hazard_per_sec);
+        if death_after < body_time.as_secs_f64() {
+            let fraction = (death_after / body_time.as_secs_f64()).clamp(0.0, 1.0);
+            let elapsed = ttfb + SimDuration::from_secs_f64(death_after);
+            return FetchResult {
+                ttfb,
+                total: elapsed.min(timeout),
+                outcome: Outcome::Partial,
+                fraction,
+            };
+        }
+    }
+
+    if total >= timeout {
+        // Timed out mid-body: record the fraction that made it.
+        let body_budget = timeout.saturating_sub(ttfb);
+        let fraction =
+            (body_budget.as_secs_f64() / body_time.as_secs_f64().max(1e-9)).clamp(0.0, 1.0);
+        return FetchResult {
+            ttfb,
+            total: timeout,
+            outcome: Outcome::Partial,
+            fraction,
+        };
+    }
+
+    FetchResult {
+        ttfb,
+        total,
+        outcome: Outcome::Complete,
+        fraction: 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::website::SiteList;
+    use ptperf_sim::TransferModel;
+
+    fn channel(rate: f64) -> Channel {
+        Channel::ideal(TransferModel::new(SimDuration::from_millis(200), rate, 0.0))
+    }
+
+    fn site() -> Website {
+        Website::generate(SiteList::Tranco, 0)
+    }
+
+    #[test]
+    fn clean_fetch_completes() {
+        let mut rng = SimRng::new(1);
+        let r = fetch(&channel(1.0e6), &site(), &mut rng);
+        assert_eq!(r.outcome, Outcome::Complete);
+        assert_eq!(r.fraction, 1.0);
+        assert!(r.total > r.ttfb);
+    }
+
+    #[test]
+    fn ttfb_includes_setup_and_server_think() {
+        let mut rng = SimRng::new(2);
+        let mut ch = channel(1.0e6);
+        ch.setup = SimDuration::from_secs(3);
+        let s = site();
+        let r = fetch(&ch, &s, &mut rng);
+        assert!(r.ttfb >= SimDuration::from_secs(3) + s.server_processing);
+    }
+
+    #[test]
+    fn slow_channel_takes_longer() {
+        let mut rng_a = SimRng::new(3);
+        let mut rng_b = SimRng::new(3);
+        let fast = fetch(&channel(2.0e6), &site(), &mut rng_a);
+        let slow = fetch(&channel(50.0e3), &site(), &mut rng_b);
+        assert!(slow.total > fast.total);
+    }
+
+    #[test]
+    fn connect_failure_yields_failed() {
+        let mut rng = SimRng::new(4);
+        let mut ch = channel(1.0e6);
+        ch.connect_failure_p = 1.0;
+        let r = fetch(&ch, &site(), &mut rng);
+        assert_eq!(r.outcome, Outcome::Failed);
+        assert_eq!(r.fraction, 0.0);
+    }
+
+    #[test]
+    fn high_hazard_yields_partials() {
+        let mut rng = SimRng::new(5);
+        let mut ch = channel(20_000.0); // slow: body takes several seconds
+        ch.hazard_per_sec = 5.0; // dies within ~0.2 s on average
+        let mut partials = 0;
+        for _ in 0..50 {
+            let r = fetch(&ch, &site(), &mut rng);
+            if r.outcome == Outcome::Partial {
+                partials += 1;
+                assert!(r.fraction < 1.0);
+                assert!(r.fraction >= 0.0);
+            }
+        }
+        assert!(partials > 30, "only {partials} partials");
+    }
+
+    #[test]
+    fn timeout_truncates() {
+        let mut rng = SimRng::new(6);
+        let ch = channel(1_000.0); // ~100+ s for a typical page
+        let r = fetch_with_timeout(&ch, &site(), SimDuration::from_secs(10), &mut rng);
+        assert_eq!(r.outcome, Outcome::Partial);
+        assert_eq!(r.total, SimDuration::from_secs(10));
+        assert!(r.fraction < 1.0);
+    }
+
+    #[test]
+    fn setup_slower_than_timeout_fails() {
+        let mut rng = SimRng::new(7);
+        let mut ch = channel(1.0e6);
+        ch.setup = SimDuration::from_secs(200);
+        let r = fetch(&ch, &site(), &mut rng);
+        assert_eq!(r.outcome, Outcome::Failed);
+    }
+}

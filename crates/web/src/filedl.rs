@@ -1,0 +1,241 @@
+//! Bulk file downloads (§4.3 / Figure 5) and the reliability accounting
+//! built on them (§4.6 / Figure 8).
+//!
+//! The paper hosted files of 5/10/20/50/100 MB on its own servers and
+//! downloaded each through every PT, recording complete/partial/failed
+//! outcomes and the fraction of the file that arrived.
+
+use ptperf_sim::{SimDuration, SimRng};
+
+use crate::channel::{Channel, Outcome};
+
+/// The file sizes used throughout the paper, in bytes.
+pub const FILE_SIZES: [u64; 5] = [
+    5 * 1_000_000,
+    10 * 1_000_000,
+    20 * 1_000_000,
+    50 * 1_000_000,
+    100 * 1_000_000,
+];
+
+/// Download timeout used by the paper (Appendix A.3: 1200 s; unreliable
+/// PTs were retried with 7200 s and the results did not change).
+pub const FILE_TIMEOUT: SimDuration = SimDuration::from_secs(1200);
+
+/// Result of one bulk download attempt.
+#[derive(Debug, Clone, Copy)]
+pub struct Download {
+    /// Wall time until the attempt ended (completion, death, or timeout).
+    pub elapsed: SimDuration,
+    /// Fraction of the file that reached the client.
+    pub fraction: f64,
+    /// How the attempt ended.
+    pub outcome: Outcome,
+}
+
+/// Downloads `bytes` through `channel` with the default timeout.
+pub fn download(channel: &Channel, bytes: u64, rng: &mut SimRng) -> Download {
+    download_with_timeout(channel, bytes, FILE_TIMEOUT, rng)
+}
+
+/// [`download`] with an explicit timeout.
+pub fn download_with_timeout(
+    channel: &Channel,
+    bytes: u64,
+    timeout: SimDuration,
+    rng: &mut SimRng,
+) -> Download {
+    if rng.chance(channel.connect_failure_p) {
+        return Download {
+            elapsed: timeout,
+            fraction: 0.0,
+            outcome: Outcome::Failed,
+        };
+    }
+
+    let head = channel.setup + channel.stream_open + channel.per_request_extra + channel.request_rtt;
+    if head >= timeout {
+        return Download {
+            elapsed: timeout,
+            fraction: 0.0,
+            outcome: Outcome::Failed,
+        };
+    }
+
+    let body_time = channel.transfer_time(bytes);
+    let ideal_total = head + body_time;
+
+    // Death during the (long) body phase.
+    if channel.hazard_per_sec > 0.0 {
+        let death_after = rng.exponential(1.0 / channel.hazard_per_sec);
+        if death_after < body_time.as_secs_f64() {
+            let at = head + SimDuration::from_secs_f64(death_after);
+            let fraction = (death_after / body_time.as_secs_f64()).clamp(0.0, 1.0);
+            return Download {
+                elapsed: at.min(timeout),
+                fraction,
+                outcome: if fraction <= 0.001 {
+                    Outcome::Failed
+                } else {
+                    Outcome::Partial
+                },
+            };
+        }
+    }
+
+    if ideal_total >= timeout {
+        let body_budget = timeout.saturating_sub(head);
+        let fraction =
+            (body_budget.as_secs_f64() / body_time.as_secs_f64().max(1e-9)).clamp(0.0, 1.0);
+        return Download {
+            elapsed: timeout,
+            fraction,
+            outcome: Outcome::Partial,
+        };
+    }
+
+    Download {
+        elapsed: ideal_total,
+        fraction: 1.0,
+        outcome: Outcome::Complete,
+    }
+}
+
+/// Aggregated reliability counts over repeated attempts (Fig. 8a's
+/// stacked bars).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReliabilityCounts {
+    /// Attempts that delivered every byte.
+    pub complete: usize,
+    /// Attempts that delivered some bytes.
+    pub partial: usize,
+    /// Attempts that delivered nothing.
+    pub failed: usize,
+}
+
+impl ReliabilityCounts {
+    /// Records one outcome.
+    pub fn record(&mut self, outcome: Outcome) {
+        match outcome {
+            Outcome::Complete => self.complete += 1,
+            Outcome::Partial => self.partial += 1,
+            Outcome::Failed => self.failed += 1,
+        }
+    }
+
+    /// Total attempts recorded.
+    pub fn total(&self) -> usize {
+        self.complete + self.partial + self.failed
+    }
+
+    /// Fractions `(complete, partial, failed)`; zeros when empty.
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let t = self.total();
+        if t == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let t = t as f64;
+        (
+            self.complete as f64 / t,
+            self.partial as f64 / t,
+            self.failed as f64 / t,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptperf_sim::TransferModel;
+
+    fn channel(rate: f64, hazard: f64) -> Channel {
+        let mut ch = Channel::ideal(TransferModel::new(SimDuration::from_millis(200), rate, 0.0));
+        ch.hazard_per_sec = hazard;
+        ch
+    }
+
+    #[test]
+    fn clean_download_completes() {
+        let mut rng = SimRng::new(1);
+        let d = download(&channel(1.0e6, 0.0), FILE_SIZES[0], &mut rng);
+        assert_eq!(d.outcome, Outcome::Complete);
+        assert_eq!(d.fraction, 1.0);
+        // 5 MB at 1 MB/s ≈ 5 s + change.
+        assert!(d.elapsed.as_secs_f64() > 4.0 && d.elapsed.as_secs_f64() < 10.0);
+    }
+
+    #[test]
+    fn elapsed_scales_with_size() {
+        let mut rng = SimRng::new(2);
+        let ch = channel(1.0e6, 0.0);
+        let small = download(&ch, FILE_SIZES[0], &mut rng);
+        let large = download(&ch, FILE_SIZES[4], &mut rng);
+        assert!(large.elapsed.as_secs_f64() > small.elapsed.as_secs_f64() * 10.0);
+    }
+
+    #[test]
+    fn fragile_channel_mostly_partial_on_large_files() {
+        let mut rng = SimRng::new(3);
+        // 100 s transfer with a death every ~20 s on average.
+        let ch = channel(1.0e6, 0.05);
+        let mut counts = ReliabilityCounts::default();
+        for _ in 0..100 {
+            counts.record(download(&ch, FILE_SIZES[4], &mut rng).outcome);
+        }
+        let (complete, partial, _) = counts.fractions();
+        assert!(partial > 0.8, "partial fraction {partial}");
+        assert!(complete < 0.2, "complete fraction {complete}");
+    }
+
+    #[test]
+    fn same_hazard_rarely_hurts_small_fetches() {
+        let mut rng = SimRng::new(4);
+        let ch = channel(1.0e6, 0.05);
+        let mut counts = ReliabilityCounts::default();
+        for _ in 0..100 {
+            // 100 KB fetch: ~0.1 s exposure.
+            counts.record(download_with_timeout(&ch, 100_000, FILE_TIMEOUT, &mut rng).outcome);
+        }
+        let (complete, _, _) = counts.fractions();
+        assert!(complete > 0.9, "complete fraction {complete}");
+    }
+
+    #[test]
+    fn timeout_gives_partial_with_fraction() {
+        let mut rng = SimRng::new(5);
+        let ch = channel(10_000.0, 0.0); // 100 MB would take ~10,000 s
+        let d = download(&ch, FILE_SIZES[4], &mut rng);
+        assert_eq!(d.outcome, Outcome::Partial);
+        assert_eq!(d.elapsed, FILE_TIMEOUT);
+        assert!(d.fraction > 0.05 && d.fraction < 0.25, "fraction {}", d.fraction);
+    }
+
+    #[test]
+    fn connect_failure_delivers_nothing() {
+        let mut rng = SimRng::new(6);
+        let mut ch = channel(1.0e6, 0.0);
+        ch.connect_failure_p = 1.0;
+        let d = download(&ch, FILE_SIZES[0], &mut rng);
+        assert_eq!(d.outcome, Outcome::Failed);
+        assert_eq!(d.fraction, 0.0);
+    }
+
+    #[test]
+    fn reliability_counts_accumulate() {
+        let mut c = ReliabilityCounts::default();
+        c.record(Outcome::Complete);
+        c.record(Outcome::Partial);
+        c.record(Outcome::Partial);
+        c.record(Outcome::Failed);
+        assert_eq!(c.total(), 4);
+        let (comp, part, fail) = c.fractions();
+        assert_eq!(comp, 0.25);
+        assert_eq!(part, 0.5);
+        assert_eq!(fail, 0.25);
+    }
+
+    #[test]
+    fn empty_counts_fractions_are_zero() {
+        assert_eq!(ReliabilityCounts::default().fractions(), (0.0, 0.0, 0.0));
+    }
+}

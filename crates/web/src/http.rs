@@ -1,0 +1,251 @@
+//! A minimal HTTP/1.1 codec — the request bytes a curl/browser client
+//! actually pushes into the SOCKS tunnel, and the response framing the
+//! far side answers with.
+//!
+//! Used by the cross-crate plumbing tests to drive *real HTTP* through
+//! the transport codecs end-to-end, and to derive the request sizes the
+//! timing models charge for.
+
+/// An HTTP/1.1 GET request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request path (must start with `/`).
+    pub path: String,
+    /// Host header value.
+    pub host: String,
+    /// Extra headers as (name, value) pairs.
+    pub headers: Vec<(String, String)>,
+}
+
+impl Request {
+    /// A plain `GET /` for a host, with curl-like default headers.
+    pub fn get(host: &str, path: &str) -> Request {
+        Request {
+            path: path.to_string(),
+            host: host.to_string(),
+            headers: vec![
+                ("User-Agent".into(), "curl/8.0".into()),
+                ("Accept".into(), "*/*".into()),
+            ],
+        }
+    }
+
+    /// Serializes to wire bytes.
+    ///
+    /// # Panics
+    /// Panics if the path does not start with `/`.
+    pub fn encode(&self) -> Vec<u8> {
+        assert!(self.path.starts_with('/'), "path must be absolute");
+        let mut out = format!("GET {} HTTP/1.1\r\nHost: {}\r\n", self.path, self.host);
+        for (k, v) in &self.headers {
+            out.push_str(k);
+            out.push_str(": ");
+            out.push_str(v);
+            out.push_str("\r\n");
+        }
+        out.push_str("\r\n");
+        out.into_bytes()
+    }
+
+    /// Parses wire bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Request, HttpError> {
+        let text = std::str::from_utf8(bytes).map_err(|_| HttpError::Malformed)?;
+        let (head, _) = text.split_once("\r\n\r\n").ok_or(HttpError::Truncated)?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().ok_or(HttpError::Malformed)?;
+        let mut parts = request_line.split(' ');
+        let method = parts.next().ok_or(HttpError::Malformed)?;
+        if method != "GET" {
+            return Err(HttpError::UnsupportedMethod);
+        }
+        let path = parts.next().ok_or(HttpError::Malformed)?.to_string();
+        if parts.next() != Some("HTTP/1.1") {
+            return Err(HttpError::Malformed);
+        }
+        let mut host = None;
+        let mut headers = Vec::new();
+        for line in lines {
+            let (k, v) = line.split_once(": ").ok_or(HttpError::Malformed)?;
+            if k.eq_ignore_ascii_case("host") {
+                host = Some(v.to_string());
+            } else {
+                headers.push((k.to_string(), v.to_string()));
+            }
+        }
+        Ok(Request {
+            path,
+            host: host.ok_or(HttpError::MissingHost)?,
+            headers,
+        })
+    }
+
+    /// The wire size of this request — what the timing model charges for
+    /// the upstream leg.
+    pub fn wire_len(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+/// An HTTP/1.1 response with a Content-Length body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A 200 response carrying `body`.
+    pub fn ok(body: Vec<u8>) -> Response {
+        Response { status: 200, body }
+    }
+
+    /// Serializes to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let reason = match self.status {
+            200 => "OK",
+            404 => "Not Found",
+            _ => "Unknown",
+        };
+        let mut out = format!(
+            "HTTP/1.1 {} {reason}\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            self.status,
+            self.body.len()
+        )
+        .into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parses from the front of `buf`, consuming exactly one response;
+    /// `Ok(None)` means more bytes are needed.
+    pub fn decode(buf: &mut Vec<u8>) -> Result<Option<Response>, HttpError> {
+        let Some(sep) = buf.windows(4).position(|w| w == b"\r\n\r\n") else {
+            return Ok(None);
+        };
+        let head =
+            std::str::from_utf8(&buf[..sep]).map_err(|_| HttpError::Malformed)?.to_string();
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().ok_or(HttpError::Malformed)?;
+        let status: u16 = status_line
+            .strip_prefix("HTTP/1.1 ")
+            .and_then(|rest| rest.split(' ').next())
+            .and_then(|code| code.parse().ok())
+            .ok_or(HttpError::Malformed)?;
+        let mut content_length = None;
+        for line in lines {
+            if let Some((k, v)) = line.split_once(": ") {
+                if k.eq_ignore_ascii_case("content-length") {
+                    content_length = Some(v.parse::<usize>().map_err(|_| HttpError::Malformed)?);
+                }
+            }
+        }
+        let len = content_length.ok_or(HttpError::MissingLength)?;
+        if buf.len() < sep + 4 + len {
+            return Ok(None);
+        }
+        let body = buf[sep + 4..sep + 4 + len].to_vec();
+        buf.drain(..sep + 4 + len);
+        Ok(Some(Response { status, body }))
+    }
+}
+
+/// HTTP codec errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HttpError {
+    /// Header/body separator not found.
+    Truncated,
+    /// Unparseable structure.
+    Malformed,
+    /// Only GET is modeled.
+    UnsupportedMethod,
+    /// Request lacked a Host header.
+    MissingHost,
+    /// Response lacked Content-Length.
+    MissingLength,
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            HttpError::Truncated => "http message truncated",
+            HttpError::Malformed => "http message malformed",
+            HttpError::UnsupportedMethod => "only GET is supported",
+            HttpError::MissingHost => "request missing Host",
+            HttpError::MissingLength => "response missing Content-Length",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let req = Request::get("blocked.example.com", "/index.html");
+        let back = Request::decode(&req.encode()).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn request_rejects_post_and_missing_host() {
+        assert_eq!(
+            Request::decode(b"POST / HTTP/1.1\r\nHost: h\r\n\r\n"),
+            Err(HttpError::UnsupportedMethod)
+        );
+        assert_eq!(
+            Request::decode(b"GET / HTTP/1.1\r\nAccept: */*\r\n\r\n"),
+            Err(HttpError::MissingHost)
+        );
+    }
+
+    #[test]
+    fn request_wire_len_is_realistic() {
+        // A plain GET with curl headers sits in the one-to-few-hundred
+        // byte range the timing model assumes for upstream requests.
+        let len = Request::get("tranco-007.example", "/").wire_len();
+        assert!((60..400).contains(&len), "{len}");
+    }
+
+    #[test]
+    fn response_round_trip_and_pipelining() {
+        let a = Response::ok(b"first body".to_vec());
+        let b = Response::ok(vec![0xAB; 1000]);
+        let mut buf = a.encode();
+        buf.extend_from_slice(&b.encode());
+        assert_eq!(Response::decode(&mut buf).unwrap().unwrap(), a);
+        assert_eq!(Response::decode(&mut buf).unwrap().unwrap(), b);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn response_waits_for_full_body() {
+        let r = Response::ok(vec![7u8; 100]);
+        let wire = r.encode();
+        let mut buf = wire[..wire.len() - 10].to_vec();
+        assert_eq!(Response::decode(&mut buf).unwrap(), None);
+        buf.extend_from_slice(&wire[wire.len() - 10..]);
+        assert_eq!(Response::decode(&mut buf).unwrap().unwrap(), r);
+    }
+
+    #[test]
+    fn response_requires_content_length() {
+        let mut buf = b"HTTP/1.1 200 OK\r\nConnection: close\r\n\r\n".to_vec();
+        assert_eq!(Response::decode(&mut buf), Err(HttpError::MissingLength));
+    }
+
+    #[test]
+    fn non_200_statuses_survive() {
+        let r = Response {
+            status: 404,
+            body: vec![],
+        };
+        let mut buf = r.encode();
+        assert_eq!(Response::decode(&mut buf).unwrap().unwrap().status, 404);
+    }
+}

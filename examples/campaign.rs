@@ -1,0 +1,115 @@
+//! Scenario: run the whole measurement campaign (all twelve experiment
+//! families) at reduced scale and print a one-screen digest — the
+//! "did my change break any paper finding?" smoke run.
+//!
+//! ```sh
+//! cargo run --release --example campaign
+//! ```
+
+use ptperf::campaign::{render_plan, run_quick};
+use ptperf::scenario::Scenario;
+use ptperf_transports::PtId;
+
+fn main() {
+    println!("{}", render_plan());
+
+    let scenario = Scenario::baseline(42);
+    println!("Running all experiments at quick scale (seed 42)...\n");
+    let started = std::time::Instant::now();
+    let results = run_quick(&scenario);
+    println!("campaign done in {:.1}s\n", started.elapsed().as_secs_f64());
+
+    println!("=== Digest of paper findings ===\n");
+
+    let curl = &results.website_curl.samples;
+    println!(
+        "Fig 2a (curl medians): tor {:.1}s, obfs4 {:.1}s, dnstt {:.1}s, meek {:.1}s, \
+         camoufler {:.1}s, marionette {:.1}s",
+        curl.median(PtId::Vanilla),
+        curl.median(PtId::Obfs4),
+        curl.median(PtId::Dnstt),
+        curl.median(PtId::Meek),
+        curl.median(PtId::Camoufler),
+        curl.median(PtId::Marionette),
+    );
+
+    let sel = &results.website_selenium.samples;
+    println!(
+        "Fig 2b (selenium means): tor {:.1}s vs obfs4 {:.1}s / webtunnel {:.1}s / conjure {:.1}s \
+         — set-1 PTs beat vanilla",
+        sel.mean(PtId::Vanilla),
+        sel.mean(PtId::Obfs4),
+        sel.mean(PtId::WebTunnel),
+        sel.mean(PtId::Conjure),
+    );
+
+    let t = results.fixed_circuit.ttest(PtId::Obfs4, PtId::Vanilla);
+    println!(
+        "Fig 3 (fixed circuit): obfs4−tor mean diff {:.2}s (P={}) — the null result; \
+         {:.0}% of |diffs| < 5s",
+        t.mean_diff,
+        t.p_display(),
+        100.0 * results.fixed_circuit.diffs_below(5.0)
+    );
+
+    let t = results.fixed_guard.ttest();
+    println!(
+        "Fig 4 (fixed guard): obfs4−tor mean diff {:.2}s — first hop governs performance",
+        t.mean_diff
+    );
+
+    let excluded: Vec<&str> = results
+        .file_download
+        .excluded()
+        .iter()
+        .map(|p| p.name())
+        .collect();
+    println!("Fig 5 (files): excluded for unreliability: {}", excluded.join(", "));
+
+    println!(
+        "Fig 6 (TTFB): sites <5s — tor {:.0}%, meek {:.0}%, marionette {:.0}%",
+        100.0 * results.ttfb.fraction_below(PtId::Vanilla, 5.0),
+        100.0 * results.ttfb.fraction_below(PtId::Meek, 5.0),
+        100.0 * results.ttfb.fraction_below(PtId::Marionette, 5.0),
+    );
+
+    use ptperf_sim::Location;
+    println!(
+        "Fig 7 (location): obfs4 medians BLR {:.1}s / LON {:.1}s / TORO {:.1}s — Asia slowest, \
+         ordering invariant",
+        results.location.median_by_client(Location::Bangalore, PtId::Obfs4),
+        results.location.median_by_client(Location::London, PtId::Obfs4),
+        results.location.median_by_client(Location::Toronto, PtId::Obfs4),
+    );
+
+    println!(
+        "Fig 8 (reliability): incomplete fractions — meek {:.0}%, dnstt {:.0}%, snowflake {:.0}%",
+        100.0 * results.reliability.incomplete_fraction(PtId::Meek),
+        100.0 * results.reliability.incomplete_fraction(PtId::Dnstt),
+        100.0 * results.reliability.incomplete_fraction(PtId::Snowflake),
+    );
+
+    println!(
+        "§4.7 (medium): rank correlation wired↔wireless {:.2} — trends preserved",
+        results.medium.rank_correlation()
+    );
+
+    println!(
+        "Fig 9 (overhead): marionette {:.1}s vs obfs4 {:.1}s — marionette is the only outlier",
+        results.overhead.mean_overhead(PtId::Marionette),
+        results.overhead.mean_overhead(PtId::Obfs4),
+    );
+
+    let t = results.snowflake.ttest();
+    println!(
+        "Fig 10 (surge): snowflake pre−post mean diff {:.2}s (P={})",
+        t.mean_diff,
+        t.p_display()
+    );
+
+    println!(
+        "Fig 11 (speed index): SI < page load for every PT (e.g. tor {:.1}s vs {:.1}s)",
+        results.speed_index.speed_index.median(PtId::Vanilla),
+        results.speed_index.load_time.median(PtId::Vanilla),
+    );
+}

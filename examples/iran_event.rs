@@ -1,0 +1,65 @@
+//! Scenario: the September-2022 Iran surge replay (§5.3) — sweep the
+//! snowflake load multiplier through the event timeline and watch access
+//! time, completion rate, and broker behavior degrade and partially
+//! recover.
+//!
+//! ```sh
+//! cargo run --release --example iran_event
+//! ```
+
+use ptperf::experiments::snowflake_load::user_timeline;
+use ptperf::scenario::{Epoch, Scenario};
+use ptperf_transports::{transport_for, PtId};
+use ptperf_web::{curl, filedl, Outcome, SiteList, Website};
+
+fn main() {
+    let scenario = Scenario::baseline(1401); // 1401: the Iranian year of the protests
+    let dep = scenario.deployment();
+    let sites = Website::top(SiteList::Tranco, 15);
+    let snowflake = transport_for(PtId::Snowflake);
+
+    println!("Replaying the snowflake load timeline (week 0 = late September 2022):\n");
+    println!(
+        "{:>5} {:>6}  {:>12} {:>12} {:>10}",
+        "week", "load", "web med (s)", "5MB ok", "users"
+    );
+
+    for point in user_timeline() {
+        let mut sc = scenario.clone();
+        sc.epoch = Epoch::LoadMult(point.load);
+        let opts = sc.access_options();
+        let mut rng = sc.rng(&format!("iran/week{}", point.week));
+
+        // Website access medians at this load.
+        let mut times: Vec<f64> = sites
+            .iter()
+            .map(|s| {
+                let ch = snowflake.establish(&dep, &opts, s.server, &mut rng);
+                curl::fetch(&ch, s, &mut rng).total.as_secs_f64()
+            })
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = times[times.len() / 2];
+
+        // 5 MB download completion at this load.
+        let attempts = 10;
+        let ok = (0..attempts)
+            .filter(|_| {
+                let ch = snowflake.establish(&dep, &opts, sc.server_region, &mut rng);
+                filedl::download(&ch, 5_000_000, &mut rng).outcome == Outcome::Complete
+            })
+            .count();
+
+        let bar = "#".repeat((point.load * 10.0) as usize);
+        println!(
+            "{:>5} {:>6.2}  {:>12.2} {:>9}/{attempts} {:>2} {bar}",
+            point.week, point.load, median, ok, ""
+        );
+    }
+
+    println!(
+        "\nThe paper's §5.3 story, mechanically reproduced: the surge floods the volunteer\n\
+         proxy pool, web access slows (3.42 s → 4.77 s mean in the paper), and 5 MB\n\
+         downloads start failing in most attempts (8/10 failures post-September)."
+    );
+}

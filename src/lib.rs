@@ -1,0 +1,12 @@
+//! Workspace umbrella crate for ptperf-rs.
+//!
+//! This crate exists to host workspace-level integration tests (`tests/`)
+//! and runnable examples (`examples/`). The actual functionality lives in
+//! the `ptperf-*` crates; see the re-exports below.
+
+pub use ptperf as core;
+pub use ptperf_sim as sim;
+pub use ptperf_stats as stats;
+pub use ptperf_tor as tor;
+pub use ptperf_transports as transports;
+pub use ptperf_web as web;
