@@ -5,17 +5,21 @@
 //! repro fig2a fig5 table10   # selected targets
 //! repro --paper fig2a        # paper-scale run (slow)
 //! repro --seed 1234 fig6     # alternate scenario seed
+//! repro --workers 8 fig7     # parallel run (same output, any count)
+//! repro --workers auto fig7  # one worker per hardware thread
 //! repro --list               # list targets
 //! ```
 
+use ptperf::executor::Parallelism;
 use ptperf::scenario::Scenario;
-use ptperf_bench::{available_targets, run_target, targets::export_csv, RunScale};
+use ptperf_bench::{available_targets, run_target_with, targets::export_csv_with, RunScale};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = RunScale::Quick;
     let mut seed = 42u64;
     let mut csv_dir: Option<String> = None;
+    let mut par = Parallelism::sequential();
 
     if args.iter().any(|a| a == "--help" || a == "-h") {
         print_help();
@@ -45,6 +49,27 @@ fn main() {
         };
         args.drain(pos..=pos + 1);
     }
+    if let Some(pos) = args.iter().position(|a| a == "--workers") {
+        if pos + 1 >= args.len() {
+            eprintln!("--workers requires a count or 'auto'");
+            std::process::exit(2);
+        }
+        par = if args[pos + 1] == "auto" {
+            Parallelism::auto()
+        } else {
+            match args[pos + 1].parse::<usize>() {
+                Ok(n) if n >= 1 => Parallelism::new(n),
+                _ => {
+                    eprintln!(
+                        "--workers requires a positive integer or 'auto', got '{}'",
+                        args[pos + 1]
+                    );
+                    std::process::exit(2);
+                }
+            }
+        };
+        args.drain(pos..=pos + 1);
+    }
     if let Some(pos) = args.iter().position(|a| a == "--csv") {
         if pos + 1 >= args.len() {
             eprintln!("--csv requires a directory");
@@ -68,17 +93,17 @@ fn main() {
 
     let scenario = Scenario::baseline(seed);
     println!(
-        "# PTPerf reproduction — scale: {:?}, seed: {seed}, scenario: client {} / servers {}\n",
-        scale, scenario.client, scenario.server_region
+        "# PTPerf reproduction — scale: {:?}, seed: {seed}, workers: {}, scenario: client {} / servers {}\n",
+        scale, par.workers, scenario.client, scenario.server_region
     );
     for t in targets {
         let started = std::time::Instant::now();
-        let out = run_target(&t, &scenario, scale);
+        let out = run_target_with(&t, &scenario, scale, &par);
         println!("==================== {t} ====================");
         println!("{out}");
         if let Some(dir) = &csv_dir {
             std::fs::create_dir_all(dir).expect("create csv dir");
-            for (stem, doc) in export_csv(&t, &scenario, scale) {
+            for (stem, doc) in export_csv_with(&t, &scenario, scale, &par) {
                 let path = format!("{dir}/{stem}.csv");
                 std::fs::write(&path, doc).expect("write csv");
                 eprintln!("[wrote {path}]");
@@ -91,7 +116,9 @@ fn main() {
 fn print_help() {
     println!(
         "repro — regenerate PTPerf tables and figures\n\n\
-         usage: repro [--paper] [--seed N] [--list] [TARGET ...]\n\n\
+         usage: repro [--paper] [--seed N] [--workers N|auto] [--list] [TARGET ...]\n\n\
+         --workers only changes wall-clock time: output is bit-for-bit\n\
+         identical at any worker count.\n\
          With no targets, all of them run. Targets:\n  {}",
         available_targets().join(" ")
     );

@@ -11,4 +11,4 @@
 
 pub mod targets;
 
-pub use targets::{available_targets, run_target, RunScale};
+pub use targets::{available_targets, run_target, run_target_with, RunScale};

@@ -1,6 +1,7 @@
 //! The repro targets: one entry per table/figure, each producing the
 //! text rendering of that artifact.
 
+use ptperf::executor::{ExecError, Parallelism, ShardReport};
 use ptperf::experiments::{
     file_download, fixed_circuit, fixed_guard, location, medium, overhead, reliability,
     snowflake_load, speed_index, streaming, ttest_tables, ttfb, website_curl,
@@ -8,6 +9,15 @@ use ptperf::experiments::{
 };
 use ptperf::scenario::Scenario;
 use ptperf::{campaign, ecosystem};
+
+/// Unwraps an experiment's `run_with` result, dropping the shard
+/// reports (the `repro` binary reports per-target wall time itself).
+fn first<T>(r: Result<(T, Vec<ShardReport>), ExecError>) -> T {
+    match r {
+        Ok((value, _)) => value,
+        Err(e) => panic!("experiment shard failed: {e}"),
+    }
+}
 
 /// How big a run to perform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,12 +37,28 @@ pub fn available_targets() -> Vec<&'static str> {
     ]
 }
 
-/// Runs one target and returns its rendered text.
+/// Runs one target sequentially and returns its rendered text.
 ///
 /// # Panics
 /// Panics on an unknown target name; callers should validate against
 /// [`available_targets`].
 pub fn run_target(name: &str, scenario: &Scenario, scale: RunScale) -> String {
+    run_target_with(name, scenario, scale, &Parallelism::sequential())
+}
+
+/// Runs one target through the parallel executor and returns its
+/// rendered text — bit-for-bit identical at any worker count (see
+/// [`ptperf::executor`]).
+///
+/// # Panics
+/// Panics on an unknown target name; callers should validate against
+/// [`available_targets`].
+pub fn run_target_with(
+    name: &str,
+    scenario: &Scenario,
+    scale: RunScale,
+    par: &Parallelism,
+) -> String {
     let quick = scale == RunScale::Quick;
     match name {
         "table1" => campaign::render_plan(),
@@ -43,7 +69,7 @@ pub fn run_target(name: &str, scenario: &Scenario, scale: RunScale) -> String {
             } else {
                 website_curl::Config::paper()
             };
-            website_curl::run(scenario, &cfg).render()
+            first(website_curl::run_with(scenario, &cfg, par)).render()
         }
         "fig2b" => {
             let cfg = if quick {
@@ -51,7 +77,7 @@ pub fn run_target(name: &str, scenario: &Scenario, scale: RunScale) -> String {
             } else {
                 website_selenium::Config::paper()
             };
-            website_selenium::run(scenario, &cfg).render()
+            first(website_selenium::run_with(scenario, &cfg, par)).render()
         }
         "table3" | "table4" => {
             let cfg = if quick {
@@ -59,7 +85,7 @@ pub fn run_target(name: &str, scenario: &Scenario, scale: RunScale) -> String {
             } else {
                 website_curl::Config::paper()
             };
-            let result = website_curl::run(scenario, &cfg);
+            let result = first(website_curl::run_with(scenario, &cfg, par));
             let rows = ttest_tables::pairwise(&result.samples);
             let half = rows.len() / 2;
             let (title, slice) = if name == "table3" {
@@ -75,7 +101,7 @@ pub fn run_target(name: &str, scenario: &Scenario, scale: RunScale) -> String {
             } else {
                 website_selenium::Config::paper()
             };
-            let result = website_selenium::run(scenario, &cfg);
+            let result = first(website_selenium::run_with(scenario, &cfg, par));
             let rows = ttest_tables::pairwise(&result.samples);
             let half = rows.len() / 2;
             let (title, slice) = if name == "table5" {
@@ -91,7 +117,7 @@ pub fn run_target(name: &str, scenario: &Scenario, scale: RunScale) -> String {
             } else {
                 fixed_circuit::Config::paper()
             };
-            let result = fixed_circuit::run(scenario, &cfg);
+            let result = first(fixed_circuit::run_with(scenario, &cfg, par));
             if name == "fig3a" {
                 let mut out = result.render_boxplots();
                 for (a, b) in [
@@ -126,7 +152,7 @@ pub fn run_target(name: &str, scenario: &Scenario, scale: RunScale) -> String {
             } else {
                 fixed_guard::Config::paper()
             };
-            let result = fixed_guard::run(scenario, &cfg);
+            let result = first(fixed_guard::run_with(scenario, &cfg, par));
             let mut out = result.render();
             let t = result.ttest();
             out.push_str(&format!(
@@ -143,7 +169,7 @@ pub fn run_target(name: &str, scenario: &Scenario, scale: RunScale) -> String {
             } else {
                 file_download::Config::paper()
             };
-            file_download::run(scenario, &cfg).render()
+            first(file_download::run_with(scenario, &cfg, par)).render()
         }
         "table7" => {
             let cfg = if quick {
@@ -151,7 +177,7 @@ pub fn run_target(name: &str, scenario: &Scenario, scale: RunScale) -> String {
             } else {
                 file_download::Config::paper()
             };
-            let result = file_download::run(scenario, &cfg);
+            let result = first(file_download::run_with(scenario, &cfg, par));
             let rows = ttest_tables::pairwise(&result.paired);
             ttest_tables::render("Table 7 — paired t-tests, file downloads", &rows)
         }
@@ -161,7 +187,7 @@ pub fn run_target(name: &str, scenario: &Scenario, scale: RunScale) -> String {
             } else {
                 ttfb::Config::paper()
             };
-            ttfb::run(scenario, &cfg).render()
+            first(ttfb::run_with(scenario, &cfg, par)).render()
         }
         "fig7" => {
             let cfg = if quick {
@@ -169,7 +195,7 @@ pub fn run_target(name: &str, scenario: &Scenario, scale: RunScale) -> String {
             } else {
                 location::Config::paper()
             };
-            location::run(scenario, &cfg).render()
+            first(location::run_with(scenario, &cfg, par)).render()
         }
         "fig8a" | "fig8b" => {
             let cfg = if quick {
@@ -177,7 +203,7 @@ pub fn run_target(name: &str, scenario: &Scenario, scale: RunScale) -> String {
             } else {
                 reliability::Config::paper()
             };
-            let result = reliability::run(scenario, &cfg);
+            let result = first(reliability::run_with(scenario, &cfg, par));
             if name == "fig8a" {
                 result.render_stacked()
             } else {
@@ -190,7 +216,7 @@ pub fn run_target(name: &str, scenario: &Scenario, scale: RunScale) -> String {
             } else {
                 medium::Config::paper()
             };
-            medium::run(scenario, &cfg).render()
+            first(medium::run_with(scenario, &cfg, par)).render()
         }
         "fig9" => {
             let cfg = if quick {
@@ -198,7 +224,7 @@ pub fn run_target(name: &str, scenario: &Scenario, scale: RunScale) -> String {
             } else {
                 overhead::Config::paper()
             };
-            overhead::run(scenario, &cfg).render()
+            first(overhead::run_with(scenario, &cfg, par)).render()
         }
         "fig10a" | "fig10b" | "fig12" => {
             let cfg = if quick {
@@ -206,7 +232,7 @@ pub fn run_target(name: &str, scenario: &Scenario, scale: RunScale) -> String {
             } else {
                 snowflake_load::Config::paper()
             };
-            let result = snowflake_load::run(scenario, &cfg);
+            let result = first(snowflake_load::run_with(scenario, &cfg, par));
             match name {
                 "fig10a" => result.render_timeline(),
                 "fig10b" => result.render_pre_post(),
@@ -219,7 +245,7 @@ pub fn run_target(name: &str, scenario: &Scenario, scale: RunScale) -> String {
             } else {
                 speed_index::Config::paper()
             };
-            speed_index::run(scenario, &cfg).render()
+            first(speed_index::run_with(scenario, &cfg, par)).render()
         }
         "table8" | "table9" => {
             let cfg = if quick {
@@ -227,7 +253,7 @@ pub fn run_target(name: &str, scenario: &Scenario, scale: RunScale) -> String {
             } else {
                 speed_index::Config::paper()
             };
-            let result = speed_index::run(scenario, &cfg);
+            let result = first(speed_index::run_with(scenario, &cfg, par));
             let rows = ttest_tables::pairwise(&result.speed_index);
             let half = rows.len() / 2;
             let (title, slice) = if name == "table8" {
@@ -243,7 +269,7 @@ pub fn run_target(name: &str, scenario: &Scenario, scale: RunScale) -> String {
             } else {
                 website_curl::Config::paper()
             };
-            let result = website_curl::run(scenario, &cfg);
+            let result = first(website_curl::run_with(scenario, &cfg, par));
             let rows = ttest_tables::category_pairwise(&result.samples);
             ttest_tables::render(
                 "Table 10 — paired t-tests between PT categories (curl website access)",
@@ -256,7 +282,7 @@ pub fn run_target(name: &str, scenario: &Scenario, scale: RunScale) -> String {
             } else {
                 streaming::Config::paper()
             };
-            streaming::run(scenario, &cfg).render()
+            first(streaming::run_with(scenario, &cfg, par)).render()
         }
         other => panic!("unknown repro target '{other}'; see `repro --list`"),
     }
@@ -266,6 +292,17 @@ pub fn run_target(name: &str, scenario: &Scenario, scale: RunScale) -> String {
 /// Returns `(file_stem, csv_document)` pairs; targets whose artifact is
 /// purely textual (table1/table2, the timeline) export nothing.
 pub fn export_csv(name: &str, scenario: &Scenario, scale: RunScale) -> Vec<(String, String)> {
+    export_csv_with(name, scenario, scale, &Parallelism::sequential())
+}
+
+/// [`export_csv`] through the parallel executor (identical output at
+/// any worker count).
+pub fn export_csv_with(
+    name: &str,
+    scenario: &Scenario,
+    scale: RunScale,
+    par: &Parallelism,
+) -> Vec<(String, String)> {
     use ptperf::report;
     let quick = scale == RunScale::Quick;
     match name {
@@ -275,7 +312,7 @@ pub fn export_csv(name: &str, scenario: &Scenario, scale: RunScale) -> Vec<(Stri
             } else {
                 website_curl::Config::paper()
             };
-            let result = website_curl::run(scenario, &cfg);
+            let result = first(website_curl::run_with(scenario, &cfg, par));
             vec![
                 ("fig2a_samples".to_string(), report::samples_csv(&result.samples)),
                 (
@@ -294,7 +331,7 @@ pub fn export_csv(name: &str, scenario: &Scenario, scale: RunScale) -> Vec<(Stri
             } else {
                 website_selenium::Config::paper()
             };
-            let result = website_selenium::run(scenario, &cfg);
+            let result = first(website_selenium::run_with(scenario, &cfg, par));
             vec![
                 ("fig2b_samples".to_string(), report::samples_csv(&result.samples)),
                 (
@@ -309,7 +346,7 @@ pub fn export_csv(name: &str, scenario: &Scenario, scale: RunScale) -> Vec<(Stri
             } else {
                 file_download::Config::paper()
             };
-            let result = file_download::run(scenario, &cfg);
+            let result = first(file_download::run_with(scenario, &cfg, par));
             vec![
                 ("fig5_samples".to_string(), report::samples_csv(&result.paired)),
                 (
@@ -324,7 +361,7 @@ pub fn export_csv(name: &str, scenario: &Scenario, scale: RunScale) -> Vec<(Stri
             } else {
                 reliability::Config::paper()
             };
-            let result = reliability::run(scenario, &cfg);
+            let result = first(reliability::run_with(scenario, &cfg, par));
             let rows: Vec<Vec<String>> = result
                 .counts
                 .iter()
@@ -349,7 +386,7 @@ pub fn export_csv(name: &str, scenario: &Scenario, scale: RunScale) -> Vec<(Stri
             } else {
                 speed_index::Config::paper()
             };
-            let result = speed_index::run(scenario, &cfg);
+            let result = first(speed_index::run_with(scenario, &cfg, par));
             vec![
                 (
                     "fig11_speed_index".to_string(),

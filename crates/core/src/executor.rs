@@ -1,0 +1,351 @@
+//! Deterministic work-claiming parallel executor for campaign shards.
+//!
+//! The campaign decomposes into independent units — one per
+//! `(experiment family × RNG stream)` — and every unit derives its
+//! randomness from [`crate::scenario::Scenario::rng`] with a stable
+//! stream tag, never from a shared sequential RNG. That makes the
+//! decomposition *embarrassingly parallel and bit-for-bit reproducible*:
+//! the executor may run units on any number of [`std::thread`] workers,
+//! in any claiming order, and the merged output is identical to a
+//! sequential run because
+//!
+//! 1. each unit's randomness is a function of `(scenario seed, tag)`
+//!    only, and
+//! 2. results are always merged in shard-index order, not completion
+//!    order.
+//!
+//! Workers claim contiguous chunks of the unit list from a shared atomic
+//! cursor (chunked work-claiming — the cheap cousin of work stealing:
+//! idle workers keep pulling whatever chunks remain, so a straggler
+//! shard never idles the rest of the pool behind a static partition).
+//! Each unit runs under [`std::panic::catch_unwind`], so one failing
+//! shard is reported with its label while sibling shards complete
+//! normally.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How to spread campaign units over threads.
+///
+/// The default (and [`Parallelism::sequential`]) is one worker, which
+/// runs units in index order on the calling thread. Any other setting
+/// produces *identical results* — see the module docs for why — and is
+/// purely a wall-clock knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Number of worker threads (clamped to ≥ 1).
+    pub workers: usize,
+    /// Units claimed per cursor fetch (clamped to ≥ 1). Larger chunks
+    /// amortize claiming overhead; smaller chunks balance stragglers.
+    pub chunk: usize,
+}
+
+impl Parallelism {
+    /// One worker on the calling thread; the reference execution.
+    pub fn sequential() -> Parallelism {
+        Parallelism { workers: 1, chunk: 1 }
+    }
+
+    /// A fixed worker count with single-unit claiming.
+    pub fn new(workers: usize) -> Parallelism {
+        Parallelism { workers: workers.max(1), chunk: 1 }
+    }
+
+    /// One worker per available hardware thread.
+    pub fn auto() -> Parallelism {
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Parallelism { workers, chunk: 1 }
+    }
+
+    /// Set the units-per-claim chunk size.
+    pub fn with_chunk(mut self, chunk: usize) -> Parallelism {
+        self.chunk = chunk.max(1);
+        self
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Parallelism {
+        Parallelism::sequential()
+    }
+}
+
+/// One independent shard of campaign work: a label (for reporting — RNG
+/// tags live *inside* the closure, derived from the scenario) and a
+/// closure producing the shard value plus its raw sample count.
+pub struct Unit<T> {
+    label: String,
+    work: Box<dyn FnOnce() -> (T, usize) + Send>,
+}
+
+impl<T> Unit<T> {
+    /// Create a unit. `work` returns `(value, sample_count)`, where the
+    /// count is the number of underlying measurements the shard took
+    /// (reported in [`ShardReport::samples`]).
+    pub fn new(
+        label: impl Into<String>,
+        work: impl FnOnce() -> (T, usize) + Send + 'static,
+    ) -> Unit<T> {
+        Unit { label: label.into(), work: Box::new(work) }
+    }
+
+    /// The shard's display label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl<T: Send + 'static> Unit<T> {
+    /// Type-erase the shard value so units of different families can
+    /// share one executor pool (the campaign runner downcasts per
+    /// family when merging).
+    pub fn boxed(self) -> Unit<Box<dyn std::any::Any + Send>> {
+        let Unit { label, work } = self;
+        Unit {
+            label,
+            work: Box::new(move || {
+                let (value, samples) = work();
+                (Box::new(value) as Box<dyn std::any::Any + Send>, samples)
+            }),
+        }
+    }
+}
+
+/// Per-shard execution record.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Shard index in submission (= merge) order.
+    pub index: usize,
+    /// The shard's label.
+    pub label: String,
+    /// Wall-clock time the shard's closure took.
+    pub wall: Duration,
+    /// Raw measurement count the shard reported.
+    pub samples: usize,
+}
+
+/// A shard whose closure panicked.
+#[derive(Debug, Clone)]
+pub struct ShardFailure {
+    /// Shard index in submission order.
+    pub index: usize,
+    /// The shard's label.
+    pub label: String,
+    /// The panic payload, if it was a string.
+    pub message: String,
+}
+
+/// Error from [`run_units`]: at least one shard panicked. Sibling
+/// shards are unaffected — `completed` counts the shards that finished
+/// normally despite the failures.
+#[derive(Debug)]
+pub struct ExecError {
+    /// Every failing shard, in index order.
+    pub failures: Vec<ShardFailure>,
+    /// How many shards completed normally.
+    pub completed: usize,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} shard(s) failed ({} completed):",
+            self.failures.len(),
+            self.completed
+        )?;
+        for failure in &self.failures {
+            write!(
+                f,
+                " [#{} {}: {}]",
+                failure.index, failure.label, failure.message
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Successful result of [`run_units`].
+#[derive(Debug)]
+pub struct Executed<T> {
+    /// Shard values in submission order — independent of worker count,
+    /// chunk size, and completion order.
+    pub values: Vec<T>,
+    /// Per-shard timing/sample records, in submission order.
+    pub reports: Vec<ShardReport>,
+    /// Wall-clock time for the whole pool.
+    pub wall: Duration,
+    /// Worker threads actually used.
+    pub workers: usize,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn run_one<T>(
+    unit: Unit<T>,
+    index: usize,
+    results: &Mutex<Vec<Option<(T, ShardReport)>>>,
+    failures: &Mutex<Vec<ShardFailure>>,
+) {
+    let Unit { label, work } = unit;
+    let started = Instant::now();
+    match catch_unwind(AssertUnwindSafe(work)) {
+        Ok((value, samples)) => {
+            let report = ShardReport { index, label, wall: started.elapsed(), samples };
+            results.lock().expect("results lock")[index] = Some((value, report));
+        }
+        Err(payload) => {
+            failures.lock().expect("failures lock").push(ShardFailure {
+                index,
+                label,
+                message: panic_message(payload),
+            });
+        }
+    }
+}
+
+/// Run every unit and return the values in submission order.
+///
+/// With `workers == 1` the units run in order on the calling thread;
+/// otherwise `workers` scoped threads claim chunks of the unit list
+/// from a shared cursor until it is drained. Either way the output is
+/// identical (see the module docs). If any shard panics, the error
+/// lists every failing shard and the panic is *contained*: sibling
+/// shards still run to completion.
+pub fn run_units<T: Send>(
+    par: &Parallelism,
+    units: Vec<Unit<T>>,
+) -> Result<Executed<T>, ExecError> {
+    let started = Instant::now();
+    let n = units.len();
+    let workers = par.workers.clamp(1, n.max(1));
+    let chunk = par.chunk.max(1);
+
+    let results: Mutex<Vec<Option<(T, ShardReport)>>> =
+        Mutex::new((0..n).map(|_| None).collect());
+    let failures: Mutex<Vec<ShardFailure>> = Mutex::new(Vec::new());
+
+    if workers <= 1 {
+        for (index, unit) in units.into_iter().enumerate() {
+            run_one(unit, index, &results, &failures);
+        }
+    } else {
+        let jobs: Vec<Mutex<Option<Unit<T>>>> =
+            units.into_iter().map(|u| Mutex::new(Some(u))).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let base = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if base >= n {
+                        break;
+                    }
+                    let claimed = jobs[base..(base + chunk).min(n)].iter().enumerate();
+                    for (offset, job) in claimed {
+                        let unit = job.lock().expect("job lock").take();
+                        if let Some(unit) = unit {
+                            run_one(unit, base + offset, &results, &failures);
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    let mut failures = failures.into_inner().expect("failures lock");
+    let results = results.into_inner().expect("results lock");
+    if !failures.is_empty() {
+        failures.sort_by_key(|f| f.index);
+        let completed = results.iter().filter(|r| r.is_some()).count();
+        return Err(ExecError { failures, completed });
+    }
+
+    let mut values = Vec::with_capacity(n);
+    let mut reports = Vec::with_capacity(n);
+    for slot in results {
+        let (value, report) = slot.expect("no failure recorded, so every slot is filled");
+        values.push(value);
+        reports.push(report);
+    }
+    Ok(Executed { values, reports, wall: started.elapsed(), workers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn squares(n: usize) -> Vec<Unit<usize>> {
+        (0..n)
+            .map(|i| Unit::new(format!("sq/{i}"), move || (i * i, 1)))
+            .collect()
+    }
+
+    #[test]
+    fn values_come_back_in_submission_order() {
+        for par in [
+            Parallelism::sequential(),
+            Parallelism::new(3),
+            Parallelism::new(8).with_chunk(2),
+        ] {
+            let out = run_units(&par, squares(17)).unwrap();
+            let expect: Vec<usize> = (0..17).map(|i| i * i).collect();
+            assert_eq!(out.values, expect, "{par:?}");
+            assert_eq!(out.reports.len(), 17);
+            assert!(out.reports.iter().enumerate().all(|(i, r)| r.index == i));
+        }
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_unit_count() {
+        let out = run_units(&Parallelism::new(64), squares(2)).unwrap();
+        assert_eq!(out.workers, 2);
+        let out = run_units(&Parallelism::new(4), Vec::<Unit<u8>>::new()).unwrap();
+        assert!(out.values.is_empty());
+    }
+
+    #[test]
+    fn one_panic_does_not_poison_siblings() {
+        let units: Vec<Unit<usize>> = (0..6)
+            .map(|i| {
+                Unit::new(format!("u/{i}"), move || {
+                    if i == 3 {
+                        panic!("shard {i} exploded");
+                    }
+                    (i, 1)
+                })
+            })
+            .collect();
+        let err = run_units(&Parallelism::new(2), units).unwrap_err();
+        assert_eq!(err.failures.len(), 1);
+        assert_eq!(err.failures[0].index, 3);
+        assert_eq!(err.failures[0].label, "u/3");
+        assert!(err.failures[0].message.contains("exploded"));
+        assert_eq!(err.completed, 5);
+        assert!(err.to_string().contains("u/3"));
+    }
+
+    #[test]
+    fn boxed_units_round_trip_through_any() {
+        let pool: Vec<Unit<Box<dyn std::any::Any + Send>>> =
+            squares(4).into_iter().map(Unit::boxed).collect();
+        let out = run_units(&Parallelism::new(2), pool).unwrap();
+        let values: Vec<usize> = out
+            .values
+            .into_iter()
+            .map(|v| *v.downcast::<usize>().unwrap())
+            .collect();
+        assert_eq!(values, vec![0, 1, 4, 9]);
+    }
+}

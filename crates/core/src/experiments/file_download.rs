@@ -12,6 +12,7 @@ use ptperf_stats::{ascii_boxplots, Summary};
 use ptperf_transports::{transport_for, PtId};
 use ptperf_web::{filedl, Outcome, FILE_SIZES};
 
+use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
 use crate::measure::PairedSamples;
 use crate::scenario::{Epoch, Scenario};
 
@@ -68,41 +69,80 @@ pub struct Result {
     pub paired: PairedSamples,
 }
 
-/// Runs the experiment.
+/// One executor shard: a PT's download attempts from its own RNG
+/// stream (the paired series is reconstructed at merge time).
+pub type Shard = (PtId, Vec<Attempt>);
+
+/// Decomposes the experiment into one independent unit per PT, each on
+/// its own `fig5/{pt}` RNG stream (see [`crate::executor`]).
 ///
 /// The paper's file campaign coincided with the snowflake surge; if the
 /// scenario is still pre-surge, the plateau epoch is used, matching the
 /// measurement timeline.
-pub fn run(scenario: &Scenario, cfg: &Config) -> Result {
+pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
     let mut scenario = scenario.clone();
     if matches!(scenario.epoch, Epoch::PreSurge) {
         scenario.epoch = Epoch::Plateau;
     }
-    let dep = scenario.deployment();
-    let opts = scenario.access_options();
-    let file_server = scenario.server_region;
+    let cfg = *cfg;
+    figure_order()
+        .into_iter()
+        .map(|pt| {
+            let scenario = scenario.clone();
+            Unit::new(format!("fig5/{pt}"), move || {
+                let transport = transport_for(pt);
+                let dep = scenario.deployment();
+                let opts = scenario.access_options();
+                let file_server = scenario.server_region;
+                let mut rng = scenario.rng(&format!("fig5/{pt}"));
+                let mut list = Vec::with_capacity(cfg.sizes.len() * cfg.attempts);
+                for &size in &cfg.sizes {
+                    for _ in 0..cfg.attempts {
+                        let ch = transport.establish(&dep, &opts, file_server, &mut rng);
+                        let d = filedl::download(&ch, size, &mut rng);
+                        list.push(Attempt {
+                            size,
+                            elapsed: d.elapsed.as_secs_f64(),
+                            fraction: d.fraction,
+                            outcome: d.outcome,
+                        });
+                    }
+                }
+                let n = list.len();
+                ((pt, list), n)
+            })
+        })
+        .collect()
+}
 
+/// Merges shards (in shard-index order) into the experiment result.
+pub fn merge(shards: Vec<Shard>) -> Result {
     let mut attempts: BTreeMap<PtId, Vec<Attempt>> = BTreeMap::new();
     let mut paired = PairedSamples::new();
-    for pt in figure_order() {
-        let transport = transport_for(pt);
-        let mut rng = scenario.rng(&format!("fig5/{pt}"));
-        let list = attempts.entry(pt).or_default();
-        for &size in &cfg.sizes {
-            for _ in 0..cfg.attempts {
-                let ch = transport.establish(&dep, &opts, file_server, &mut rng);
-                let d = filedl::download(&ch, size, &mut rng);
-                list.push(Attempt {
-                    size,
-                    elapsed: d.elapsed.as_secs_f64(),
-                    fraction: d.fraction,
-                    outcome: d.outcome,
-                });
-                paired.push(pt, d.elapsed.as_secs_f64());
-            }
+    for (pt, list) in shards {
+        for a in &list {
+            paired.push(pt, a.elapsed);
         }
+        attempts.insert(pt, list);
     }
     Result { attempts, paired }
+}
+
+/// Runs the experiment through the executor at the given parallelism.
+pub fn run_with(
+    scenario: &Scenario,
+    cfg: &Config,
+    par: &Parallelism,
+) -> std::result::Result<(Result, Vec<ShardReport>), ExecError> {
+    let executed = crate::executor::run_units(par, units(scenario, cfg))?;
+    Ok((merge(executed.values), executed.reports))
+}
+
+/// Runs the experiment (see [`units`] for the epoch-lift note).
+pub fn run(scenario: &Scenario, cfg: &Config) -> Result {
+    run_with(scenario, cfg, &Parallelism::sequential())
+        .expect("campaign units do not panic")
+        .0
 }
 
 impl Result {

@@ -13,6 +13,7 @@ use ptperf_tor::{PathSelector, Relay, RelayFlags, RelayId};
 use ptperf_transports::{transport_for, PtId};
 use ptperf_web::{curl, SiteList, Website};
 
+use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
 use crate::scenario::Scenario;
 
 /// The three configurations compared.
@@ -45,6 +46,35 @@ pub struct Result {
     /// Absolute per-measurement differences |PT − Tor| pooled over
     /// obfs4 and webtunnel (Fig. 3b's ECDF input).
     pub abs_diffs: Vec<f64>,
+}
+
+/// Decomposes the experiment into executor units. The fixed-circuit
+/// control threads one `fig3` RNG stream through every iteration (the
+/// same circuit serves all three configs), so it is a single shard —
+/// the executor still provides panic isolation and per-shard stats.
+pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Result>> {
+    let scenario = scenario.clone();
+    let cfg = *cfg;
+    vec![Unit::new("fig3", move || {
+        let r = run(&scenario, &cfg);
+        let n: usize = r.times.iter().map(|(_, v)| v.len()).sum();
+        (r, n)
+    })]
+}
+
+/// Merges shards (this experiment has exactly one).
+pub fn merge(shards: Vec<Result>) -> Result {
+    shards.into_iter().next().expect("exactly one shard")
+}
+
+/// Runs the experiment through the executor at the given parallelism.
+pub fn run_with(
+    scenario: &Scenario,
+    cfg: &Config,
+    par: &Parallelism,
+) -> std::result::Result<(Result, Vec<ShardReport>), ExecError> {
+    let executed = crate::executor::run_units(par, units(scenario, cfg))?;
+    Ok((merge(executed.values), executed.reports))
 }
 
 /// Runs the experiment.

@@ -12,6 +12,7 @@ use ptperf_tor::{Relay, RelayFlags, RelayId};
 use ptperf_transports::{transport_for, PtId};
 use ptperf_web::{curl, SiteList, Website};
 
+use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
 use crate::scenario::Scenario;
 
 /// Configuration.
@@ -49,6 +50,34 @@ pub struct Result {
     pub tor: Vec<f64>,
     /// obfs4 per-site averages.
     pub obfs4: Vec<f64>,
+}
+
+/// Decomposes the experiment into executor units. The fixed-guard
+/// control interleaves vanilla and obfs4 fetches on one `fig4` RNG
+/// stream (the pairing is the point), so it is a single shard.
+pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Result>> {
+    let scenario = scenario.clone();
+    let cfg = *cfg;
+    vec![Unit::new("fig4", move || {
+        let r = run(&scenario, &cfg);
+        let n = r.tor.len() + r.obfs4.len();
+        (r, n)
+    })]
+}
+
+/// Merges shards (this experiment has exactly one).
+pub fn merge(shards: Vec<Result>) -> Result {
+    shards.into_iter().next().expect("exactly one shard")
+}
+
+/// Runs the experiment through the executor at the given parallelism.
+pub fn run_with(
+    scenario: &Scenario,
+    cfg: &Config,
+    par: &Parallelism,
+) -> std::result::Result<(Result, Vec<ShardReport>), ExecError> {
+    let executed = crate::executor::run_units(par, units(scenario, cfg))?;
+    Ok((merge(executed.values), executed.reports))
 }
 
 /// Runs the experiment.

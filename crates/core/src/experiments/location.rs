@@ -7,11 +7,13 @@
 //! Europe/North America).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use ptperf_sim::Location;
 use ptperf_stats::{ascii_boxplots, Summary};
 use ptperf_transports::PtId;
 
+use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
 use crate::measure::{curl_site_averages, target_sites};
 use crate::scenario::Scenario;
 
@@ -57,28 +59,66 @@ pub struct Result {
     pub samples: BTreeMap<(Location, Location, PtId), Vec<f64>>,
 }
 
-/// Runs the experiment over the 3×3 location grid.
-pub fn run(scenario: &Scenario, cfg: &Config) -> Result {
+/// One executor shard: a `(client, server, PT)` grid cell's samples,
+/// from the cell's own RNG stream.
+pub type Shard = ((Location, Location, PtId), Vec<f64>);
+
+/// Decomposes the experiment into one independent unit per
+/// `(client, server, PT)` grid cell, each on its own
+/// `fig7/{client}/{server}/{pt}` RNG stream (see [`crate::executor`]).
+pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
     let pts: Vec<PtId> = if cfg.all_pts {
         super::figure_order()
     } else {
         SHOWCASE.to_vec()
     };
-    let sites = target_sites(cfg.sites_per_list);
-    let mut samples = BTreeMap::new();
+    let sites = Arc::new(target_sites(cfg.sites_per_list));
+    let cfg = *cfg;
+    let mut units = Vec::new();
     for &client in &Location::CLIENTS {
         for &server in &Location::SERVERS {
             let mut sc = scenario.clone();
             sc.client = client;
             sc.server_region = server;
             for &pt in &pts {
-                let mut rng = sc.rng(&format!("fig7/{client}/{server}/{pt}"));
-                let avgs = curl_site_averages(&sc, pt, &sites, cfg.repeats, &mut rng);
-                samples.insert((client, server, pt), avgs);
+                let sc = sc.clone();
+                let sites = Arc::clone(&sites);
+                units.push(Unit::new(
+                    format!("fig7/{client}/{server}/{pt}"),
+                    move || {
+                        let mut rng = sc.rng(&format!("fig7/{client}/{server}/{pt}"));
+                        let avgs =
+                            curl_site_averages(&sc, pt, &sites, cfg.repeats, &mut rng);
+                        let n = avgs.len();
+                        (((client, server, pt), avgs), n)
+                    },
+                ));
             }
         }
     }
-    Result { samples }
+    units
+}
+
+/// Merges shards (in shard-index order) into the experiment result.
+pub fn merge(shards: Vec<Shard>) -> Result {
+    Result { samples: shards.into_iter().collect() }
+}
+
+/// Runs the experiment through the executor at the given parallelism.
+pub fn run_with(
+    scenario: &Scenario,
+    cfg: &Config,
+    par: &Parallelism,
+) -> std::result::Result<(Result, Vec<ShardReport>), ExecError> {
+    let executed = crate::executor::run_units(par, units(scenario, cfg))?;
+    Ok((merge(executed.values), executed.reports))
+}
+
+/// Runs the experiment over the 3×3 location grid.
+pub fn run(scenario: &Scenario, cfg: &Config) -> Result {
+    run_with(scenario, cfg, &Parallelism::sequential())
+        .expect("campaign units do not panic")
+        .0
 }
 
 impl Result {

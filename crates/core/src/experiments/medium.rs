@@ -5,10 +5,12 @@
 //! over both media and checks rank stability.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use ptperf_sim::Medium;
 use ptperf_transports::PtId;
 
+use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
 use crate::measure::{curl_site_averages, target_sites};
 use crate::scenario::Scenario;
 
@@ -66,20 +68,57 @@ impl From<Medium> for MediumKey {
     }
 }
 
-/// Runs the experiment.
-pub fn run(scenario: &Scenario, cfg: &Config) -> Result {
-    let sites = target_sites(cfg.sites_per_list);
-    let mut medians = BTreeMap::new();
+/// One executor shard: a `(medium, PT)` cell's median, from the cell's
+/// own RNG stream.
+pub type Shard = ((MediumKey, PtId), f64);
+
+/// Decomposes the experiment into one independent unit per
+/// `(medium, PT)` cell, each on its own `medium/{medium}/{pt}` RNG
+/// stream (see [`crate::executor`]).
+pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
+    let sites = Arc::new(target_sites(cfg.sites_per_list));
+    let cfg = *cfg;
+    let mut units = Vec::new();
     for medium in [Medium::Wired, Medium::Wireless] {
         let mut sc = scenario.clone();
         sc.medium = medium;
         for pt in figure_order() {
-            let mut rng = sc.rng(&format!("medium/{medium:?}/{pt}"));
-            let avgs = curl_site_averages(&sc, pt, &sites, cfg.repeats, &mut rng);
-            medians.insert((MediumKey::from(medium), pt), ptperf_stats::median(&avgs));
+            let sc = sc.clone();
+            let sites = Arc::clone(&sites);
+            units.push(Unit::new(format!("medium/{medium:?}/{pt}"), move || {
+                let mut rng = sc.rng(&format!("medium/{medium:?}/{pt}"));
+                let avgs = curl_site_averages(&sc, pt, &sites, cfg.repeats, &mut rng);
+                let n = avgs.len();
+                (
+                    ((MediumKey::from(medium), pt), ptperf_stats::median(&avgs)),
+                    n,
+                )
+            }));
         }
     }
-    Result { medians }
+    units
+}
+
+/// Merges shards (in shard-index order) into the experiment result.
+pub fn merge(shards: Vec<Shard>) -> Result {
+    Result { medians: shards.into_iter().collect() }
+}
+
+/// Runs the experiment through the executor at the given parallelism.
+pub fn run_with(
+    scenario: &Scenario,
+    cfg: &Config,
+    par: &Parallelism,
+) -> std::result::Result<(Result, Vec<ShardReport>), ExecError> {
+    let executed = crate::executor::run_units(par, units(scenario, cfg))?;
+    Ok((merge(executed.values), executed.reports))
+}
+
+/// Runs the experiment.
+pub fn run(scenario: &Scenario, cfg: &Config) -> Result {
+    run_with(scenario, cfg, &Parallelism::sequential())
+        .expect("campaign units do not panic")
+        .0
 }
 
 impl Result {

@@ -24,6 +24,7 @@ use ptperf_tor::{PathSelector, Relay, RelayFlags, RelayId};
 use ptperf_transports::{dnstt, transport_for, PluggableTransport, PtId};
 use ptperf_web::{curl, SiteList, Website};
 
+use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
 use crate::scenario::Scenario;
 
 /// The PTs whose overhead Figure 9 isolates.
@@ -75,6 +76,34 @@ fn overhead_transport(pt: PtId) -> Box<dyn PluggableTransport> {
         }),
         other => transport_for(other),
     }
+}
+
+/// Decomposes the experiment into executor units. Every PT is fetched
+/// over the *same* per-site fixed circuit on one `fig9` RNG stream (the
+/// paired differences are the point), so it is a single shard.
+pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Result>> {
+    let scenario = scenario.clone();
+    let cfg = *cfg;
+    vec![Unit::new("fig9", move || {
+        let r = run(&scenario, &cfg);
+        let n: usize = r.diffs.values().map(|v| v.len()).sum();
+        (r, n)
+    })]
+}
+
+/// Merges shards (this experiment has exactly one).
+pub fn merge(shards: Vec<Result>) -> Result {
+    shards.into_iter().next().expect("exactly one shard")
+}
+
+/// Runs the experiment through the executor at the given parallelism.
+pub fn run_with(
+    scenario: &Scenario,
+    cfg: &Config,
+    par: &Parallelism,
+) -> std::result::Result<(Result, Vec<ShardReport>), ExecError> {
+    let executed = crate::executor::run_units(par, units(scenario, cfg))?;
+    Ok((merge(executed.values), executed.reports))
 }
 
 /// Runs the experiment.

@@ -12,6 +12,7 @@ use ptperf_stats::{ascii_ecdf, Ecdf};
 use ptperf_transports::{transport_for, PtId};
 use ptperf_web::{filedl, ReliabilityCounts, FILE_SIZES};
 
+use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
 use crate::scenario::{Epoch, Scenario};
 
 use super::figure_order;
@@ -56,38 +57,77 @@ pub struct Result {
     pub fractions: BTreeMap<PtId, Vec<f64>>,
 }
 
-/// Runs the experiment. The paper's file campaign coincided with the
-/// surge itself (§5.3: "post-September 2022, in 8 out of 10 attempts, we
-/// failed"), so a pre-surge scenario is lifted to the surge epoch.
-pub fn run(scenario: &Scenario, cfg: &Config) -> Result {
+/// One executor shard: a PT's outcome counts and download fractions
+/// from its own RNG stream.
+pub type Shard = (PtId, ReliabilityCounts, Vec<f64>);
+
+/// Decomposes the experiment into one independent unit per PT (vanilla
+/// Tor is skipped — Fig. 8 covers the PTs), each on its own `fig8/{pt}`
+/// RNG stream (see [`crate::executor`]).
+///
+/// The paper's file campaign coincided with the surge itself (§5.3:
+/// "post-September 2022, in 8 out of 10 attempts, we failed"), so a
+/// pre-surge scenario is lifted to the surge epoch.
+pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
     let mut scenario = scenario.clone();
     if matches!(scenario.epoch, Epoch::PreSurge) {
         scenario.epoch = Epoch::Surge;
     }
-    let dep = scenario.deployment();
-    let opts = scenario.access_options();
-    let file_server = scenario.server_region;
+    let cfg = *cfg;
+    figure_order()
+        .into_iter()
+        .filter(|&pt| pt != PtId::Vanilla)
+        .map(|pt| {
+            let scenario = scenario.clone();
+            Unit::new(format!("fig8/{pt}"), move || {
+                let transport = transport_for(pt);
+                let dep = scenario.deployment();
+                let opts = scenario.access_options();
+                let file_server = scenario.server_region;
+                let mut rng = scenario.rng(&format!("fig8/{pt}"));
+                let mut c = ReliabilityCounts::default();
+                let mut f = Vec::with_capacity(cfg.sizes.len() * cfg.attempts);
+                for &size in &cfg.sizes {
+                    for _ in 0..cfg.attempts {
+                        let ch = transport.establish(&dep, &opts, file_server, &mut rng);
+                        let d = filedl::download(&ch, size, &mut rng);
+                        c.record(d.outcome);
+                        f.push(d.fraction);
+                    }
+                }
+                let n = f.len();
+                ((pt, c, f), n)
+            })
+        })
+        .collect()
+}
 
+/// Merges shards (in shard-index order) into the experiment result.
+pub fn merge(shards: Vec<Shard>) -> Result {
     let mut counts: BTreeMap<PtId, ReliabilityCounts> = BTreeMap::new();
     let mut fractions: BTreeMap<PtId, Vec<f64>> = BTreeMap::new();
-    for pt in figure_order() {
-        if pt == PtId::Vanilla {
-            continue; // Fig. 8 covers the PTs
-        }
-        let transport = transport_for(pt);
-        let mut rng = scenario.rng(&format!("fig8/{pt}"));
-        let c = counts.entry(pt).or_default();
-        let f = fractions.entry(pt).or_default();
-        for &size in &cfg.sizes {
-            for _ in 0..cfg.attempts {
-                let ch = transport.establish(&dep, &opts, file_server, &mut rng);
-                let d = filedl::download(&ch, size, &mut rng);
-                c.record(d.outcome);
-                f.push(d.fraction);
-            }
-        }
+    for (pt, c, f) in shards {
+        counts.insert(pt, c);
+        fractions.insert(pt, f);
     }
     Result { counts, fractions }
+}
+
+/// Runs the experiment through the executor at the given parallelism.
+pub fn run_with(
+    scenario: &Scenario,
+    cfg: &Config,
+    par: &Parallelism,
+) -> std::result::Result<(Result, Vec<ShardReport>), ExecError> {
+    let executed = crate::executor::run_units(par, units(scenario, cfg))?;
+    Ok((merge(executed.values), executed.reports))
+}
+
+/// Runs the experiment (see [`units`] for the epoch-lift note).
+pub fn run(scenario: &Scenario, cfg: &Config) -> Result {
+    run_with(scenario, cfg, &Parallelism::sequential())
+        .expect("campaign units do not panic")
+        .0
 }
 
 impl Result {

@@ -9,9 +9,12 @@
 //! * Fig. 12: weekly post-surge monitoring — every post-surge week stays
 //!   above the pre-surge box.
 
+use std::sync::Arc;
+
 use ptperf_stats::{ascii_boxplots, PairedTTest, Summary};
 use ptperf_transports::PtId;
 
+use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
 use crate::measure::{curl_site_averages, target_sites};
 use crate::scenario::{Epoch, Scenario};
 
@@ -96,45 +99,111 @@ pub struct Result {
     pub weekly: Vec<Vec<f64>>,
 }
 
-/// Runs the experiment.
-pub fn run(scenario: &Scenario, cfg: &Config) -> Result {
-    let sites = target_sites(cfg.sites_per_list);
+/// One executor shard: one measurement series (pre, post, pre-monitor,
+/// or one monitoring week), each on its own RNG stream.
+pub type Shard = Vec<f64>;
+
+/// Decomposes the experiment into independent units: shard 0 is the
+/// pre-surge series, 1 the post-surge series, 2 the pre-surge monitoring
+/// baseline, and 3.. the weekly monitoring series (see
+/// [`crate::executor`]).
+pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
+    let sites = Arc::new(target_sites(cfg.sites_per_list));
+    let monitor_sites = Arc::new(target_sites(cfg.monitor_sites / 2 + 1));
+    let cfg = *cfg;
+    let mut units = Vec::new();
 
     let mut pre_sc = scenario.clone();
     pre_sc.epoch = Epoch::PreSurge;
-    let mut rng = pre_sc.rng("fig10/pre");
-    let pre = curl_site_averages(&pre_sc, PtId::Snowflake, &sites, cfg.repeats, &mut rng);
 
-    let mut post_sc = scenario.clone();
-    post_sc.epoch = Epoch::Plateau;
-    let mut rng = post_sc.rng("fig10/post");
-    let post = curl_site_averages(&post_sc, PtId::Snowflake, &sites, cfg.repeats, &mut rng);
-
+    {
+        let sc = pre_sc.clone();
+        let sites = Arc::clone(&sites);
+        units.push(Unit::new("fig10/pre", move || {
+            let mut rng = sc.rng("fig10/pre");
+            let v = curl_site_averages(&sc, PtId::Snowflake, &sites, cfg.repeats, &mut rng);
+            let n = v.len();
+            (v, n)
+        }));
+    }
+    {
+        let mut sc = scenario.clone();
+        sc.epoch = Epoch::Plateau;
+        let sites = Arc::clone(&sites);
+        units.push(Unit::new("fig10/post", move || {
+            let mut rng = sc.rng("fig10/post");
+            let v = curl_site_averages(&sc, PtId::Snowflake, &sites, cfg.repeats, &mut rng);
+            let n = v.len();
+            (v, n)
+        }));
+    }
+    {
+        let sc = pre_sc;
+        let monitor_sites = Arc::clone(&monitor_sites);
+        units.push(Unit::new("fig12/pre", move || {
+            let mut rng = sc.rng("fig12/pre");
+            let v = curl_site_averages(
+                &sc,
+                PtId::Snowflake,
+                &monitor_sites,
+                cfg.repeats,
+                &mut rng,
+            );
+            let n = v.len();
+            (v, n)
+        }));
+    }
     // Weekly monitoring (March 2023 in the paper): plateau-level load
     // with mild week-to-week wobble, against the same (smaller) site set
     // as the pre-surge baseline box.
-    let monitor_sites = target_sites(cfg.monitor_sites / 2 + 1);
-    let mut rng = pre_sc.rng("fig12/pre");
-    let pre_monitor =
-        curl_site_averages(&pre_sc, PtId::Snowflake, &monitor_sites, cfg.repeats, &mut rng);
-    let mut weekly = Vec::with_capacity(cfg.monitor_weeks);
     for week in 0..cfg.monitor_weeks {
         let mut sc = scenario.clone();
         // Week-to-week wobble stays at or above the plateau level — the
         // paper's observation was that users never went back down.
         let wobble = 1.0 + 0.08 * ((week % 3) as f64);
         sc.epoch = Epoch::LoadMult(Epoch::Plateau.load_mult() * wobble);
-        let mut rng = sc.rng(&format!("fig12/week{week}"));
-        weekly.push(curl_site_averages(
-            &sc,
-            PtId::Snowflake,
-            &monitor_sites,
-            cfg.repeats,
-            &mut rng,
-        ));
+        let monitor_sites = Arc::clone(&monitor_sites);
+        units.push(Unit::new(format!("fig12/week{week}"), move || {
+            let mut rng = sc.rng(&format!("fig12/week{week}"));
+            let v = curl_site_averages(
+                &sc,
+                PtId::Snowflake,
+                &monitor_sites,
+                cfg.repeats,
+                &mut rng,
+            );
+            let n = v.len();
+            (v, n)
+        }));
     }
+    units
+}
 
+/// Merges shards (in shard-index order) into the experiment result.
+pub fn merge(shards: Vec<Shard>) -> Result {
+    let mut parts = shards.into_iter();
+    let pre = parts.next().expect("pre shard");
+    let post = parts.next().expect("post shard");
+    let pre_monitor = parts.next().expect("pre-monitor shard");
+    let weekly: Vec<Vec<f64>> = parts.collect();
     Result { pre, post, pre_monitor, weekly }
+}
+
+/// Runs the experiment through the executor at the given parallelism.
+pub fn run_with(
+    scenario: &Scenario,
+    cfg: &Config,
+    par: &Parallelism,
+) -> std::result::Result<(Result, Vec<ShardReport>), ExecError> {
+    let executed = crate::executor::run_units(par, units(scenario, cfg))?;
+    Ok((merge(executed.values), executed.reports))
+}
+
+/// Runs the experiment.
+pub fn run(scenario: &Scenario, cfg: &Config) -> Result {
+    run_with(scenario, cfg, &Parallelism::sequential())
+        .expect("campaign units do not panic")
+        .0
 }
 
 impl Result {

@@ -5,10 +5,13 @@
 //! results, and the speed index is *lower* than the full page-load time
 //! for every PT (users see the page before it finishes loading).
 
+use std::sync::Arc;
+
 use ptperf_stats::{ascii_boxplots, Summary};
 use ptperf_transports::{transport_for, PtId};
 use ptperf_web::browser;
 
+use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
 use crate::measure::{target_sites, PairedSamples};
 use crate::scenario::{Epoch, Scenario};
 
@@ -46,42 +49,64 @@ pub struct Result {
     pub excluded: Vec<PtId>,
 }
 
-/// Runs the experiment (post-surge epoch, like the selenium runs).
-pub fn run(scenario: &Scenario, cfg: &Config) -> Result {
+/// One executor shard: a PT's (speed-index, load-time) sample pair
+/// vectors, or `None` when the browser cannot drive the PT.
+pub type Shard = (PtId, Option<(Vec<f64>, Vec<f64>)>);
+
+/// Decomposes the experiment into one independent unit per PT, each on
+/// its own `fig11/{pt}` RNG stream (post-surge epoch, like the
+/// selenium runs — see [`crate::executor`]).
+pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
     let mut scenario = scenario.clone();
     if matches!(scenario.epoch, Epoch::PreSurge) {
         scenario.epoch = Epoch::Plateau;
     }
-    let sites = target_sites(cfg.sites_per_list);
-    let dep = scenario.deployment();
-    let opts = scenario.access_options();
+    let sites = Arc::new(target_sites(cfg.sites_per_list));
+    figure_order()
+        .into_iter()
+        .map(|pt| {
+            let scenario = scenario.clone();
+            let sites = Arc::clone(&sites);
+            Unit::new(format!("fig11/{pt}"), move || {
+                let transport = transport_for(pt);
+                let dep = scenario.deployment();
+                let opts = scenario.access_options();
+                let mut rng = scenario.rng(&format!("fig11/{pt}"));
+                let mut si = Vec::new();
+                let mut lt = Vec::new();
+                for site in sites.iter() {
+                    let ch = transport.establish(&dep, &opts, site.server, &mut rng);
+                    match browser::load_page(&ch, site, &mut rng) {
+                        Ok(page) => {
+                            si.push(page.speed_index.as_secs_f64());
+                            lt.push(page.total.as_secs_f64());
+                        }
+                        Err(_) => return ((pt, None), 0),
+                    }
+                }
+                let n = si.len();
+                ((pt, Some((si, lt))), n)
+            })
+        })
+        .collect()
+}
 
+/// Merges shards (in shard-index order) into the experiment result.
+pub fn merge(shards: Vec<Shard>) -> Result {
     let mut speed_index = PairedSamples::new();
     let mut load_time = PairedSamples::new();
     let mut excluded = Vec::new();
-    'pt: for pt in figure_order() {
-        let transport = transport_for(pt);
-        let mut rng = scenario.rng(&format!("fig11/{pt}"));
-        let mut si = Vec::new();
-        let mut lt = Vec::new();
-        for site in &sites {
-            let ch = transport.establish(&dep, &opts, site.server, &mut rng);
-            match browser::load_page(&ch, site, &mut rng) {
-                Ok(page) => {
-                    si.push(page.speed_index.as_secs_f64());
-                    lt.push(page.total.as_secs_f64());
+    for (pt, pair) in shards {
+        match pair {
+            Some((si, lt)) => {
+                for v in si {
+                    speed_index.push(pt, v);
                 }
-                Err(_) => {
-                    excluded.push(pt);
-                    continue 'pt;
+                for v in lt {
+                    load_time.push(pt, v);
                 }
             }
-        }
-        for v in si {
-            speed_index.push(pt, v);
-        }
-        for v in lt {
-            load_time.push(pt, v);
+            None => excluded.push(pt),
         }
     }
     Result {
@@ -89,6 +114,23 @@ pub fn run(scenario: &Scenario, cfg: &Config) -> Result {
         load_time,
         excluded,
     }
+}
+
+/// Runs the experiment through the executor at the given parallelism.
+pub fn run_with(
+    scenario: &Scenario,
+    cfg: &Config,
+    par: &Parallelism,
+) -> std::result::Result<(Result, Vec<ShardReport>), ExecError> {
+    let executed = crate::executor::run_units(par, units(scenario, cfg))?;
+    Ok((merge(executed.values), executed.reports))
+}
+
+/// Runs the experiment (post-surge epoch, like the selenium runs).
+pub fn run(scenario: &Scenario, cfg: &Config) -> Result {
+    run_with(scenario, cfg, &Parallelism::sequential())
+        .expect("campaign units do not panic")
+        .0
 }
 
 impl Result {

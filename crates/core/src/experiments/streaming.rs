@@ -16,6 +16,7 @@ use ptperf_stats::Table;
 use ptperf_transports::{transport_for, PtId};
 use ptperf_web::streaming::{play, MediaStream, StreamingSession};
 
+use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
 use crate::scenario::Scenario;
 
 use super::figure_order;
@@ -81,30 +82,67 @@ pub struct Result {
     pub video: BTreeMap<PtId, Qoe>,
 }
 
-/// Runs the experiment.
-pub fn run(scenario: &Scenario, cfg: &Config) -> Result {
-    let dep = scenario.deployment();
-    let opts = scenario.access_options();
-    let media_server = scenario.server_region;
+/// One executor shard: a PT's (audio, video) QoE aggregates from its
+/// own RNG stream.
+pub type Shard = (PtId, Qoe, Qoe);
 
+/// Decomposes the experiment into one independent unit per PT, each on
+/// its own `streaming/{pt}` RNG stream (see [`crate::executor`]).
+pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
+    let cfg = *cfg;
+    figure_order()
+        .into_iter()
+        .map(|pt| {
+            let scenario = scenario.clone();
+            Unit::new(format!("streaming/{pt}"), move || {
+                let dep = scenario.deployment();
+                let opts = scenario.access_options();
+                let media_server = scenario.server_region;
+                let transport = transport_for(pt);
+                let mut rng = scenario.rng(&format!("streaming/{pt}"));
+                let run_medium = |media: MediaStream, rng: &mut ptperf_sim::SimRng| {
+                    let sessions: Vec<StreamingSession> = (0..cfg.sessions)
+                        .map(|_| {
+                            let ch = transport.establish(&dep, &opts, media_server, rng);
+                            play(&ch, &media, rng)
+                        })
+                        .collect();
+                    Qoe::from_sessions(&sessions)
+                };
+                let audio = run_medium(MediaStream::audio(cfg.duration), &mut rng);
+                let video = run_medium(MediaStream::video(cfg.duration), &mut rng);
+                ((pt, audio, video), cfg.sessions * 2)
+            })
+        })
+        .collect()
+}
+
+/// Merges shards (in shard-index order) into the experiment result.
+pub fn merge(shards: Vec<Shard>) -> Result {
     let mut audio = BTreeMap::new();
     let mut video = BTreeMap::new();
-    for pt in figure_order() {
-        let transport = transport_for(pt);
-        let mut rng = scenario.rng(&format!("streaming/{pt}"));
-        let run_medium = |media: MediaStream, rng: &mut ptperf_sim::SimRng| {
-            let sessions: Vec<StreamingSession> = (0..cfg.sessions)
-                .map(|_| {
-                    let ch = transport.establish(&dep, &opts, media_server, rng);
-                    play(&ch, &media, rng)
-                })
-                .collect();
-            Qoe::from_sessions(&sessions)
-        };
-        audio.insert(pt, run_medium(MediaStream::audio(cfg.duration), &mut rng));
-        video.insert(pt, run_medium(MediaStream::video(cfg.duration), &mut rng));
+    for (pt, a, v) in shards {
+        audio.insert(pt, a);
+        video.insert(pt, v);
     }
     Result { audio, video }
+}
+
+/// Runs the experiment through the executor at the given parallelism.
+pub fn run_with(
+    scenario: &Scenario,
+    cfg: &Config,
+    par: &Parallelism,
+) -> std::result::Result<(Result, Vec<ShardReport>), ExecError> {
+    let executed = crate::executor::run_units(par, units(scenario, cfg))?;
+    Ok((merge(executed.values), executed.reports))
+}
+
+/// Runs the experiment.
+pub fn run(scenario: &Scenario, cfg: &Config) -> Result {
+    run_with(scenario, cfg, &Parallelism::sequential())
+        .expect("campaign units do not panic")
+        .0
 }
 
 impl Result {

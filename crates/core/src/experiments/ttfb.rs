@@ -3,11 +3,13 @@
 //! and camoufler deliver the first byte within 5 s for >80% of websites.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use ptperf_stats::{ascii_ecdf, Ecdf};
 use ptperf_transports::{transport_for, PtId};
 use ptperf_web::curl;
 
+use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
 use crate::measure::target_sites;
 use crate::scenario::Scenario;
 
@@ -41,28 +43,61 @@ pub struct Result {
     pub ttfb: BTreeMap<PtId, Vec<f64>>,
 }
 
+/// One executor shard: a PT's TTFB samples from its own RNG stream.
+pub type Shard = (PtId, Vec<f64>);
+
+/// Decomposes the experiment into one independent unit per PT, each on
+/// its own `fig6/{pt}` RNG stream (see [`crate::executor`]).
+pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
+    let sites = Arc::new(target_sites(cfg.sites_per_list));
+    figure_order()
+        .into_iter()
+        .map(|pt| {
+            let scenario = scenario.clone();
+            let sites = Arc::clone(&sites);
+            Unit::new(format!("fig6/{pt}"), move || {
+                let transport = transport_for(pt);
+                let dep = scenario.deployment();
+                let opts = scenario.access_options();
+                let mut rng = scenario.rng(&format!("fig6/{pt}"));
+                let mut v = Vec::new();
+                for site in sites.iter() {
+                    let ch = transport.establish(&dep, &opts, site.server, &mut rng);
+                    let fetch = curl::fetch(&ch, site, &mut rng);
+                    // TTFB is a property of responses that arrived; a
+                    // failed connection has no first byte (the paper
+                    // measures TTFB on delivered responses).
+                    if fetch.outcome != ptperf_web::Outcome::Failed {
+                        v.push(fetch.ttfb.as_secs_f64());
+                    }
+                }
+                let n = v.len();
+                ((pt, v), n)
+            })
+        })
+        .collect()
+}
+
+/// Merges shards (in shard-index order) into the experiment result.
+pub fn merge(shards: Vec<Shard>) -> Result {
+    Result { ttfb: shards.into_iter().collect() }
+}
+
+/// Runs the experiment through the executor at the given parallelism.
+pub fn run_with(
+    scenario: &Scenario,
+    cfg: &Config,
+    par: &Parallelism,
+) -> std::result::Result<(Result, Vec<ShardReport>), ExecError> {
+    let executed = crate::executor::run_units(par, units(scenario, cfg))?;
+    Ok((merge(executed.values), executed.reports))
+}
+
 /// Runs the experiment.
 pub fn run(scenario: &Scenario, cfg: &Config) -> Result {
-    let sites = target_sites(cfg.sites_per_list);
-    let dep = scenario.deployment();
-    let opts = scenario.access_options();
-    let mut ttfb: BTreeMap<PtId, Vec<f64>> = BTreeMap::new();
-    for pt in figure_order() {
-        let transport = transport_for(pt);
-        let mut rng = scenario.rng(&format!("fig6/{pt}"));
-        let v = ttfb.entry(pt).or_default();
-        for site in &sites {
-            let ch = transport.establish(&dep, &opts, site.server, &mut rng);
-            let fetch = curl::fetch(&ch, site, &mut rng);
-            // TTFB is a property of responses that arrived; a failed
-            // connection has no first byte (the paper measures TTFB on
-            // delivered responses).
-            if fetch.outcome != ptperf_web::Outcome::Failed {
-                v.push(fetch.ttfb.as_secs_f64());
-            }
-        }
-    }
-    Result { ttfb }
+    run_with(scenario, cfg, &Parallelism::sequential())
+        .expect("campaign units do not panic")
+        .0
 }
 
 impl Result {

@@ -2,9 +2,12 @@
 //! all 12 PTs and vanilla Tor. Also the sample source for Appendix
 //! Tables 3, 4 (PT pairs) and 10 (category pairs).
 
+use std::sync::Arc;
+
 use ptperf_stats::{ascii_boxplots, Summary};
 use ptperf_transports::PtId;
 
+use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
 use crate::measure::{curl_site_averages, target_sites, PairedSamples};
 use crate::scenario::Scenario;
 
@@ -44,17 +47,58 @@ pub struct Result {
     pub samples: PairedSamples,
 }
 
-/// Runs the experiment.
-pub fn run(scenario: &Scenario, cfg: &Config) -> Result {
-    let sites = target_sites(cfg.sites_per_list);
+/// One executor shard: a PT's per-site averages, produced from that
+/// PT's own RNG stream.
+pub type Shard = (PtId, Vec<f64>);
+
+/// Decomposes the experiment into one independent unit per PT. Each
+/// unit derives its RNG from the scenario with the same `fig2a/{pt}`
+/// stream tag the sequential loop uses, so the merged result is
+/// bit-for-bit identical at any worker count.
+pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
+    let sites = Arc::new(target_sites(cfg.sites_per_list));
+    let cfg = *cfg;
+    figure_order()
+        .into_iter()
+        .map(|pt| {
+            let scenario = scenario.clone();
+            let sites = Arc::clone(&sites);
+            Unit::new(format!("fig2a/{pt}"), move || {
+                let mut rng = scenario.rng(&format!("fig2a/{pt}"));
+                let avgs = curl_site_averages(&scenario, pt, &sites, cfg.repeats, &mut rng);
+                let n = avgs.len();
+                ((pt, avgs), n)
+            })
+        })
+        .collect()
+}
+
+/// Merges shards (in shard-index order) into the experiment result.
+pub fn merge(shards: Vec<Shard>) -> Result {
     let mut samples = PairedSamples::new();
-    for pt in figure_order() {
-        let mut rng = scenario.rng(&format!("fig2a/{pt}"));
-        for avg in curl_site_averages(scenario, pt, &sites, cfg.repeats, &mut rng) {
+    for (pt, avgs) in shards {
+        for avg in avgs {
             samples.push(pt, avg);
         }
     }
     Result { samples }
+}
+
+/// Runs the experiment through the executor at the given parallelism.
+pub fn run_with(
+    scenario: &Scenario,
+    cfg: &Config,
+    par: &Parallelism,
+) -> std::result::Result<(Result, Vec<ShardReport>), ExecError> {
+    let executed = crate::executor::run_units(par, units(scenario, cfg))?;
+    Ok((merge(executed.values), executed.reports))
+}
+
+/// Runs the experiment.
+pub fn run(scenario: &Scenario, cfg: &Config) -> Result {
+    run_with(scenario, cfg, &Parallelism::sequential())
+        .expect("campaign units do not panic")
+        .0
 }
 
 impl Result {

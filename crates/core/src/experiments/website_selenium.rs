@@ -5,10 +5,13 @@
 //! paper ran selenium from November 2022, under snowflake's elevated
 //! load).
 
+use std::sync::Arc;
+
 use ptperf_stats::{ascii_boxplots, Summary};
 use ptperf_transports::{transport_for, PtId};
 use ptperf_web::browser;
 
+use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
 use crate::measure::{target_sites, PairedSamples};
 use crate::scenario::{Epoch, Scenario};
 
@@ -50,42 +53,81 @@ pub struct Result {
     pub excluded: Vec<PtId>,
 }
 
-/// Runs the experiment.
-pub fn run(scenario: &Scenario, cfg: &Config) -> Result {
+/// One executor shard: a PT's per-site averages, or `None` when the
+/// browser cannot drive the PT at all (it becomes an exclusion).
+pub type Shard = (PtId, Option<Vec<f64>>);
+
+/// Decomposes the experiment into one independent unit per PT, each on
+/// its own `fig2b/{pt}` RNG stream (see [`crate::executor`]).
+pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
     // Selenium measurements happened after the September surge.
     let mut scenario = scenario.clone();
     if matches!(scenario.epoch, Epoch::PreSurge) {
         scenario.epoch = Epoch::Plateau;
     }
-    let sites = target_sites(cfg.sites_per_list);
-    let dep = scenario.deployment();
-    let opts = scenario.access_options();
+    let sites = Arc::new(target_sites(cfg.sites_per_list));
+    let cfg = *cfg;
+    figure_order()
+        .into_iter()
+        .map(|pt| {
+            let scenario = scenario.clone();
+            let sites = Arc::clone(&sites);
+            Unit::new(format!("fig2b/{pt}"), move || {
+                let transport = transport_for(pt);
+                let dep = scenario.deployment();
+                let opts = scenario.access_options();
+                let mut rng = scenario.rng(&format!("fig2b/{pt}"));
+                let mut per_site = Vec::with_capacity(sites.len());
+                for site in sites.iter() {
+                    let mut total = 0.0;
+                    for _ in 0..cfg.repeats {
+                        let ch = transport.establish(&dep, &opts, site.server, &mut rng);
+                        match browser::load_page(&ch, site, &mut rng) {
+                            Ok(page) => total += page.total.as_secs_f64(),
+                            Err(_) => return ((pt, None), 0),
+                        }
+                    }
+                    per_site.push(total / cfg.repeats as f64);
+                }
+                let n = per_site.len();
+                ((pt, Some(per_site)), n)
+            })
+        })
+        .collect()
+}
 
+/// Merges shards (in shard-index order) into the experiment result.
+pub fn merge(shards: Vec<Shard>) -> Result {
     let mut samples = PairedSamples::new();
     let mut excluded = Vec::new();
-    'pt: for pt in figure_order() {
-        let transport = transport_for(pt);
-        let mut rng = scenario.rng(&format!("fig2b/{pt}"));
-        let mut per_site = Vec::with_capacity(sites.len());
-        for site in &sites {
-            let mut total = 0.0;
-            for _ in 0..cfg.repeats {
-                let ch = transport.establish(&dep, &opts, site.server, &mut rng);
-                match browser::load_page(&ch, site, &mut rng) {
-                    Ok(page) => total += page.total.as_secs_f64(),
-                    Err(_) => {
-                        excluded.push(pt);
-                        continue 'pt;
-                    }
+    for (pt, per_site) in shards {
+        match per_site {
+            Some(values) => {
+                for v in values {
+                    samples.push(pt, v);
                 }
             }
-            per_site.push(total / cfg.repeats as f64);
-        }
-        for v in per_site {
-            samples.push(pt, v);
+            None => excluded.push(pt),
         }
     }
     Result { samples, excluded }
+}
+
+/// Runs the experiment through the executor at the given parallelism.
+pub fn run_with(
+    scenario: &Scenario,
+    cfg: &Config,
+    par: &Parallelism,
+) -> std::result::Result<(Result, Vec<ShardReport>), ExecError> {
+    let executed = crate::executor::run_units(par, units(scenario, cfg))?;
+    Ok((merge(executed.values), executed.reports))
+}
+
+/// Runs the experiment.
+pub fn run(scenario: &Scenario, cfg: &Config) -> Result {
+    run_with(scenario, cfg, &Parallelism::sequential())
+        .expect("campaign units do not panic")
+        .0
 }
 
 impl Result {

@@ -11,6 +11,8 @@
 //!   6, 7, 8, 9, 10, 11, 12; Tables 3–10; §4.7 medium study);
 //! * [`ecosystem`] — the Table 2 survey of all 28 candidate PTs;
 //! * [`campaign`] — the Table 1 plan and an end-to-end campaign runner;
+//! * [`executor`] — the deterministic work-claiming parallel executor
+//!   the campaign and experiment runners are built on;
 //! * [`report`] — CSV export of results for external analysis;
 //! * [`schedule`] — the §5.1 ethical measurement planner (batching,
 //!   per-infrastructure rate limits, surge caution).
@@ -35,12 +37,14 @@
 
 pub mod campaign;
 pub mod ecosystem;
+pub mod executor;
 pub mod experiments;
 pub mod measure;
 pub mod report;
 pub mod scenario;
 pub mod schedule;
 
+pub use executor::Parallelism;
 pub use measure::PairedSamples;
 pub use scenario::{Epoch, Scenario};
 

@@ -87,27 +87,43 @@ pub fn plan(
     let mut day_start = start;
     let mut in_day = 0u32;
     let mut in_batch = 0u32;
+    let mut prev: Option<SimTime> = None;
     for index in 0..count {
-        if in_day >= limits.per_day {
-            // Next day.
-            day_start += DAY;
-            t = day_start;
-            in_day = 0;
-            in_batch = 0;
-        } else if in_batch >= limits.batch {
-            t += limits.batch_gap;
-            in_batch = 0;
-            // The batch gap may roll past midnight; treat day accounting
-            // on slot times.
-            if t.duration_since(day_start) >= DAY {
+        // Advance the candidate time until it satisfies both limits.
+        // Each step strictly increases `t`, so slots stay monotone even
+        // when one constraint (say a batch gap) pushes the candidate
+        // past midnight and re-triggers the other.
+        loop {
+            // Keep the day anchor caught up with the candidate.
+            while t.duration_since(day_start) >= DAY {
                 day_start += DAY;
                 in_day = 0;
             }
+            if in_day >= limits.per_day {
+                day_start += DAY;
+                t = day_start;
+                in_day = 0;
+                continue;
+            }
+            // A "batch" is a run of slots spaced closer than the batch
+            // gap (matching [`verify`]); the run only continues if this
+            // candidate would land within the gap of the previous slot.
+            let run_continues =
+                prev.is_some_and(|p| t.duration_since(p) < limits.batch_gap);
+            if run_continues && in_batch >= limits.batch {
+                t = prev.expect("run_continues implies prev") + limits.batch_gap;
+                continue;
+            }
+            if !run_continues {
+                in_batch = 0;
+            }
+            break;
         }
         slots.push(Slot { at: t, index });
-        t += within_batch_gap;
         in_day += 1;
         in_batch += 1;
+        prev = Some(t);
+        t += within_batch_gap;
     }
     slots
 }

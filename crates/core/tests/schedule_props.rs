@@ -1,0 +1,150 @@
+//! Property tests for the §5.1 ethical measurement planner: a plan must
+//! always satisfy its own rate limits (as checked by `verify`), emit
+//! exactly the requested slots, and keep them monotone — for *any*
+//! combination of count, limits, and within-batch spacing.
+
+use proptest::prelude::*;
+
+use ptperf::schedule::{plan, span, verify, RateLimits, Slot};
+use ptperf_sim::{SimDuration, SimTime};
+
+fn limits_strategy() -> impl Strategy<Value = RateLimits> {
+    (1u32..=2_500, 1u32..=200, 0u64..=3_600).prop_map(|(per_day, batch, gap_s)| {
+        RateLimits {
+            per_day,
+            batch,
+            batch_gap: SimDuration::from_secs(gap_s),
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn plan_always_satisfies_its_own_limits(
+        count in 0u32..=3_000,
+        limits in limits_strategy(),
+        within_s in 1u64..=900,
+        start_s in 0u64..=100_000,
+    ) {
+        let slots = plan(
+            count,
+            SimTime::ZERO + SimDuration::from_secs(start_s),
+            &limits,
+            SimDuration::from_secs(within_s),
+        );
+        prop_assert_eq!(slots.len(), count as usize);
+        if let Err(violation) = verify(&slots, &limits) {
+            panic!(
+                "plan violates its own limits ({limits:?}, within {within_s}s): {violation}"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_is_monotone_and_indexed(
+        count in 1u32..=2_000,
+        limits in limits_strategy(),
+        within_s in 1u64..=900,
+    ) {
+        let slots = plan(
+            count,
+            SimTime::ZERO,
+            &limits,
+            SimDuration::from_secs(within_s),
+        );
+        for (i, s) in slots.iter().enumerate() {
+            prop_assert_eq!(s.index as usize, i);
+        }
+        for pair in slots.windows(2) {
+            prop_assert!(
+                pair[1].at > pair[0].at,
+                "slots out of order: {:?} then {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn per_day_cap_bounds_the_span_from_below(
+        limits in limits_strategy(),
+        within_s in 1u64..=300,
+    ) {
+        // Any plan bigger than a few days' quota must stretch over at
+        // least (count / per_day − 1) full days.
+        let count = limits.per_day.saturating_mul(3).min(5_000);
+        let slots = plan(count, SimTime::ZERO, &limits, SimDuration::from_secs(within_s));
+        prop_assume!(slots.len() as u32 == count && count > limits.per_day);
+        let full_days = u64::from(count / limits.per_day - 1);
+        prop_assert!(
+            span(&slots) >= SimDuration::from_secs(full_days * 24 * 3_600),
+            "span {} too short for {} measurements at {}/day",
+            span(&slots),
+            count,
+            limits.per_day
+        );
+    }
+
+    #[test]
+    fn verify_rejects_any_overfull_day(
+        per_day in 1u32..=50,
+        extra in 1u32..=20,
+        spacing_s in 1u64..=600,
+    ) {
+        // Pack per_day + extra slots into one day with wide batch gaps so
+        // only the daily limit can be the violation.
+        let limits = RateLimits {
+            per_day,
+            batch: u32::MAX,
+            batch_gap: SimDuration::from_secs(0),
+        };
+        let n = per_day + extra;
+        prop_assume!(u64::from(n - 1) * spacing_s < 24 * 3_600);
+        let slots: Vec<Slot> = (0..n)
+            .map(|i| Slot {
+                at: SimTime::ZERO + SimDuration::from_secs(u64::from(i) * spacing_s),
+                index: i,
+            })
+            .collect();
+        prop_assert!(verify(&slots, &limits).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_any_oversized_batch(
+        batch in 1u32..=30,
+        extra in 1u32..=10,
+        gap_s in 2u64..=600,
+    ) {
+        let limits = RateLimits {
+            per_day: u32::MAX,
+            batch,
+            batch_gap: SimDuration::from_secs(gap_s),
+        };
+        // batch + extra slots spaced at half the batch gap: one long run.
+        let slots: Vec<Slot> = (0..batch + extra)
+            .map(|i| Slot {
+                at: SimTime::ZERO + SimDuration::from_secs(u64::from(i) * (gap_s / 2)),
+                index: i,
+            })
+            .collect();
+        prop_assume!(gap_s / 2 < gap_s);
+        prop_assert!(verify(&slots, &limits).is_err());
+    }
+}
+
+#[test]
+fn surge_cautious_regression_case_stays_monotone() {
+    // Regression: when per_day × within_batch_gap exceeds a day, the old
+    // planner could move time backwards on the day rollover.
+    let limits = RateLimits {
+        per_day: 5,
+        batch: 2,
+        batch_gap: SimDuration::from_secs(30_000),
+    };
+    let slots = plan(40, SimTime::ZERO, &limits, SimDuration::from_secs(20_000));
+    assert_eq!(slots.len(), 40);
+    for pair in slots.windows(2) {
+        assert!(pair[1].at > pair[0].at, "{:?} then {:?}", pair[0], pair[1]);
+    }
+    verify(&slots, &limits).expect("self-consistent plan");
+}

@@ -5,8 +5,13 @@
 //! ```sh
 //! cargo run --release --example campaign
 //! ```
+//!
+//! The campaign runs through the work-claiming executor with one worker
+//! per hardware thread; results are bit-for-bit identical to a
+//! sequential run (see `ptperf::executor`).
 
-use ptperf::campaign::{render_plan, run_quick};
+use ptperf::campaign::{render_plan, run_quick_with};
+use ptperf::executor::Parallelism;
 use ptperf::scenario::Scenario;
 use ptperf_transports::PtId;
 
@@ -14,10 +19,13 @@ fn main() {
     println!("{}", render_plan());
 
     let scenario = Scenario::baseline(42);
-    println!("Running all experiments at quick scale (seed 42)...\n");
-    let started = std::time::Instant::now();
-    let results = run_quick(&scenario);
-    println!("campaign done in {:.1}s\n", started.elapsed().as_secs_f64());
+    let par = Parallelism::auto();
+    println!(
+        "Running all experiments at quick scale (seed 42, {} workers)...\n",
+        par.workers
+    );
+    let results = run_quick_with(&scenario, &par).expect("campaign units do not panic");
+    println!("{}", results.stats.render());
 
     println!("=== Digest of paper findings ===\n");
 

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: everything must pass before a commit lands.
+#   1. release build of the whole workspace (all targets)
+#   2. full workspace test suite
+#   3. clippy with warnings promoted to errors
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, all targets) =="
+cargo build --release --workspace --all-targets
+
+echo "== test (workspace) =="
+cargo test --workspace -q
+
+echo "== clippy (-D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== verify: all gates passed =="

@@ -1,7 +1,7 @@
 //! Determinism guarantees: the whole stack is reproducible bit-for-bit
 //! given a scenario seed, and genuinely different across seeds.
 
-use ptperf::experiments::{website_curl, website_selenium};
+use ptperf::experiments::{file_download, ttfb, website_curl, website_selenium};
 use ptperf::scenario::Scenario;
 use ptperf_transports::PtId;
 
@@ -49,6 +49,62 @@ fn same_seed_identical_selenium_results() {
         b.samples.samples(PtId::Obfs4)
     );
     assert_eq!(a.excluded, b.excluded);
+}
+
+#[test]
+fn same_seed_identical_file_download_results() {
+    let cfg = file_download::Config {
+        attempts: 3,
+        sizes: ptperf_web::FILE_SIZES,
+    };
+    let a = file_download::run(&Scenario::baseline(63), &cfg);
+    let b = file_download::run(&Scenario::baseline(63), &cfg);
+    assert_eq!(a.attempts.len(), b.attempts.len());
+    for (pt, list) in &a.attempts {
+        let other = &b.attempts[pt];
+        assert_eq!(list.len(), other.len(), "{pt}");
+        for (x, y) in list.iter().zip(other) {
+            assert_eq!(x.size, y.size, "{pt}");
+            assert_eq!(x.elapsed.to_bits(), y.elapsed.to_bits(), "{pt}");
+            assert_eq!(x.fraction.to_bits(), y.fraction.to_bits(), "{pt}");
+            assert_eq!(x.outcome, y.outcome, "{pt}");
+        }
+    }
+    assert_eq!(a.excluded(), b.excluded());
+}
+
+#[test]
+fn different_seed_different_file_download_results() {
+    let cfg = file_download::Config {
+        attempts: 3,
+        sizes: ptperf_web::FILE_SIZES,
+    };
+    let a = file_download::run(&Scenario::baseline(63), &cfg);
+    let b = file_download::run(&Scenario::baseline(64), &cfg);
+    assert_ne!(
+        a.paired.samples(PtId::Obfs4),
+        b.paired.samples(PtId::Obfs4)
+    );
+}
+
+#[test]
+fn same_seed_identical_ttfb_results() {
+    let cfg = ttfb::Config { sites_per_list: 12 };
+    let a = ttfb::run(&Scenario::baseline(17), &cfg);
+    let b = ttfb::run(&Scenario::baseline(17), &cfg);
+    assert_eq!(a.ttfb.len(), b.ttfb.len());
+    for (pt, samples) in &a.ttfb {
+        assert_eq!(samples, &b.ttfb[pt], "{pt} diverged across identical runs");
+    }
+    assert_eq!(a.render(), b.render());
+}
+
+#[test]
+fn different_seed_different_ttfb_results() {
+    let cfg = ttfb::Config { sites_per_list: 12 };
+    let a = ttfb::run(&Scenario::baseline(17), &cfg);
+    let b = ttfb::run(&Scenario::baseline(18), &cfg);
+    assert_ne!(a.ttfb[&PtId::Vanilla], b.ttfb[&PtId::Vanilla]);
 }
 
 #[test]
