@@ -7,18 +7,28 @@
 //! repro --seed 1234 fig6     # alternate scenario seed
 //! repro --workers 8 fig7     # parallel run (same output, any count)
 //! repro --workers auto fig7  # one worker per hardware thread
+//! repro --trace t.jsonl fig6 # deterministic sim-time trace (JSONL)
+//! repro --metrics m.json fig6# wall-clock metrics registry (JSON)
+//! repro --profile fig6       # per-family profile table
+//! repro --quiet / -v         # errors only / debug diagnostics
 //! repro --list               # list targets
 //! ```
 
-use ptperf::executor::Parallelism;
+use ptperf::executor::{Parallelism, Record};
 use ptperf::scenario::Scenario;
-use ptperf_bench::{available_targets, run_target_with, targets::export_csv_with, RunScale};
+use ptperf_bench::{
+    available_targets, obs_export, run_target_obs, targets::export_csv_with, RunScale, TargetRun,
+};
+use ptperf_obs::{obs_error, obs_info, set_level, Level};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = RunScale::Quick;
     let mut seed = 42u64;
     let mut csv_dir: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut profile = false;
     let mut par = Parallelism::sequential();
 
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -31,19 +41,31 @@ fn main() {
         }
         return;
     }
+    if let Some(pos) = args.iter().position(|a| a == "--quiet") {
+        set_level(Level::Error);
+        args.remove(pos);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "-v" || a == "--verbose") {
+        set_level(Level::Debug);
+        args.remove(pos);
+    }
     if let Some(pos) = args.iter().position(|a| a == "--paper") {
         scale = RunScale::Paper;
         args.remove(pos);
     }
+    if let Some(pos) = args.iter().position(|a| a == "--profile") {
+        profile = true;
+        args.remove(pos);
+    }
     if let Some(pos) = args.iter().position(|a| a == "--seed") {
         if pos + 1 >= args.len() {
-            eprintln!("--seed requires a value");
+            obs_error!("--seed requires a value");
             std::process::exit(2);
         }
         seed = match args[pos + 1].parse() {
             Ok(s) => s,
             Err(_) => {
-                eprintln!("--seed requires an integer, got '{}'", args[pos + 1]);
+                obs_error!("--seed requires an integer, got '{}'", args[pos + 1]);
                 std::process::exit(2);
             }
         };
@@ -51,7 +73,7 @@ fn main() {
     }
     if let Some(pos) = args.iter().position(|a| a == "--workers") {
         if pos + 1 >= args.len() {
-            eprintln!("--workers requires a count or 'auto'");
+            obs_error!("--workers requires a count or 'auto'");
             std::process::exit(2);
         }
         par = if args[pos + 1] == "auto" {
@@ -60,7 +82,7 @@ fn main() {
             match args[pos + 1].parse::<usize>() {
                 Ok(n) if n >= 1 => Parallelism::new(n),
                 _ => {
-                    eprintln!(
+                    obs_error!(
                         "--workers requires a positive integer or 'auto', got '{}'",
                         args[pos + 1]
                     );
@@ -70,13 +92,19 @@ fn main() {
         };
         args.drain(pos..=pos + 1);
     }
-    if let Some(pos) = args.iter().position(|a| a == "--csv") {
-        if pos + 1 >= args.len() {
-            eprintln!("--csv requires a directory");
-            std::process::exit(2);
+    for (flag, slot) in [("--csv", &mut csv_dir), ("--trace", &mut trace_path), ("--metrics", &mut metrics_path)]
+    {
+        if let Some(pos) = args.iter().position(|a| a == flag) {
+            if pos + 1 >= args.len() {
+                obs_error!("{flag} requires a path");
+                std::process::exit(2);
+            }
+            *slot = Some(args[pos + 1].clone());
+            args.drain(pos..=pos + 1);
         }
-        csv_dir = Some(args[pos + 1].clone());
-        args.drain(pos..=pos + 1);
+    }
+    if trace_path.is_some() || metrics_path.is_some() || profile {
+        par = par.with_recording(Record::Trace);
     }
 
     let targets: Vec<String> = if args.is_empty() {
@@ -86,7 +114,7 @@ fn main() {
     };
     for t in &targets {
         if !available_targets().contains(&t.as_str()) {
-            eprintln!("unknown target '{t}'; run `repro --list`");
+            obs_error!("unknown target '{t}'; run `repro --list`");
             std::process::exit(2);
         }
     }
@@ -96,29 +124,54 @@ fn main() {
         "# PTPerf reproduction — scale: {:?}, seed: {seed}, workers: {}, scenario: client {} / servers {}\n",
         scale, par.workers, scenario.client, scenario.server_region
     );
+    let run_started = std::time::Instant::now();
+    let mut runs: Vec<TargetRun> = Vec::new();
     for t in targets {
         let started = std::time::Instant::now();
-        let out = run_target_with(&t, &scenario, scale, &par);
+        let run = run_target_obs(&t, &scenario, scale, &par);
         println!("==================== {t} ====================");
-        println!("{out}");
+        println!("{}", run.text);
         if let Some(dir) = &csv_dir {
             std::fs::create_dir_all(dir).expect("create csv dir");
             for (stem, doc) in export_csv_with(&t, &scenario, scale, &par) {
                 let path = format!("{dir}/{stem}.csv");
                 std::fs::write(&path, doc).expect("write csv");
-                eprintln!("[wrote {path}]");
+                obs_info!("wrote {path}");
             }
         }
-        eprintln!("[{t} done in {:.1}s]", started.elapsed().as_secs_f64());
+        obs_info!("{t} done in {:.1}s", started.elapsed().as_secs_f64());
+        runs.push(run);
+    }
+    let elapsed = run_started.elapsed();
+
+    if let Some(path) = &trace_path {
+        std::fs::write(path, obs_export::trace_jsonl(&runs)).expect("write trace");
+        obs_info!("wrote sim-time trace to {path}");
+    }
+    if let Some(path) = &metrics_path {
+        let registry = obs_export::build_metrics(&runs, par.workers, elapsed);
+        std::fs::write(path, registry.to_json()).expect("write metrics");
+        obs_info!("wrote wall-clock metrics to {path}");
+    }
+    if profile {
+        println!("{}", obs_export::profile_table(&runs));
     }
 }
 
 fn print_help() {
     println!(
         "repro — regenerate PTPerf tables and figures\n\n\
-         usage: repro [--paper] [--seed N] [--workers N|auto] [--list] [TARGET ...]\n\n\
+         usage: repro [--paper] [--seed N] [--workers N|auto] [--csv DIR]\n\
+         \x20            [--trace FILE] [--metrics FILE] [--profile]\n\
+         \x20            [--quiet] [-v|--verbose] [--list] [TARGET ...]\n\n\
          --workers only changes wall-clock time: output is bit-for-bit\n\
          identical at any worker count.\n\
+         --trace writes the deterministic sim-time trace (JSON Lines: one\n\
+         span or counter record per line, identical at any worker count);\n\
+         --metrics writes the wall-clock metrics registry (JSON; per-family\n\
+         p50/p95 shard times, worker utilization); --profile prints a\n\
+         per-family table of events, simulated seconds, and throughput.\n\
+         --quiet shows errors only; -v enables debug diagnostics.\n\
          With no targets, all of them run. Targets:\n  {}",
         available_targets().join(" ")
     );

@@ -9,6 +9,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod obs_export;
 pub mod targets;
 
-pub use targets::{available_targets, run_target, run_target_with, RunScale};
+pub use targets::{
+    available_targets, run_target, run_target_obs, run_target_with, RunScale, TargetRun,
+};

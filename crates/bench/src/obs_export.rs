@@ -1,0 +1,214 @@
+//! Serializers for `repro`'s observability flags: the deterministic
+//! trace (JSONL, sim-time only), the wall-clock metrics registry, and
+//! the human-readable profile table.
+//!
+//! The trace is a pure function of the scenario seed and target list —
+//! shard reports arrive in submission order and carry only sim-time
+//! spans and counters — so two runs at different worker counts produce
+//! byte-identical JSONL (proven by `tests/obs_neutrality.rs`). Wall
+//! clock lives exclusively in the metrics registry and the profile
+//! table, which are expected to differ run to run.
+
+use std::time::Duration;
+
+use ptperf_obs::{json, MetricsRegistry};
+use ptperf_stats::Table;
+
+use crate::targets::TargetRun;
+
+/// The family a shard belongs to: its label up to the first `/` (shard
+/// labels are `family/detail`, e.g. `fig2a/obfs4`; single-shard
+/// families use the bare family name).
+pub fn family_of(label: &str) -> &str {
+    label.split('/').next().unwrap_or(label)
+}
+
+/// Serializes the targets' recorded observations as JSON Lines: for
+/// each shard (in index order, targets in run order) one `span` record
+/// per phase, then one `counter` record per counter key.
+///
+/// Every field is sim-time or structural — no wall clock — so the
+/// output is byte-identical across runs and worker counts.
+pub fn trace_jsonl(runs: &[TargetRun]) -> String {
+    let mut out = String::new();
+    for run in runs {
+        for report in &run.reports {
+            let prefix = format!(
+                "\"target\":{},\"shard\":{},\"label\":{}",
+                json::string(&run.name),
+                report.index,
+                json::string(&report.label)
+            );
+            for span in &report.obs.spans {
+                out.push_str(&format!(
+                    "{{\"type\":\"span\",{prefix},\"phase\":{},\"start_ns\":{},\"end_ns\":{}}}\n",
+                    json::string(span.phase),
+                    span.start_ns,
+                    span.end_ns
+                ));
+            }
+            for (key, value) in &report.obs.counters {
+                out.push_str(&format!(
+                    "{{\"type\":\"counter\",{prefix},\"key\":{},\"value\":{value}}}\n",
+                    json::string(key)
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Builds the wall-clock metrics registry from the targets' shard
+/// reports: one observation per shard, grouped by family, plus the
+/// run-level worker count and elapsed time.
+pub fn build_metrics(runs: &[TargetRun], workers: usize, elapsed: Duration) -> MetricsRegistry {
+    let mut registry = MetricsRegistry::new();
+    for run in runs {
+        for report in &run.reports {
+            registry.observe(family_of(&report.label), report.wall, report.samples);
+        }
+    }
+    registry.set_run(workers, elapsed);
+    registry
+}
+
+/// Renders the `--profile` table: per family (first-seen order), shard
+/// and sample counts, recorded event count, simulated seconds, shard
+/// wall-clock milliseconds, and simulation throughput in events per
+/// wall-clock second.
+pub fn profile_table(runs: &[TargetRun]) -> String {
+    struct Row {
+        family: String,
+        shards: usize,
+        samples: usize,
+        events: u64,
+        sim_ns: u64,
+        wall_secs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for run in runs {
+        for report in &run.reports {
+            let family = family_of(&report.label);
+            let row = match rows.iter_mut().find(|r| r.family == family) {
+                Some(row) => row,
+                None => {
+                    rows.push(Row {
+                        family: family.to_string(),
+                        shards: 0,
+                        samples: 0,
+                        events: 0,
+                        sim_ns: 0,
+                        wall_secs: 0.0,
+                    });
+                    rows.last_mut().expect("just pushed")
+                }
+            };
+            row.shards += 1;
+            row.samples += report.samples;
+            row.events += report.obs.counter("events").unwrap_or(0);
+            row.sim_ns += report.obs.counter("sim_ns").unwrap_or(0);
+            row.wall_secs += report.wall.as_secs_f64();
+        }
+    }
+    let mut table = Table::new([
+        "family",
+        "shards",
+        "samples",
+        "events",
+        "sim (s)",
+        "wall (ms)",
+        "events/s",
+    ]);
+    for r in &rows {
+        let throughput = if r.wall_secs > 0.0 {
+            format!("{:.0}", r.events as f64 / r.wall_secs)
+        } else {
+            "-".to_string()
+        };
+        table.row([
+            r.family.clone(),
+            r.shards.to_string(),
+            r.samples.to_string(),
+            r.events.to_string(),
+            format!("{:.2}", r.sim_ns as f64 / 1e9),
+            format!("{:.1}", r.wall_secs * 1e3),
+            throughput,
+        ]);
+    }
+    let totals = rows.iter().fold((0usize, 0u64, 0u64), |acc, r| {
+        (acc.0 + r.shards, acc.1 + r.events, acc.2 + r.sim_ns)
+    });
+    format!(
+        "Profile — {} shard(s), {} event(s), {:.2} simulated second(s)\n{}",
+        totals.0,
+        totals.1,
+        totals.2 as f64 / 1e9,
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use ptperf::executor::ShardReport;
+    use ptperf_obs::{ShardObsData, SpanRecord};
+
+    use super::*;
+
+    fn sample_run() -> TargetRun {
+        TargetRun {
+            name: "fig6".to_string(),
+            text: String::new(),
+            reports: vec![ShardReport {
+                index: 0,
+                label: "fig6/obfs4".to_string(),
+                wall: Duration::from_millis(250),
+                samples: 12,
+                obs: ShardObsData {
+                    spans: vec![SpanRecord {
+                        phase: "handshake",
+                        start_ns: 0,
+                        end_ns: 1_500_000_000,
+                    }],
+                    counters: vec![("events", 12), ("sim_ns", 1_500_000_000)],
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn family_strips_the_shard_detail() {
+        assert_eq!(family_of("fig2a/obfs4"), "fig2a");
+        assert_eq!(family_of("fig3"), "fig3");
+        assert_eq!(family_of("scheduled-snowflake/3"), "scheduled-snowflake");
+    }
+
+    #[test]
+    fn trace_lines_carry_spans_then_counters() {
+        let jsonl = trace_jsonl(&[sample_run()]);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("{\"type\":\"span\""));
+        assert!(lines[0].contains("\"target\":\"fig6\""));
+        assert!(lines[0].contains("\"end_ns\":1500000000"));
+        assert!(lines[1].contains("\"key\":\"events\""));
+        assert!(lines[2].contains("\"key\":\"sim_ns\""));
+    }
+
+    #[test]
+    fn metrics_group_by_family_and_keep_run_context() {
+        let registry = build_metrics(&[sample_run()], 4, Duration::from_secs(2));
+        let json = registry.to_json();
+        assert!(json.contains("\"workers\":4"));
+        assert!(json.contains("\"family\":\"fig6\""));
+        assert!(json.contains("\"samples\":12"));
+    }
+
+    #[test]
+    fn profile_aggregates_counters_per_family() {
+        let text = profile_table(&[sample_run()]);
+        assert!(text.contains("fig6"), "{text}");
+        assert!(text.contains("1.50"), "sim seconds missing: {text}");
+        assert!(text.contains("250.0"), "wall ms missing: {text}");
+        assert!(text.contains("events/s"), "{text}");
+    }
+}

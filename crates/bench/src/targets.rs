@@ -10,13 +10,37 @@ use ptperf::experiments::{
 use ptperf::scenario::Scenario;
 use ptperf::{campaign, ecosystem};
 
-/// Unwraps an experiment's `run_with` result, dropping the shard
-/// reports (the `repro` binary reports per-target wall time itself).
-fn first<T>(r: Result<(T, Vec<ShardReport>), ExecError>) -> T {
+/// Unwraps an experiment's `run_with` result, appending its shard
+/// reports (timings, sample counts, and — under
+/// [`ptperf::executor::Record::Trace`] — the recorded observations) to
+/// the target's collection.
+fn take<T>(
+    reports: &mut Vec<ShardReport>,
+    r: Result<(T, Vec<ShardReport>), ExecError>,
+) -> T {
     match r {
-        Ok((value, _)) => value,
+        Ok((value, mut shard_reports)) => {
+            reports.append(&mut shard_reports);
+            value
+        }
         Err(e) => panic!("experiment shard failed: {e}"),
     }
+}
+
+/// A target's rendered text plus the executor shard reports behind it.
+///
+/// The reports are in shard-index order, concatenated across the
+/// experiments the target executed — an order that is a function of the
+/// target alone, never of worker count or completion order, so trace
+/// serializations built from them are deterministic.
+#[derive(Debug)]
+pub struct TargetRun {
+    /// The target's name, as passed to [`run_target_obs`].
+    pub name: String,
+    /// Rendered artifact text.
+    pub text: String,
+    /// Every shard report the target ran, in shard-index order.
+    pub reports: Vec<ShardReport>,
 }
 
 /// How big a run to perform.
@@ -34,6 +58,7 @@ pub fn available_targets() -> Vec<&'static str> {
         "table1", "table2", "fig2a", "fig2b", "table3", "table4", "table5", "table6", "fig3a",
         "fig3b", "fig4", "fig5", "table7", "fig6", "fig7", "fig8a", "fig8b", "medium", "fig9",
         "fig10a", "fig10b", "fig11", "table8", "table9", "table10", "fig12", "streaming",
+        "campaign",
     ]
 }
 
@@ -59,8 +84,27 @@ pub fn run_target_with(
     scale: RunScale,
     par: &Parallelism,
 ) -> String {
+    run_target_obs(name, scenario, scale, par).text
+}
+
+/// Runs one target and returns its rendered text together with every
+/// executor shard report behind it. Whether those reports carry
+/// sim-time observations is controlled by `par.record` (see
+/// [`ptperf::executor::Record`]); the rendered text is bit-for-bit
+/// identical either way, and at any worker count.
+///
+/// # Panics
+/// Panics on an unknown target name; callers should validate against
+/// [`available_targets`].
+pub fn run_target_obs(
+    name: &str,
+    scenario: &Scenario,
+    scale: RunScale,
+    par: &Parallelism,
+) -> TargetRun {
     let quick = scale == RunScale::Quick;
-    match name {
+    let mut reports: Vec<ShardReport> = Vec::new();
+    let text = match name {
         "table1" => campaign::render_plan(),
         "table2" => ecosystem::render(),
         "fig2a" => {
@@ -69,7 +113,7 @@ pub fn run_target_with(
             } else {
                 website_curl::Config::paper()
             };
-            first(website_curl::run_with(scenario, &cfg, par)).render()
+            take(&mut reports, website_curl::run_with(scenario, &cfg, par)).render()
         }
         "fig2b" => {
             let cfg = if quick {
@@ -77,7 +121,7 @@ pub fn run_target_with(
             } else {
                 website_selenium::Config::paper()
             };
-            first(website_selenium::run_with(scenario, &cfg, par)).render()
+            take(&mut reports, website_selenium::run_with(scenario, &cfg, par)).render()
         }
         "table3" | "table4" => {
             let cfg = if quick {
@@ -85,7 +129,7 @@ pub fn run_target_with(
             } else {
                 website_curl::Config::paper()
             };
-            let result = first(website_curl::run_with(scenario, &cfg, par));
+            let result = take(&mut reports, website_curl::run_with(scenario, &cfg, par));
             let rows = ttest_tables::pairwise(&result.samples);
             let half = rows.len() / 2;
             let (title, slice) = if name == "table3" {
@@ -101,7 +145,7 @@ pub fn run_target_with(
             } else {
                 website_selenium::Config::paper()
             };
-            let result = first(website_selenium::run_with(scenario, &cfg, par));
+            let result = take(&mut reports, website_selenium::run_with(scenario, &cfg, par));
             let rows = ttest_tables::pairwise(&result.samples);
             let half = rows.len() / 2;
             let (title, slice) = if name == "table5" {
@@ -117,7 +161,7 @@ pub fn run_target_with(
             } else {
                 fixed_circuit::Config::paper()
             };
-            let result = first(fixed_circuit::run_with(scenario, &cfg, par));
+            let result = take(&mut reports, fixed_circuit::run_with(scenario, &cfg, par));
             if name == "fig3a" {
                 let mut out = result.render_boxplots();
                 for (a, b) in [
@@ -152,7 +196,7 @@ pub fn run_target_with(
             } else {
                 fixed_guard::Config::paper()
             };
-            let result = first(fixed_guard::run_with(scenario, &cfg, par));
+            let result = take(&mut reports, fixed_guard::run_with(scenario, &cfg, par));
             let mut out = result.render();
             let t = result.ttest();
             out.push_str(&format!(
@@ -169,7 +213,7 @@ pub fn run_target_with(
             } else {
                 file_download::Config::paper()
             };
-            first(file_download::run_with(scenario, &cfg, par)).render()
+            take(&mut reports, file_download::run_with(scenario, &cfg, par)).render()
         }
         "table7" => {
             let cfg = if quick {
@@ -177,7 +221,7 @@ pub fn run_target_with(
             } else {
                 file_download::Config::paper()
             };
-            let result = first(file_download::run_with(scenario, &cfg, par));
+            let result = take(&mut reports, file_download::run_with(scenario, &cfg, par));
             let rows = ttest_tables::pairwise(&result.paired);
             ttest_tables::render("Table 7 — paired t-tests, file downloads", &rows)
         }
@@ -187,7 +231,7 @@ pub fn run_target_with(
             } else {
                 ttfb::Config::paper()
             };
-            first(ttfb::run_with(scenario, &cfg, par)).render()
+            take(&mut reports, ttfb::run_with(scenario, &cfg, par)).render()
         }
         "fig7" => {
             let cfg = if quick {
@@ -195,7 +239,7 @@ pub fn run_target_with(
             } else {
                 location::Config::paper()
             };
-            first(location::run_with(scenario, &cfg, par)).render()
+            take(&mut reports, location::run_with(scenario, &cfg, par)).render()
         }
         "fig8a" | "fig8b" => {
             let cfg = if quick {
@@ -203,7 +247,7 @@ pub fn run_target_with(
             } else {
                 reliability::Config::paper()
             };
-            let result = first(reliability::run_with(scenario, &cfg, par));
+            let result = take(&mut reports, reliability::run_with(scenario, &cfg, par));
             if name == "fig8a" {
                 result.render_stacked()
             } else {
@@ -216,7 +260,7 @@ pub fn run_target_with(
             } else {
                 medium::Config::paper()
             };
-            first(medium::run_with(scenario, &cfg, par)).render()
+            take(&mut reports, medium::run_with(scenario, &cfg, par)).render()
         }
         "fig9" => {
             let cfg = if quick {
@@ -224,7 +268,7 @@ pub fn run_target_with(
             } else {
                 overhead::Config::paper()
             };
-            first(overhead::run_with(scenario, &cfg, par)).render()
+            take(&mut reports, overhead::run_with(scenario, &cfg, par)).render()
         }
         "fig10a" | "fig10b" | "fig12" => {
             let cfg = if quick {
@@ -232,7 +276,7 @@ pub fn run_target_with(
             } else {
                 snowflake_load::Config::paper()
             };
-            let result = first(snowflake_load::run_with(scenario, &cfg, par));
+            let result = take(&mut reports, snowflake_load::run_with(scenario, &cfg, par));
             match name {
                 "fig10a" => result.render_timeline(),
                 "fig10b" => result.render_pre_post(),
@@ -245,7 +289,7 @@ pub fn run_target_with(
             } else {
                 speed_index::Config::paper()
             };
-            first(speed_index::run_with(scenario, &cfg, par)).render()
+            take(&mut reports, speed_index::run_with(scenario, &cfg, par)).render()
         }
         "table8" | "table9" => {
             let cfg = if quick {
@@ -253,7 +297,7 @@ pub fn run_target_with(
             } else {
                 speed_index::Config::paper()
             };
-            let result = first(speed_index::run_with(scenario, &cfg, par));
+            let result = take(&mut reports, speed_index::run_with(scenario, &cfg, par));
             let rows = ttest_tables::pairwise(&result.speed_index);
             let half = rows.len() / 2;
             let (title, slice) = if name == "table8" {
@@ -269,7 +313,7 @@ pub fn run_target_with(
             } else {
                 website_curl::Config::paper()
             };
-            let result = first(website_curl::run_with(scenario, &cfg, par));
+            let result = take(&mut reports, website_curl::run_with(scenario, &cfg, par));
             let rows = ttest_tables::category_pairwise(&result.samples);
             ttest_tables::render(
                 "Table 10 — paired t-tests between PT categories (curl website access)",
@@ -282,9 +326,25 @@ pub fn run_target_with(
             } else {
                 streaming::Config::paper()
             };
-            first(streaming::run_with(scenario, &cfg, par)).render()
+            take(&mut reports, streaming::run_with(scenario, &cfg, par)).render()
+        }
+        "campaign" => {
+            // The full campaign always runs at test scale (see
+            // [`ptperf::campaign::run_quick_with`]); `scale` selects
+            // nothing here.
+            let results = match campaign::run_quick_with(scenario, par) {
+                Ok(r) => r,
+                Err(e) => panic!("experiment shard failed: {e}"),
+            };
+            reports = results.stats.reports.clone();
+            results.stats.render()
         }
         other => panic!("unknown repro target '{other}'; see `repro --list`"),
+    };
+    TargetRun {
+        name: name.to_string(),
+        text,
+        reports,
     }
 }
 
@@ -305,6 +365,9 @@ pub fn export_csv_with(
 ) -> Vec<(String, String)> {
     use ptperf::report;
     let quick = scale == RunScale::Quick;
+    // CSV export re-runs the experiment and only keeps its data; shard
+    // reports are dropped (the caller gets them via `run_target_obs`).
+    let mut reports: Vec<ShardReport> = Vec::new();
     match name {
         "fig2a" | "table3" | "table4" | "table10" => {
             let cfg = if quick {
@@ -312,7 +375,7 @@ pub fn export_csv_with(
             } else {
                 website_curl::Config::paper()
             };
-            let result = first(website_curl::run_with(scenario, &cfg, par));
+            let result = take(&mut reports, website_curl::run_with(scenario, &cfg, par));
             vec![
                 ("fig2a_samples".to_string(), report::samples_csv(&result.samples)),
                 (
@@ -331,7 +394,7 @@ pub fn export_csv_with(
             } else {
                 website_selenium::Config::paper()
             };
-            let result = first(website_selenium::run_with(scenario, &cfg, par));
+            let result = take(&mut reports, website_selenium::run_with(scenario, &cfg, par));
             vec![
                 ("fig2b_samples".to_string(), report::samples_csv(&result.samples)),
                 (
@@ -346,7 +409,7 @@ pub fn export_csv_with(
             } else {
                 file_download::Config::paper()
             };
-            let result = first(file_download::run_with(scenario, &cfg, par));
+            let result = take(&mut reports, file_download::run_with(scenario, &cfg, par));
             vec![
                 ("fig5_samples".to_string(), report::samples_csv(&result.paired)),
                 (
@@ -361,7 +424,7 @@ pub fn export_csv_with(
             } else {
                 reliability::Config::paper()
             };
-            let result = first(reliability::run_with(scenario, &cfg, par));
+            let result = take(&mut reports, reliability::run_with(scenario, &cfg, par));
             let rows: Vec<Vec<String>> = result
                 .counts
                 .iter()
@@ -386,7 +449,7 @@ pub fn export_csv_with(
             } else {
                 speed_index::Config::paper()
             };
-            let result = first(speed_index::run_with(scenario, &cfg, par));
+            let result = take(&mut reports, speed_index::run_with(scenario, &cfg, par));
             vec![
                 (
                     "fig11_speed_index".to_string(),

@@ -319,7 +319,7 @@ pub fn run_scheduled_snowflake_with(
         .map(|(shard_idx, chunk)| {
             let chunk = chunk.to_vec();
             let scenario = scenario.clone();
-            Unit::new(format!("scheduled-snowflake/{shard_idx}"), move || {
+            Unit::traced(format!("scheduled-snowflake/{shard_idx}"), move |rec| {
                 const WEEK: SimDuration = SimDuration::from_secs(7 * 24 * 3600);
                 let timeline = user_timeline();
                 let first_week = timeline.first().expect("timeline non-empty").week;
@@ -336,22 +336,26 @@ pub fn run_scheduled_snowflake_with(
                 let transport = transport_for(PtId::Snowflake);
                 let sites = crate::measure::target_sites(20);
                 let mut rng = scenario.rng(&format!("scheduled-snowflake/{shard_idx}"));
-                let out: Vec<TimedMeasurement> = chunk
-                    .iter()
-                    .map(|slot| {
-                        let load = load_at(slot.at);
-                        let mut opts = scenario.access_options();
-                        opts.load_mult = load;
-                        let site = &sites[slot.index as usize % sites.len()];
-                        let ch = transport.establish(&dep, &opts, site.server, &mut rng);
-                        let fetch = curl::fetch(&ch, site, &mut rng);
-                        TimedMeasurement {
-                            at: slot.at,
-                            load,
-                            seconds: fetch.total.as_secs_f64(),
-                        }
-                    })
-                    .collect();
+                let mut phases = ptperf_obs::PhaseAccum::new();
+                let mut out: Vec<TimedMeasurement> = Vec::with_capacity(chunk.len());
+                for slot in &chunk {
+                    let load = load_at(slot.at);
+                    let mut opts = scenario.access_options();
+                    opts.load_mult = load;
+                    let site = &sites[slot.index as usize % sites.len()];
+                    let ch = transport.establish(&dep, &opts, site.server, &mut rng);
+                    let fetch = curl::fetch(&ch, site, &mut rng);
+                    if rec.enabled() {
+                        crate::measure::record_fetch_phases(&mut phases, &ch, &fetch);
+                        rec.add("events", 1);
+                    }
+                    out.push(TimedMeasurement {
+                        at: slot.at,
+                        load,
+                        seconds: fetch.total.as_secs_f64(),
+                    });
+                }
+                phases.emit(rec);
                 let n = out.len();
                 (out, n)
             })

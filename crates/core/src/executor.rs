@@ -27,6 +27,26 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use ptperf_obs::{MemoryRecorder, NullRecorder, Recorder, ShardObsData};
+
+/// Whether shards record sim-time observations.
+///
+/// Off by default: with [`Record::Off`] every shard closure receives a
+/// [`NullRecorder`] and pays only dead no-op calls. With
+/// [`Record::Trace`], each shard gets its own [`MemoryRecorder`] and
+/// the collected spans/counters come back on its [`ShardReport`].
+/// Either way the shard runs the *same* code — the workspace's
+/// `obs_neutrality` test proves the results are bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Record {
+    /// No recording (the default): observations are discarded at the
+    /// trait-call boundary.
+    #[default]
+    Off,
+    /// Collect per-shard spans and counters into [`ShardReport::obs`].
+    Trace,
+}
+
 /// How to spread campaign units over threads.
 ///
 /// The default (and [`Parallelism::sequential`]) is one worker, which
@@ -40,28 +60,36 @@ pub struct Parallelism {
     /// Units claimed per cursor fetch (clamped to ≥ 1). Larger chunks
     /// amortize claiming overhead; smaller chunks balance stragglers.
     pub chunk: usize,
+    /// Whether shards record sim-time observations (default off).
+    pub record: Record,
 }
 
 impl Parallelism {
     /// One worker on the calling thread; the reference execution.
     pub fn sequential() -> Parallelism {
-        Parallelism { workers: 1, chunk: 1 }
+        Parallelism { workers: 1, chunk: 1, record: Record::Off }
     }
 
     /// A fixed worker count with single-unit claiming.
     pub fn new(workers: usize) -> Parallelism {
-        Parallelism { workers: workers.max(1), chunk: 1 }
+        Parallelism { workers: workers.max(1), chunk: 1, record: Record::Off }
     }
 
     /// One worker per available hardware thread.
     pub fn auto() -> Parallelism {
         let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
-        Parallelism { workers, chunk: 1 }
+        Parallelism { workers, chunk: 1, record: Record::Off }
     }
 
     /// Set the units-per-claim chunk size.
     pub fn with_chunk(mut self, chunk: usize) -> Parallelism {
         self.chunk = chunk.max(1);
+        self
+    }
+
+    /// Set the recording mode.
+    pub fn with_recording(mut self, record: Record) -> Parallelism {
+        self.record = record;
         self
     }
 }
@@ -77,16 +105,32 @@ impl Default for Parallelism {
 /// closure producing the shard value plus its raw sample count.
 pub struct Unit<T> {
     label: String,
-    work: Box<dyn FnOnce() -> (T, usize) + Send>,
+    work: ShardWork<T>,
 }
 
+/// A shard's boxed closure: given the shard's recorder, produces the
+/// shard value plus its raw sample count.
+type ShardWork<T> = Box<dyn FnOnce(&mut dyn Recorder) -> (T, usize) + Send>;
+
 impl<T> Unit<T> {
-    /// Create a unit. `work` returns `(value, sample_count)`, where the
-    /// count is the number of underlying measurements the shard took
-    /// (reported in [`ShardReport::samples`]).
+    /// Create a unit that does not record observations. `work` returns
+    /// `(value, sample_count)`, where the count is the number of
+    /// underlying measurements the shard took (reported in
+    /// [`ShardReport::samples`]).
     pub fn new(
         label: impl Into<String>,
         work: impl FnOnce() -> (T, usize) + Send + 'static,
+    ) -> Unit<T> {
+        Unit { label: label.into(), work: Box::new(move |_| work()) }
+    }
+
+    /// Create a unit whose closure records into the shard's
+    /// [`Recorder`]. Under [`Record::Off`] the recorder is a
+    /// [`NullRecorder`], so instrumented units cost nothing extra when
+    /// recording is disabled.
+    pub fn traced(
+        label: impl Into<String>,
+        work: impl FnOnce(&mut dyn Recorder) -> (T, usize) + Send + 'static,
     ) -> Unit<T> {
         Unit { label: label.into(), work: Box::new(work) }
     }
@@ -105,8 +149,8 @@ impl<T: Send + 'static> Unit<T> {
         let Unit { label, work } = self;
         Unit {
             label,
-            work: Box::new(move || {
-                let (value, samples) = work();
+            work: Box::new(move |rec| {
+                let (value, samples) = work(rec);
                 (Box::new(value) as Box<dyn std::any::Any + Send>, samples)
             }),
         }
@@ -124,6 +168,10 @@ pub struct ShardReport {
     pub wall: Duration,
     /// Raw measurement count the shard reported.
     pub samples: usize,
+    /// Sim-time observations the shard recorded (empty under
+    /// [`Record::Off`]). Deterministic: a function of the scenario
+    /// seed, unlike `wall`.
+    pub obs: ShardObsData,
 }
 
 /// A shard whose closure panicked.
@@ -196,14 +244,24 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 fn run_one<T>(
     unit: Unit<T>,
     index: usize,
+    record: Record,
     results: &Mutex<Vec<Option<(T, ShardReport)>>>,
     failures: &Mutex<Vec<ShardFailure>>,
 ) {
     let Unit { label, work } = unit;
     let started = Instant::now();
-    match catch_unwind(AssertUnwindSafe(work)) {
-        Ok((value, samples)) => {
-            let report = ShardReport { index, label, wall: started.elapsed(), samples };
+    let outcome = catch_unwind(AssertUnwindSafe(|| match record {
+        Record::Off => (work(&mut NullRecorder), ShardObsData::default()),
+        Record::Trace => {
+            let mut rec = MemoryRecorder::new();
+            let out = work(&mut rec);
+            (out, rec.into_data())
+        }
+    }));
+    match outcome {
+        Ok(((value, samples), obs)) => {
+            let report =
+                ShardReport { index, label, wall: started.elapsed(), samples, obs };
             results.lock().expect("results lock")[index] = Some((value, report));
         }
         Err(payload) => {
@@ -239,7 +297,7 @@ pub fn run_units<T: Send>(
 
     if workers <= 1 {
         for (index, unit) in units.into_iter().enumerate() {
-            run_one(unit, index, &results, &failures);
+            run_one(unit, index, par.record, &results, &failures);
         }
     } else {
         let jobs: Vec<Mutex<Option<Unit<T>>>> =
@@ -256,7 +314,7 @@ pub fn run_units<T: Send>(
                     for (offset, job) in claimed {
                         let unit = job.lock().expect("job lock").take();
                         if let Some(unit) = unit {
-                            run_one(unit, base + offset, &results, &failures);
+                            run_one(unit, base + offset, par.record, &results, &failures);
                         }
                     }
                 });
@@ -334,6 +392,54 @@ mod tests {
         assert!(err.failures[0].message.contains("exploded"));
         assert_eq!(err.completed, 5);
         assert!(err.to_string().contains("u/3"));
+    }
+
+    fn traced_squares(n: usize) -> Vec<Unit<usize>> {
+        (0..n)
+            .map(|i| {
+                Unit::traced(format!("sq/{i}"), move |rec| {
+                    rec.add("work", i as u64);
+                    rec.span("compute", 0, 1_000);
+                    (i * i, 1)
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recording_off_leaves_obs_empty() {
+        let out = run_units(&Parallelism::new(2), traced_squares(4)).unwrap();
+        assert_eq!(out.values, vec![0, 1, 4, 9]);
+        for report in &out.reports {
+            assert!(report.obs.spans.is_empty());
+            assert!(report.obs.counters.is_empty());
+        }
+    }
+
+    #[test]
+    fn recording_on_attaches_per_shard_obs() {
+        let par = Parallelism::new(3).with_recording(Record::Trace);
+        let out = run_units(&par, traced_squares(5)).unwrap();
+        assert_eq!(out.values, vec![0, 1, 4, 9, 16]);
+        for (i, report) in out.reports.iter().enumerate() {
+            assert_eq!(report.obs.counter("work"), Some(i as u64), "shard {i}");
+            assert_eq!(report.obs.spans.len(), 1);
+            assert_eq!(report.obs.spans[0].phase, "compute");
+        }
+    }
+
+    #[test]
+    fn recording_does_not_change_values_or_samples() {
+        let off = run_units(&Parallelism::sequential(), traced_squares(6)).unwrap();
+        let on = run_units(
+            &Parallelism::new(4).with_recording(Record::Trace),
+            traced_squares(6),
+        )
+        .unwrap();
+        assert_eq!(off.values, on.values);
+        let samples =
+            |r: &[ShardReport]| r.iter().map(|s| s.samples).collect::<Vec<_>>();
+        assert_eq!(samples(&off.reports), samples(&on.reports));
     }
 
     #[test]

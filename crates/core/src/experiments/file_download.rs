@@ -89,17 +89,27 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
         .into_iter()
         .map(|pt| {
             let scenario = scenario.clone();
-            Unit::new(format!("fig5/{pt}"), move || {
+            Unit::traced(format!("fig5/{pt}"), move |rec| {
                 let transport = transport_for(pt);
                 let dep = scenario.deployment();
                 let opts = scenario.access_options();
                 let file_server = scenario.server_region;
                 let mut rng = scenario.rng(&format!("fig5/{pt}"));
                 let mut list = Vec::with_capacity(cfg.sizes.len() * cfg.attempts);
+                let mut phases = ptperf_obs::PhaseAccum::new();
                 for &size in &cfg.sizes {
                     for _ in 0..cfg.attempts {
                         let ch = transport.establish(&dep, &opts, file_server, &mut rng);
                         let d = filedl::download(&ch, size, &mut rng);
+                        if rec.enabled() {
+                            let handshake = (ch.setup + ch.stream_open).min(d.elapsed);
+                            phases.add_ns("handshake", handshake.as_nanos());
+                            phases.add_ns(
+                                "transfer",
+                                d.elapsed.saturating_sub(handshake).as_nanos(),
+                            );
+                            rec.add("events", 1);
+                        }
                         list.push(Attempt {
                             size,
                             elapsed: d.elapsed.as_secs_f64(),
@@ -108,6 +118,7 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
                         });
                     }
                 }
+                phases.emit(rec);
                 let n = list.len();
                 ((pt, list), n)
             })

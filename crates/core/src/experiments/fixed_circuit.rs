@@ -55,8 +55,8 @@ pub struct Result {
 pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Result>> {
     let scenario = scenario.clone();
     let cfg = *cfg;
-    vec![Unit::new("fig3", move || {
-        let r = run(&scenario, &cfg);
+    vec![Unit::traced("fig3", move |rec| {
+        let r = run_traced(&scenario, &cfg, rec);
         let n: usize = r.times.iter().map(|(_, v)| v.len()).sum();
         (r, n)
     })]
@@ -79,8 +79,20 @@ pub fn run_with(
 
 /// Runs the experiment.
 pub fn run(scenario: &Scenario, cfg: &Config) -> Result {
+    run_traced(scenario, cfg, &mut ptperf_obs::NullRecorder)
+}
+
+/// [`run`] with observation: per-fetch phase accumulation and an
+/// `events` counter. The plain entry point delegates here with a no-op
+/// recorder, so both paths draw the identical RNG sequence.
+pub fn run_traced(
+    scenario: &Scenario,
+    cfg: &Config,
+    rec: &mut dyn ptperf_obs::Recorder,
+) -> Result {
     let mut dep = scenario.deployment();
     let mut rng = scenario.rng("fig3");
+    let mut phases = ptperf_obs::PhaseAccum::new();
 
     // Our own host: guard utility + private PT server on one machine.
     let host = dep.consensus.add_relay(Relay {
@@ -120,7 +132,12 @@ pub fn run(scenario: &Scenario, cfg: &Config) -> Result {
             for (ci, &pt) in CONFIGS.iter().enumerate() {
                 let transport = transport_for(pt);
                 let ch = transport.establish(&dep, &opts, site.server, &mut rng);
-                let t = curl::fetch(&ch, site, &mut rng).total.as_secs_f64();
+                let fetch = curl::fetch(&ch, site, &mut rng);
+                if rec.enabled() {
+                    crate::measure::record_fetch_phases(&mut phases, &ch, &fetch);
+                    rec.add("events", 1);
+                }
+                let t = fetch.total.as_secs_f64();
                 times[ci].1.push(t);
                 per_config.push(t);
             }
@@ -129,6 +146,7 @@ pub fn run(scenario: &Scenario, cfg: &Config) -> Result {
             }
         }
     }
+    phases.emit(rec);
     Result { times, abs_diffs }
 }
 

@@ -58,8 +58,8 @@ pub struct Result {
 pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Result>> {
     let scenario = scenario.clone();
     let cfg = *cfg;
-    vec![Unit::new("fig4", move || {
-        let r = run(&scenario, &cfg);
+    vec![Unit::traced("fig4", move |rec| {
+        let r = run_traced(&scenario, &cfg, rec);
         let n = r.tor.len() + r.obfs4.len();
         (r, n)
     })]
@@ -82,8 +82,20 @@ pub fn run_with(
 
 /// Runs the experiment.
 pub fn run(scenario: &Scenario, cfg: &Config) -> Result {
+    run_traced(scenario, cfg, &mut ptperf_obs::NullRecorder)
+}
+
+/// [`run`] with observation: per-fetch phase accumulation and an
+/// `events` counter. The plain entry point delegates here with a no-op
+/// recorder, so both paths draw the identical RNG sequence.
+pub fn run_traced(
+    scenario: &Scenario,
+    cfg: &Config,
+    rec: &mut dyn ptperf_obs::Recorder,
+) -> Result {
     let mut dep = scenario.deployment();
     let mut rng = scenario.rng("fig4");
+    let mut phases = ptperf_obs::PhaseAccum::new();
     let host = dep.consensus.add_relay(Relay {
         id: RelayId(0),
         location: scenario.server_region,
@@ -109,13 +121,24 @@ pub fn run(scenario: &Scenario, cfg: &Config) -> Result {
         let mut o_sum = 0.0;
         for _ in 0..cfg.repeats {
             let ch = vt.establish(&dep, &opts, site.server, &mut rng);
-            t_sum += curl::fetch(&ch, site, &mut rng).total.as_secs_f64();
+            let fetch = curl::fetch(&ch, site, &mut rng);
+            if rec.enabled() {
+                crate::measure::record_fetch_phases(&mut phases, &ch, &fetch);
+                rec.add("events", 1);
+            }
+            t_sum += fetch.total.as_secs_f64();
             let ch = ot.establish(&dep, &opts, site.server, &mut rng);
-            o_sum += curl::fetch(&ch, site, &mut rng).total.as_secs_f64();
+            let fetch = curl::fetch(&ch, site, &mut rng);
+            if rec.enabled() {
+                crate::measure::record_fetch_phases(&mut phases, &ch, &fetch);
+                rec.add("events", 1);
+            }
+            o_sum += fetch.total.as_secs_f64();
         }
         tor.push(t_sum / cfg.repeats as f64);
         obfs4.push(o_sum / cfg.repeats as f64);
     }
+    phases.emit(rec);
     Result { tor, obfs4 }
 }
 

@@ -14,7 +14,7 @@ use ptperf_stats::{ascii_boxplots, Summary};
 use ptperf_transports::PtId;
 
 use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
-use crate::measure::{curl_site_averages, target_sites};
+use crate::measure::{curl_site_averages_traced, target_sites};
 use crate::scenario::Scenario;
 
 /// The showcased PTs of Figure 7.
@@ -83,12 +83,13 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
             for &pt in &pts {
                 let sc = sc.clone();
                 let sites = Arc::clone(&sites);
-                units.push(Unit::new(
+                units.push(Unit::traced(
                     format!("fig7/{client}/{server}/{pt}"),
-                    move || {
+                    move |rec| {
                         let mut rng = sc.rng(&format!("fig7/{client}/{server}/{pt}"));
-                        let avgs =
-                            curl_site_averages(&sc, pt, &sites, cfg.repeats, &mut rng);
+                        let avgs = curl_site_averages_traced(
+                            &sc, pt, &sites, cfg.repeats, &mut rng, rec,
+                        );
                         let n = avgs.len();
                         (((client, server, pt), avgs), n)
                     },

@@ -11,7 +11,7 @@ use ptperf_sim::Medium;
 use ptperf_transports::PtId;
 
 use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
-use crate::measure::{curl_site_averages, target_sites};
+use crate::measure::{curl_site_averages_traced, target_sites};
 use crate::scenario::Scenario;
 
 use super::figure_order;
@@ -85,9 +85,10 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
         for pt in figure_order() {
             let sc = sc.clone();
             let sites = Arc::clone(&sites);
-            units.push(Unit::new(format!("medium/{medium:?}/{pt}"), move || {
+            units.push(Unit::traced(format!("medium/{medium:?}/{pt}"), move |rec| {
                 let mut rng = sc.rng(&format!("medium/{medium:?}/{pt}"));
-                let avgs = curl_site_averages(&sc, pt, &sites, cfg.repeats, &mut rng);
+                let avgs =
+                    curl_site_averages_traced(&sc, pt, &sites, cfg.repeats, &mut rng, rec);
                 let n = avgs.len();
                 (
                     ((MediumKey::from(medium), pt), ptperf_stats::median(&avgs)),

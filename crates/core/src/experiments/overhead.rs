@@ -84,8 +84,8 @@ fn overhead_transport(pt: PtId) -> Box<dyn PluggableTransport> {
 pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Result>> {
     let scenario = scenario.clone();
     let cfg = *cfg;
-    vec![Unit::new("fig9", move || {
-        let r = run(&scenario, &cfg);
+    vec![Unit::traced("fig9", move |rec| {
+        let r = run_traced(&scenario, &cfg, rec);
         let n: usize = r.diffs.values().map(|v| v.len()).sum();
         (r, n)
     })]
@@ -108,6 +108,17 @@ pub fn run_with(
 
 /// Runs the experiment.
 pub fn run(scenario: &Scenario, cfg: &Config) -> Result {
+    run_traced(scenario, cfg, &mut ptperf_obs::NullRecorder)
+}
+
+/// [`run`] with observation: per-fetch phase accumulation and an
+/// `events` counter. The plain entry point delegates here with a no-op
+/// recorder, so both paths draw the identical RNG sequence.
+pub fn run_traced(
+    scenario: &Scenario,
+    cfg: &Config,
+    rec: &mut dyn ptperf_obs::Recorder,
+) -> Result {
     // Co-locate PT servers with the client (§5.2: "we deployed the PT
     // client and server in the same cloud location").
     let mut scenario = scenario.clone();
@@ -140,6 +151,7 @@ pub fn run(scenario: &Scenario, cfg: &Config) -> Result {
     let vanilla = transport_for(PtId::Vanilla);
     let mut diffs: BTreeMap<PtId, Vec<f64>> =
         EVALUATED.iter().map(|&pt| (pt, Vec::new())).collect();
+    let mut phases = ptperf_obs::PhaseAccum::new();
 
     for site in &sites {
         // A fresh fixed circuit for this site, shared by every config.
@@ -153,14 +165,25 @@ pub fn run(scenario: &Scenario, cfg: &Config) -> Result {
         opts.path.fixed_exit = Some(fresh.exit);
 
         let ch = vanilla.establish(&dep, &opts, site.server, &mut rng);
-        let tor_time = curl::fetch(&ch, site, &mut rng).total.as_secs_f64();
+        let fetch = curl::fetch(&ch, site, &mut rng);
+        if rec.enabled() {
+            crate::measure::record_fetch_phases(&mut phases, &ch, &fetch);
+            rec.add("events", 1);
+        }
+        let tor_time = fetch.total.as_secs_f64();
         for &pt in &EVALUATED {
             let transport = overhead_transport(pt);
             let ch = transport.establish(&dep, &opts, site.server, &mut rng);
-            let pt_time = curl::fetch(&ch, site, &mut rng).total.as_secs_f64();
+            let fetch = curl::fetch(&ch, site, &mut rng);
+            if rec.enabled() {
+                crate::measure::record_fetch_phases(&mut phases, &ch, &fetch);
+                rec.add("events", 1);
+            }
+            let pt_time = fetch.total.as_secs_f64();
             diffs.get_mut(&pt).unwrap().push(pt_time - tor_time);
         }
     }
+    phases.emit(rec);
     Result { diffs }
 }
 

@@ -79,7 +79,7 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
         .filter(|&pt| pt != PtId::Vanilla)
         .map(|pt| {
             let scenario = scenario.clone();
-            Unit::new(format!("fig8/{pt}"), move || {
+            Unit::traced(format!("fig8/{pt}"), move |rec| {
                 let transport = transport_for(pt);
                 let dep = scenario.deployment();
                 let opts = scenario.access_options();
@@ -87,14 +87,25 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
                 let mut rng = scenario.rng(&format!("fig8/{pt}"));
                 let mut c = ReliabilityCounts::default();
                 let mut f = Vec::with_capacity(cfg.sizes.len() * cfg.attempts);
+                let mut phases = ptperf_obs::PhaseAccum::new();
                 for &size in &cfg.sizes {
                     for _ in 0..cfg.attempts {
                         let ch = transport.establish(&dep, &opts, file_server, &mut rng);
                         let d = filedl::download(&ch, size, &mut rng);
+                        if rec.enabled() {
+                            let handshake = (ch.setup + ch.stream_open).min(d.elapsed);
+                            phases.add_ns("handshake", handshake.as_nanos());
+                            phases.add_ns(
+                                "transfer",
+                                d.elapsed.saturating_sub(handshake).as_nanos(),
+                            );
+                            rec.add("events", 1);
+                        }
                         c.record(d.outcome);
                         f.push(d.fraction);
                     }
                 }
+                phases.emit(rec);
                 let n = f.len();
                 ((pt, c, f), n)
             })

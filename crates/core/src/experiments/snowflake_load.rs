@@ -15,7 +15,7 @@ use ptperf_stats::{ascii_boxplots, PairedTTest, Summary};
 use ptperf_transports::PtId;
 
 use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
-use crate::measure::{curl_site_averages, target_sites};
+use crate::measure::{curl_site_averages_traced, target_sites};
 use crate::scenario::{Epoch, Scenario};
 
 /// Configuration.
@@ -119,9 +119,16 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
     {
         let sc = pre_sc.clone();
         let sites = Arc::clone(&sites);
-        units.push(Unit::new("fig10/pre", move || {
+        units.push(Unit::traced("fig10/pre", move |rec| {
             let mut rng = sc.rng("fig10/pre");
-            let v = curl_site_averages(&sc, PtId::Snowflake, &sites, cfg.repeats, &mut rng);
+            let v = curl_site_averages_traced(
+                &sc,
+                PtId::Snowflake,
+                &sites,
+                cfg.repeats,
+                &mut rng,
+                rec,
+            );
             let n = v.len();
             (v, n)
         }));
@@ -130,9 +137,16 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
         let mut sc = scenario.clone();
         sc.epoch = Epoch::Plateau;
         let sites = Arc::clone(&sites);
-        units.push(Unit::new("fig10/post", move || {
+        units.push(Unit::traced("fig10/post", move |rec| {
             let mut rng = sc.rng("fig10/post");
-            let v = curl_site_averages(&sc, PtId::Snowflake, &sites, cfg.repeats, &mut rng);
+            let v = curl_site_averages_traced(
+                &sc,
+                PtId::Snowflake,
+                &sites,
+                cfg.repeats,
+                &mut rng,
+                rec,
+            );
             let n = v.len();
             (v, n)
         }));
@@ -140,14 +154,15 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
     {
         let sc = pre_sc;
         let monitor_sites = Arc::clone(&monitor_sites);
-        units.push(Unit::new("fig12/pre", move || {
+        units.push(Unit::traced("fig12/pre", move |rec| {
             let mut rng = sc.rng("fig12/pre");
-            let v = curl_site_averages(
+            let v = curl_site_averages_traced(
                 &sc,
                 PtId::Snowflake,
                 &monitor_sites,
                 cfg.repeats,
                 &mut rng,
+                rec,
             );
             let n = v.len();
             (v, n)
@@ -163,14 +178,15 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
         let wobble = 1.0 + 0.08 * ((week % 3) as f64);
         sc.epoch = Epoch::LoadMult(Epoch::Plateau.load_mult() * wobble);
         let monitor_sites = Arc::clone(&monitor_sites);
-        units.push(Unit::new(format!("fig12/week{week}"), move || {
+        units.push(Unit::traced(format!("fig12/week{week}"), move |rec| {
             let mut rng = sc.rng(&format!("fig12/week{week}"));
-            let v = curl_site_averages(
+            let v = curl_site_averages_traced(
                 &sc,
                 PtId::Snowflake,
                 &monitor_sites,
                 cfg.repeats,
                 &mut rng,
+                rec,
             );
             let n = v.len();
             (v, n)

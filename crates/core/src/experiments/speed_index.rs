@@ -12,7 +12,7 @@ use ptperf_transports::{transport_for, PtId};
 use ptperf_web::browser;
 
 use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
-use crate::measure::{target_sites, PairedSamples};
+use crate::measure::{record_page_phases, target_sites, PairedSamples};
 use crate::scenario::{Epoch, Scenario};
 
 use super::figure_order;
@@ -67,23 +67,29 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
         .map(|pt| {
             let scenario = scenario.clone();
             let sites = Arc::clone(&sites);
-            Unit::new(format!("fig11/{pt}"), move || {
+            Unit::traced(format!("fig11/{pt}"), move |rec| {
                 let transport = transport_for(pt);
                 let dep = scenario.deployment();
                 let opts = scenario.access_options();
                 let mut rng = scenario.rng(&format!("fig11/{pt}"));
                 let mut si = Vec::new();
                 let mut lt = Vec::new();
+                let mut phases = ptperf_obs::PhaseAccum::new();
                 for site in sites.iter() {
                     let ch = transport.establish(&dep, &opts, site.server, &mut rng);
-                    match browser::load_page(&ch, site, &mut rng) {
+                    match browser::load_page_traced(&ch, site, &mut rng, rec) {
                         Ok(page) => {
+                            if rec.enabled() {
+                                record_page_phases(&mut phases, &ch, &page);
+                                rec.add("events", 1);
+                            }
                             si.push(page.speed_index.as_secs_f64());
                             lt.push(page.total.as_secs_f64());
                         }
                         Err(_) => return ((pt, None), 0),
                     }
                 }
+                phases.emit(rec);
                 let n = si.len();
                 ((pt, Some((si, lt))), n)
             })

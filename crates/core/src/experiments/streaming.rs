@@ -11,6 +11,7 @@
 
 use std::collections::BTreeMap;
 
+use ptperf_obs::obs_debug;
 use ptperf_sim::SimDuration;
 use ptperf_stats::Table;
 use ptperf_transports::{transport_for, PtId};
@@ -94,23 +95,49 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
         .into_iter()
         .map(|pt| {
             let scenario = scenario.clone();
-            Unit::new(format!("streaming/{pt}"), move || {
+            Unit::traced(format!("streaming/{pt}"), move |rec| {
                 let dep = scenario.deployment();
                 let opts = scenario.access_options();
                 let media_server = scenario.server_region;
                 let transport = transport_for(pt);
                 let mut rng = scenario.rng(&format!("streaming/{pt}"));
-                let run_medium = |media: MediaStream, rng: &mut ptperf_sim::SimRng| {
-                    let sessions: Vec<StreamingSession> = (0..cfg.sessions)
-                        .map(|_| {
-                            let ch = transport.establish(&dep, &opts, media_server, rng);
-                            play(&ch, &media, rng)
-                        })
-                        .collect();
-                    Qoe::from_sessions(&sessions)
-                };
-                let audio = run_medium(MediaStream::audio(cfg.duration), &mut rng);
-                let video = run_medium(MediaStream::video(cfg.duration), &mut rng);
+                let mut phases = ptperf_obs::PhaseAccum::new();
+                let run_medium =
+                    |media: MediaStream, rng: &mut ptperf_sim::SimRng,
+                     rec: &mut dyn ptperf_obs::Recorder,
+                     phases: &mut ptperf_obs::PhaseAccum| {
+                        let sessions: Vec<StreamingSession> = (0..cfg.sessions)
+                            .map(|_| {
+                                let ch =
+                                    transport.establish(&dep, &opts, media_server, rng);
+                                let session = play(&ch, &media, rng);
+                                if rec.enabled() {
+                                    phases.add_ns(
+                                        "startup",
+                                        session.startup_delay.as_nanos(),
+                                    );
+                                    phases.add_ns("playback", cfg.duration.as_nanos());
+                                    phases.add_ns(
+                                        "stall",
+                                        session.rebuffer_time.as_nanos(),
+                                    );
+                                    rec.add("events", 1);
+                                }
+                                session
+                            })
+                            .collect();
+                        Qoe::from_sessions(&sessions)
+                    };
+                let audio =
+                    run_medium(MediaStream::audio(cfg.duration), &mut rng, rec, &mut phases);
+                let video =
+                    run_medium(MediaStream::video(cfg.duration), &mut rng, rec, &mut phases);
+                obs_debug!(
+                    "streaming/{pt}: audio watchable {:.2}, video watchable {:.2}",
+                    audio.watchable,
+                    video.watchable
+                );
+                phases.emit(rec);
                 ((pt, audio, video), cfg.sessions * 2)
             })
         })

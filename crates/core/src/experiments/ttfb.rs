@@ -55,15 +55,20 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
         .map(|pt| {
             let scenario = scenario.clone();
             let sites = Arc::clone(&sites);
-            Unit::new(format!("fig6/{pt}"), move || {
+            Unit::traced(format!("fig6/{pt}"), move |rec| {
                 let transport = transport_for(pt);
                 let dep = scenario.deployment();
                 let opts = scenario.access_options();
                 let mut rng = scenario.rng(&format!("fig6/{pt}"));
                 let mut v = Vec::new();
+                let mut phases = ptperf_obs::PhaseAccum::new();
                 for site in sites.iter() {
                     let ch = transport.establish(&dep, &opts, site.server, &mut rng);
                     let fetch = curl::fetch(&ch, site, &mut rng);
+                    if rec.enabled() {
+                        crate::measure::record_fetch_phases(&mut phases, &ch, &fetch);
+                        rec.add("events", 1);
+                    }
                     // TTFB is a property of responses that arrived; a
                     // failed connection has no first byte (the paper
                     // measures TTFB on delivered responses).
@@ -71,6 +76,7 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
                         v.push(fetch.ttfb.as_secs_f64());
                     }
                 }
+                phases.emit(rec);
                 let n = v.len();
                 ((pt, v), n)
             })

@@ -8,7 +8,7 @@ use ptperf_stats::{ascii_boxplots, Summary};
 use ptperf_transports::PtId;
 
 use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
-use crate::measure::{curl_site_averages, target_sites, PairedSamples};
+use crate::measure::{curl_site_averages_traced, target_sites, PairedSamples};
 use crate::scenario::Scenario;
 
 use super::figure_order;
@@ -63,9 +63,11 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
         .map(|pt| {
             let scenario = scenario.clone();
             let sites = Arc::clone(&sites);
-            Unit::new(format!("fig2a/{pt}"), move || {
+            Unit::traced(format!("fig2a/{pt}"), move |rec| {
                 let mut rng = scenario.rng(&format!("fig2a/{pt}"));
-                let avgs = curl_site_averages(&scenario, pt, &sites, cfg.repeats, &mut rng);
+                let avgs = curl_site_averages_traced(
+                    &scenario, pt, &sites, cfg.repeats, &mut rng, rec,
+                );
                 let n = avgs.len();
                 ((pt, avgs), n)
             })

@@ -12,7 +12,7 @@ use ptperf_transports::{transport_for, PtId};
 use ptperf_web::browser;
 
 use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
-use crate::measure::{target_sites, PairedSamples};
+use crate::measure::{record_page_phases, target_sites, PairedSamples};
 use crate::scenario::{Epoch, Scenario};
 
 use super::figure_order;
@@ -72,23 +72,31 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
         .map(|pt| {
             let scenario = scenario.clone();
             let sites = Arc::clone(&sites);
-            Unit::new(format!("fig2b/{pt}"), move || {
+            Unit::traced(format!("fig2b/{pt}"), move |rec| {
                 let transport = transport_for(pt);
                 let dep = scenario.deployment();
                 let opts = scenario.access_options();
                 let mut rng = scenario.rng(&format!("fig2b/{pt}"));
                 let mut per_site = Vec::with_capacity(sites.len());
+                let mut phases = ptperf_obs::PhaseAccum::new();
                 for site in sites.iter() {
                     let mut total = 0.0;
                     for _ in 0..cfg.repeats {
                         let ch = transport.establish(&dep, &opts, site.server, &mut rng);
-                        match browser::load_page(&ch, site, &mut rng) {
-                            Ok(page) => total += page.total.as_secs_f64(),
+                        match browser::load_page_traced(&ch, site, &mut rng, rec) {
+                            Ok(page) => {
+                                if rec.enabled() {
+                                    record_page_phases(&mut phases, &ch, &page);
+                                    rec.add("events", 1);
+                                }
+                                total += page.total.as_secs_f64();
+                            }
                             Err(_) => return ((pt, None), 0),
                         }
                     }
                     per_site.push(total / cfg.repeats as f64);
                 }
+                phases.emit(rec);
                 let n = per_site.len();
                 ((pt, Some(per_site)), n)
             })

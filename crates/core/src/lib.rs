@@ -49,6 +49,7 @@ pub use measure::PairedSamples;
 pub use scenario::{Epoch, Scenario};
 
 // Re-export the lower layers so downstream users need only `ptperf`.
+pub use ptperf_obs as obs;
 pub use ptperf_sim as sim;
 pub use ptperf_stats as stats;
 pub use ptperf_tor as tor;

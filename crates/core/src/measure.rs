@@ -4,6 +4,7 @@
 
 use std::collections::BTreeMap;
 
+use ptperf_obs::{NullRecorder, PhaseAccum, Recorder};
 use ptperf_sim::SimRng;
 use ptperf_stats::{PairedTTest, Summary};
 use ptperf_transports::{transport_for, PtId};
@@ -100,21 +101,77 @@ pub fn curl_site_averages(
     repeats: usize,
     rng: &mut SimRng,
 ) -> Vec<f64> {
+    curl_site_averages_traced(scenario, pt, sites, repeats, rng, &mut NullRecorder)
+}
+
+/// [`curl_site_averages`] with observation: accumulates per-phase sim
+/// time (handshake / request / transfer) across all fetches and counts
+/// each fetch as one `events` tick. The un-traced entry point delegates
+/// here with a no-op recorder — both paths draw the identical RNG
+/// sequence, so recording cannot perturb the measurements.
+pub fn curl_site_averages_traced(
+    scenario: &Scenario,
+    pt: PtId,
+    sites: &[Website],
+    repeats: usize,
+    rng: &mut SimRng,
+    rec: &mut dyn Recorder,
+) -> Vec<f64> {
     let dep = scenario.deployment();
     let opts = scenario.access_options();
     let transport = transport_for(pt);
-    sites
-        .iter()
-        .map(|site| {
-            let mut total = 0.0;
-            for _ in 0..repeats {
-                let ch = transport.establish(&dep, &opts, site.server, rng);
-                let fetch = curl::fetch(&ch, site, rng);
-                total += fetch.total.as_secs_f64();
+    let mut phases = PhaseAccum::new();
+    let mut averages = Vec::with_capacity(sites.len());
+    for site in sites {
+        let mut total = 0.0;
+        for _ in 0..repeats {
+            let ch = transport.establish(&dep, &opts, site.server, rng);
+            let fetch = curl::fetch(&ch, site, rng);
+            total += fetch.total.as_secs_f64();
+            if rec.enabled() {
+                record_fetch_phases(&mut phases, &ch, &fetch);
+                rec.add("events", 1);
             }
-            total / repeats as f64
-        })
-        .collect()
+        }
+        averages.push(total / repeats as f64);
+    }
+    phases.emit(rec);
+    averages
+}
+
+/// Splits one browser page load into handshake / main-document /
+/// sub-resource phase time, from values the load already computed.
+pub(crate) fn record_page_phases(
+    phases: &mut PhaseAccum,
+    ch: &ptperf_web::Channel,
+    page: &ptperf_web::PageLoad,
+) {
+    let handshake = (ch.setup + ch.stream_open).min(page.total);
+    let main_document = page.main_done.min(page.total).saturating_sub(handshake);
+    let subresources = page.total.saturating_sub(page.main_done);
+    phases.add_ns("handshake", handshake.as_nanos());
+    phases.add_ns("main_document", main_document.as_nanos());
+    phases.add_ns("subresources", subresources.as_nanos());
+}
+
+/// Splits one fetch into handshake / request / transfer phase time.
+///
+/// The boundaries derive from values the fetch already computed: the
+/// handshake is the channel's setup plus stream-open cost (clamped to
+/// the fetch total, which may be shorter on timeout), the request phase
+/// is the rest of time-to-first-byte, and transfer is everything after
+/// first byte.
+pub(crate) fn record_fetch_phases(
+    phases: &mut PhaseAccum,
+    ch: &ptperf_web::Channel,
+    fetch: &curl::FetchResult,
+) {
+    let handshake = (ch.setup + ch.stream_open).min(fetch.total);
+    let request = fetch.ttfb.saturating_sub(handshake);
+    let transfer = fetch.total.saturating_sub(fetch.ttfb);
+    phases.add_ns("handshake", handshake.as_nanos());
+    phases.add_ns("request", request.as_nanos());
+    phases.add_ns("transfer", transfer.as_nanos());
 }
 
 #[cfg(test)]
@@ -150,6 +207,35 @@ mod tests {
         let avgs = curl_site_averages(&scenario, PtId::Vanilla, &sites, 2, &mut rng);
         assert_eq!(avgs.len(), 8);
         assert!(avgs.iter().all(|&t| t > 0.0 && t <= 120.0));
+    }
+
+    #[test]
+    fn traced_averages_match_untraced_and_cover_the_timeline() {
+        let scenario = Scenario::baseline(9);
+        let sites = target_sites(3);
+        let mut rng_a = scenario.rng("trace");
+        let mut rng_b = scenario.rng("trace");
+        let mut rec = ptperf_obs::MemoryRecorder::new();
+        let plain = curl_site_averages(&scenario, PtId::Obfs4, &sites, 2, &mut rng_a);
+        let traced = curl_site_averages_traced(
+            &scenario,
+            PtId::Obfs4,
+            &sites,
+            2,
+            &mut rng_b,
+            &mut rec,
+        );
+        assert_eq!(
+            plain.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            traced.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        let data = rec.into_data();
+        // 6 sites × 2 repeats.
+        assert_eq!(data.counter("events"), Some(12));
+        // Three phases laid out consecutively, summing to sim_ns.
+        let phases: Vec<&str> = data.spans.iter().map(|s| s.phase).collect();
+        assert_eq!(phases, vec!["handshake", "request", "transfer"]);
+        assert_eq!(data.counter("sim_ns"), Some(data.span_ns()));
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Minimal hand-rolled JSON emission.
+//!
+//! The build environment is offline (no serde), and the only JSON this
+//! workspace produces is flat trace/metrics records with string, u64
+//! and f64 fields — small enough that escaping strings by hand is less
+//! machinery than a serializer dependency would be.
+
+/// Escape `s` as the *contents* of a JSON string (no surrounding
+/// quotes): `"`, `\`, and control characters per RFC 8259.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render `s` as a quoted JSON string.
+pub fn string(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+/// Render an `f64` as a JSON number. JSON has no NaN/Infinity, so
+/// non-finite values become `null`.
+pub fn number(x: f64) -> String {
+    if x.is_finite() {
+        // Shortest round-trip representation; integers print bare.
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(string("hi"), "\"hi\"");
+    }
+
+    #[test]
+    fn numbers_render_finite_and_null() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(3.0), "3");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+}

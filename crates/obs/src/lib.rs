@@ -1,0 +1,43 @@
+//! Deterministic observability for the PTPerf reproduction.
+//!
+//! The crate has two strictly separated halves:
+//!
+//! * **Sim-time instrumentation** ([`Recorder`], [`SpanRecord`],
+//!   [`ShardObsData`], [`PhaseAccum`]) — spans and counters keyed to
+//!   *simulated* nanoseconds. Because the simulation is deterministic,
+//!   this data is deterministic too: the same scenario seed yields a
+//!   byte-identical trace at any worker count. The recording hooks are
+//!   behind the [`Recorder`] trait whose default implementation is a
+//!   no-op, and instrumented code paths are the *same functions* as the
+//!   un-instrumented ones, so turning recording on cannot perturb a
+//!   single result bit (proven by `tests/obs_neutrality.rs` at the
+//!   workspace root).
+//!
+//! * **Wall-clock metrics** ([`MetricsRegistry`], [`FamilyMetrics`]) —
+//!   real elapsed time per shard, aggregated per experiment family with
+//!   p50/p95 and worker utilization. Wall clock is inherently
+//!   nondeterministic, so this data never enters the trace stream; it
+//!   lives in its own registry and its own export file.
+//!
+//! A third, minor facility is leveled diagnostic logging
+//! ([`Level`], [`set_level`], and the `obs_error!`/`obs_warn!`/
+//! `obs_info!`/`obs_debug!` macros) — stderr-only, filtered by a global
+//! atomic level so binaries can offer `--quiet`/`-v` without threading
+//! a logger handle everywhere.
+//!
+//! The crate is intentionally dependency-free (it sits *below*
+//! `ptperf-sim` in the crate graph, so the simulator itself can record
+//! into it) and contains no randomness and no global mutable state
+//! besides the log-level atomic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod log;
+pub mod metrics;
+pub mod recorder;
+
+pub use log::{set_level, Level};
+pub use metrics::{FamilyMetrics, MetricsRegistry};
+pub use recorder::{MemoryRecorder, NullRecorder, PhaseAccum, Recorder, ShardObsData, SpanRecord};

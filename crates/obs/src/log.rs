@@ -1,0 +1,118 @@
+//! Leveled diagnostic logging to stderr.
+//!
+//! Diagnostics are human-facing side channel, not data: they never go
+//! to stdout (which belongs to experiment output) and never into trace
+//! or metrics files. A single global atomic level keeps the call sites
+//! free of logger plumbing; binaries map `--quiet`/`-v` onto
+//! [`set_level`].
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Diagnostic severity, in increasing verbosity order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable problems; always worth printing.
+    Error = 0,
+    /// Suspicious but non-fatal conditions.
+    Warn = 1,
+    /// Progress messages (the default).
+    Info = 2,
+    /// Internal detail for debugging runs.
+    Debug = 3,
+}
+
+impl Level {
+    /// Lower-case label used as the log-line prefix.
+    pub fn label(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Set the global maximum level: messages *above* it are dropped.
+pub fn set_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Whether a message at `level` would currently be printed.
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Print one log line to stderr (used by the macros; call those
+/// instead so formatting is skipped when the level is filtered).
+pub fn emit(level: Level, args: std::fmt::Arguments<'_>) {
+    eprintln!("[{}] {}", level.label(), args);
+}
+
+/// Log at [`Level::Error`].
+#[macro_export]
+macro_rules! obs_error {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::Level::Error) {
+            $crate::log::emit($crate::Level::Error, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Log at [`Level::Warn`].
+#[macro_export]
+macro_rules! obs_warn {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::Level::Warn) {
+            $crate::log::emit($crate::Level::Warn, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Log at [`Level::Info`].
+#[macro_export]
+macro_rules! obs_info {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::Level::Info) {
+            $crate::log::emit($crate::Level::Info, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Log at [`Level::Debug`].
+#[macro_export]
+macro_rules! obs_debug {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::Level::Debug) {
+            $crate::log::emit($crate::Level::Debug, format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_matches_verbosity() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Info < Level::Debug);
+        assert_eq!(Level::Warn.label(), "warn");
+    }
+
+    // Note: the global level is process-wide, so tests that mutate it
+    // restore the default to avoid cross-test interference.
+    #[test]
+    fn filtering_respects_the_global_level() {
+        set_level(Level::Warn);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_level(Level::Info);
+        assert!(enabled(Level::Info));
+    }
+}

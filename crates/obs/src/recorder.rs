@@ -1,0 +1,250 @@
+//! The [`Recorder`] trait and its two standard implementations.
+//!
+//! A recorder is *per shard* and passed as `&mut dyn Recorder`, so
+//! recording needs no locks and imposes no ordering constraints between
+//! shards: determinism of the merged trace comes from the executor
+//! merging shard observations in submission-index order, exactly as it
+//! merges shard values.
+
+use std::collections::BTreeMap;
+
+/// One phase span on the simulated timeline.
+///
+/// Times are raw simulated nanoseconds (the representation under
+/// `ptperf_sim::SimTime`) rather than `SimTime` itself so this crate
+/// can sit below the simulator in the dependency graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Phase name, e.g. `"handshake"` or `"transfer"`. Static so
+    /// recording never allocates per span.
+    pub phase: &'static str,
+    /// Span start in simulated nanoseconds.
+    pub start_ns: u64,
+    /// Span end in simulated nanoseconds (`end_ns >= start_ns`).
+    pub end_ns: u64,
+}
+
+impl SpanRecord {
+    /// Span length in simulated nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// Everything one shard observed: its spans in emission order and its
+/// counters in key order. Both orders are deterministic, so two runs of
+/// the same seeded shard produce equal `ShardObsData`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardObsData {
+    /// Phase spans in the order the shard emitted them.
+    pub spans: Vec<SpanRecord>,
+    /// Counter totals, sorted by key.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+impl ShardObsData {
+    /// Look up a counter total by key.
+    pub fn counter(&self, key: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+    }
+
+    /// Total simulated nanoseconds covered by spans (sum of durations).
+    pub fn span_ns(&self) -> u64 {
+        self.spans.iter().map(SpanRecord::duration_ns).sum()
+    }
+}
+
+/// Sink for sim-time observations. Every method has a no-op default,
+/// so `impl Recorder for MyType {}` is a valid null recorder and
+/// instrumented code can call the hooks unconditionally.
+///
+/// Implementations must not consult wall clocks or randomness — the
+/// contract is that recording is a *pure function of the observations*,
+/// which is what makes traces reproducible.
+pub trait Recorder {
+    /// Whether observations will be kept. Instrumented code may use
+    /// this to skip computing span boundaries entirely, but must not
+    /// branch its *measurement* logic on it.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Record a phase span on the simulated timeline.
+    fn span(&mut self, _phase: &'static str, _start_ns: u64, _end_ns: u64) {}
+
+    /// Add `n` to the counter named `key`.
+    fn add(&mut self, _key: &'static str, _n: u64) {}
+}
+
+/// The default recorder: discards everything, `enabled()` is false.
+///
+/// Un-instrumented entry points delegate to their instrumented variants
+/// with a `NullRecorder`, guaranteeing both run the same code.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {}
+
+/// A recorder that keeps everything in memory, for collection by the
+/// executor (one per shard) or direct inspection in tests.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryRecorder {
+    spans: Vec<SpanRecord>,
+    counters: BTreeMap<&'static str, u64>,
+}
+
+impl MemoryRecorder {
+    /// An empty recorder.
+    pub fn new() -> MemoryRecorder {
+        MemoryRecorder::default()
+    }
+
+    /// Finish recording and extract the shard's observations.
+    pub fn into_data(self) -> ShardObsData {
+        ShardObsData {
+            spans: self.spans,
+            counters: self.counters.into_iter().collect(),
+        }
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span(&mut self, phase: &'static str, start_ns: u64, end_ns: u64) {
+        self.spans.push(SpanRecord {
+            phase,
+            start_ns,
+            end_ns: end_ns.max(start_ns),
+        });
+    }
+
+    fn add(&mut self, key: &'static str, n: u64) {
+        *self.counters.entry(key).or_insert(0) += n;
+    }
+}
+
+/// Accumulates per-phase simulated time across many repetitions and
+/// emits one consecutive span per phase, laid out from sim time zero in
+/// first-seen order.
+///
+/// Experiment shards repeat a primitive measurement (fetch a page,
+/// download a file) dozens of times; per-repetition spans would bloat
+/// the trace without adding information. `PhaseAccum` collapses them
+/// into a per-shard phase profile: "this shard spent X sim-seconds in
+/// handshakes and Y in transfers".
+#[derive(Debug, Clone, Default)]
+pub struct PhaseAccum {
+    totals: Vec<(&'static str, u64)>,
+}
+
+impl PhaseAccum {
+    /// An empty accumulator.
+    pub fn new() -> PhaseAccum {
+        PhaseAccum::default()
+    }
+
+    /// Add `ns` simulated nanoseconds to `phase`.
+    pub fn add_ns(&mut self, phase: &'static str, ns: u64) {
+        if let Some(slot) = self.totals.iter_mut().find(|(p, _)| *p == phase) {
+            slot.1 += ns;
+        } else {
+            self.totals.push((phase, ns));
+        }
+    }
+
+    /// Emit one span per phase (consecutive, starting at sim time 0)
+    /// plus a `sim_ns` counter holding the total. Emits nothing when no
+    /// time was accumulated.
+    pub fn emit(self, rec: &mut dyn Recorder) {
+        let total: u64 = self.totals.iter().map(|(_, ns)| ns).sum();
+        if total == 0 {
+            return;
+        }
+        let mut cursor = 0u64;
+        for (phase, ns) in self.totals {
+            rec.span(phase, cursor, cursor + ns);
+            cursor += ns;
+        }
+        rec.add("sim_ns", total);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_recorder_reports_disabled() {
+        let mut rec = NullRecorder;
+        assert!(!rec.enabled());
+        rec.span("x", 0, 10);
+        rec.add("k", 1);
+    }
+
+    #[test]
+    fn memory_recorder_collects_in_order() {
+        let mut rec = MemoryRecorder::new();
+        assert!(rec.enabled());
+        rec.span("b", 5, 9);
+        rec.span("a", 0, 5);
+        rec.add("zz", 2);
+        rec.add("aa", 1);
+        rec.add("zz", 3);
+        let data = rec.into_data();
+        assert_eq!(
+            data.spans,
+            vec![
+                SpanRecord { phase: "b", start_ns: 5, end_ns: 9 },
+                SpanRecord { phase: "a", start_ns: 0, end_ns: 5 },
+            ]
+        );
+        // Counters come back sorted by key with totals merged.
+        assert_eq!(data.counters, vec![("aa", 1), ("zz", 5)]);
+        assert_eq!(data.counter("zz"), Some(5));
+        assert_eq!(data.counter("nope"), None);
+        assert_eq!(data.span_ns(), 9);
+    }
+
+    #[test]
+    fn inverted_span_is_clamped() {
+        let mut rec = MemoryRecorder::new();
+        rec.span("p", 10, 4);
+        let data = rec.into_data();
+        assert_eq!(data.spans[0].end_ns, 10);
+        assert_eq!(data.spans[0].duration_ns(), 0);
+    }
+
+    #[test]
+    fn phase_accum_lays_out_consecutive_spans() {
+        let mut acc = PhaseAccum::new();
+        acc.add_ns("handshake", 100);
+        acc.add_ns("transfer", 400);
+        acc.add_ns("handshake", 50);
+        let mut rec = MemoryRecorder::new();
+        acc.emit(&mut rec);
+        let data = rec.into_data();
+        assert_eq!(
+            data.spans,
+            vec![
+                SpanRecord { phase: "handshake", start_ns: 0, end_ns: 150 },
+                SpanRecord { phase: "transfer", start_ns: 150, end_ns: 550 },
+            ]
+        );
+        assert_eq!(data.counter("sim_ns"), Some(550));
+    }
+
+    #[test]
+    fn empty_phase_accum_emits_nothing() {
+        let mut rec = MemoryRecorder::new();
+        PhaseAccum::new().emit(&mut rec);
+        let data = rec.into_data();
+        assert!(data.spans.is_empty());
+        assert!(data.counters.is_empty());
+    }
+}

@@ -10,6 +10,8 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use ptperf_obs::Recorder;
+
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 
@@ -65,6 +67,7 @@ pub struct Engine {
     queue: BinaryHeap<Scheduled>,
     rng: SimRng,
     executed: u64,
+    queue_high_water: usize,
 }
 
 impl Engine {
@@ -76,6 +79,7 @@ impl Engine {
             queue: BinaryHeap::new(),
             rng: SimRng::new(seed),
             executed: 0,
+            queue_high_water: 0,
         }
     }
 
@@ -99,6 +103,38 @@ impl Engine {
         self.queue.len()
     }
 
+    /// Total events ever scheduled (the sequence counter: every
+    /// `schedule_at`/`schedule_in` call increments it exactly once).
+    pub fn events_scheduled(&self) -> u64 {
+        self.seq
+    }
+
+    /// Deepest the pending queue has ever been.
+    pub fn queue_high_water(&self) -> usize {
+        self.queue_high_water
+    }
+
+    /// Snapshot of the engine's counters, all keyed to sim time.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            now: self.now,
+            events_executed: self.executed,
+            events_scheduled: self.seq,
+            events_pending: self.queue.len(),
+            queue_high_water: self.queue_high_water,
+        }
+    }
+
+    /// Dump the engine counters into a [`Recorder`]. Purely
+    /// observational: reads counters the engine maintains anyway, so
+    /// calling it (or not) cannot change simulation behavior.
+    pub fn record_into(&self, rec: &mut dyn Recorder) {
+        rec.add("engine/events_executed", self.executed);
+        rec.add("engine/events_scheduled", self.seq);
+        rec.add("engine/queue_high_water", self.queue_high_water as u64);
+        rec.add("engine/sim_ns", self.now.as_nanos());
+    }
+
     /// Schedules `action` to run at absolute time `at`.
     ///
     /// Scheduling in the past is a logic error; the engine clamps to `now`
@@ -113,6 +149,7 @@ impl Engine {
             seq,
             action: Box::new(action),
         });
+        self.queue_high_water = self.queue_high_water.max(self.queue.len());
     }
 
     /// Schedules `action` to run `delay` after the current instant.
@@ -169,6 +206,24 @@ impl Engine {
         );
         self.now = target;
     }
+}
+
+/// Point-in-time snapshot of an [`Engine`]'s internal counters.
+///
+/// Everything here derives from sim time and deterministic bookkeeping
+/// — no wall clock, no randomness — so equal seeds give equal stats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// The simulated instant of the snapshot.
+    pub now: SimTime,
+    /// Events popped and run so far.
+    pub events_executed: u64,
+    /// Events ever scheduled (executed + pending + any yet to fire).
+    pub events_scheduled: u64,
+    /// Events currently in the queue.
+    pub events_pending: usize,
+    /// Deepest the queue has ever been.
+    pub queue_high_water: usize,
 }
 
 impl std::fmt::Debug for Engine {
@@ -266,6 +321,60 @@ mod tests {
         let mut eng = Engine::new(1);
         eng.advance(SimDuration::from_secs(3));
         assert_eq!(eng.now().as_secs_f64(), 3.0);
+    }
+
+    #[test]
+    fn counters_match_a_hand_computed_schedule() {
+        // Schedule 4 events up front: the queue fills to depth 4 before
+        // anything fires, so high-water is exactly 4 and scheduled ==
+        // executed == 4 once drained.
+        let mut eng = Engine::new(7);
+        for ms in [10u64, 20, 30, 40] {
+            eng.schedule_in(SimDuration::from_millis(ms), |_| {});
+        }
+        assert_eq!(eng.events_scheduled(), 4);
+        assert_eq!(eng.queue_high_water(), 4);
+        eng.run();
+        let stats = eng.stats();
+        assert_eq!(stats.events_executed, 4);
+        assert_eq!(stats.events_scheduled, 4);
+        assert_eq!(stats.events_pending, 0);
+        assert_eq!(stats.queue_high_water, 4);
+        assert_eq!(stats.now.as_nanos(), 40_000_000);
+    }
+
+    #[test]
+    fn high_water_tracks_a_chained_schedule() {
+        // A chain schedules its successor from inside each event: queue
+        // depth never exceeds 1 no matter how long the chain runs.
+        let mut eng = Engine::new(7);
+        fn chain(eng: &mut Engine, left: u32) {
+            if left == 0 {
+                return;
+            }
+            eng.schedule_in(SimDuration::from_millis(1), move |eng| chain(eng, left - 1));
+        }
+        chain(&mut eng, 6);
+        eng.run();
+        assert_eq!(eng.queue_high_water(), 1);
+        assert_eq!(eng.events_executed(), 6);
+        assert_eq!(eng.events_scheduled(), 6);
+    }
+
+    #[test]
+    fn record_into_exports_engine_counters() {
+        let mut eng = Engine::new(7);
+        for _ in 0..3 {
+            eng.schedule_in(SimDuration::from_millis(2), |_| {});
+        }
+        eng.run();
+        let mut rec = ptperf_obs::MemoryRecorder::new();
+        eng.record_into(&mut rec);
+        let data = rec.into_data();
+        assert_eq!(data.counter("engine/events_executed"), Some(3));
+        assert_eq!(data.counter("engine/events_scheduled"), Some(3));
+        assert_eq!(data.counter("engine/queue_high_water"), Some(3));
+        assert_eq!(data.counter("engine/sim_ns"), Some(2_000_000));
     }
 
     #[test]

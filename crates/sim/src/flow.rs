@@ -13,6 +13,8 @@
 //!   continuous max–min re-allocation (used for browser-style parallel
 //!   sub-resource loading).
 
+use ptperf_obs::{NullRecorder, Recorder};
+
 use crate::time::{SimDuration, SimTime};
 
 /// Index of a capacity-constrained node inside a [`FairNetwork`].
@@ -84,6 +86,20 @@ pub struct FlowDemand {
 /// Panics if a flow references a node outside the network, or has an empty
 /// path and no cap (such a flow has unbounded demand).
 pub fn maxmin_rates(net: &FairNetwork, flows: &[FlowDemand]) -> Vec<f64> {
+    maxmin_rates_recorded(net, flows, &mut NullRecorder)
+}
+
+/// [`maxmin_rates`] with observation: counts recomputations, filling
+/// rounds, how each flow froze (node-limited vs cap-limited), and how
+/// many nodes ended saturated. The un-recorded entry point delegates
+/// here with a [`NullRecorder`], so both run the *same* allocation code
+/// — the recorder only ever receives already-computed values.
+pub fn maxmin_rates_recorded(
+    net: &FairNetwork,
+    flows: &[FlowDemand],
+    rec: &mut dyn Recorder,
+) -> Vec<f64> {
+    rec.add("maxmin/recomputations", 1);
     for (i, f) in flows.iter().enumerate() {
         assert!(
             !f.nodes.is_empty() || f.cap.is_some(),
@@ -103,6 +119,7 @@ pub fn maxmin_rates(net: &FairNetwork, flows: &[FlowDemand]) -> Vec<f64> {
     let mut remaining = flows.len();
 
     while remaining > 0 {
+        rec.add("maxmin/rounds", 1);
         // Per-node equal share among still-unfrozen flows.
         let mut count = vec![0usize; net.len()];
         for (i, f) in flows.iter().enumerate() {
@@ -150,6 +167,7 @@ pub fn maxmin_rates(net: &FairNetwork, flows: &[FlowDemand]) -> Vec<f64> {
                 }
             }
         }
+        let node_limited = freeze_set.len();
         for (i, f) in flows.iter().enumerate() {
             if !frozen[i] && !freeze_set.contains(&i) {
                 if let Some(c) = f.cap {
@@ -159,6 +177,11 @@ pub fn maxmin_rates(net: &FairNetwork, flows: &[FlowDemand]) -> Vec<f64> {
                 }
             }
         }
+        rec.add("maxmin/flows_node_limited", node_limited as u64);
+        rec.add(
+            "maxmin/flows_cap_limited",
+            (freeze_set.len() - node_limited) as u64,
+        );
         if freeze_set.is_empty() {
             // Defensive: guarantee termination under floating-point
             // pathologies by freezing everything at the level.
@@ -169,6 +192,12 @@ pub fn maxmin_rates(net: &FairNetwork, flows: &[FlowDemand]) -> Vec<f64> {
             let at = flows[i].cap.map_or(level, |c| c.min(level));
             freeze(i, at, flows, &mut rate, &mut frozen, &mut used, &mut remaining);
         }
+    }
+    if rec.enabled() {
+        let saturated = (0..net.len())
+            .filter(|&n| used[n] + 1e-9 * net.capacity[n].max(1.0) >= net.capacity[n])
+            .count();
+        rec.add("maxmin/nodes_saturated", saturated as u64);
     }
     rate
 }
@@ -221,6 +250,19 @@ pub struct FluidCompletion {
 /// bytes decrease linearly. Complexity is O(E² · N) for E flows — fine for
 /// browser workloads (tens of sub-resources).
 pub fn fluid_schedule(net: &FairNetwork, flows: &[FluidFlow]) -> Vec<FluidCompletion> {
+    fluid_schedule_recorded(net, flows, &mut NullRecorder)
+}
+
+/// [`fluid_schedule`] with observation: counts scheduler steps
+/// (`fluid/steps`, one per constant-rate segment) and forwards the
+/// recorder to [`maxmin_rates_recorded`] so per-step allocator work is
+/// visible too. Delegation works the same way as for `maxmin_rates`:
+/// one body, observations only.
+pub fn fluid_schedule_recorded(
+    net: &FairNetwork,
+    flows: &[FluidFlow],
+    rec: &mut dyn Recorder,
+) -> Vec<FluidCompletion> {
     #[derive(Clone)]
     struct Live {
         remaining: f64,
@@ -279,7 +321,8 @@ pub fn fluid_schedule(net: &FairNetwork, flows: &[FluidFlow]) -> Vec<FluidComple
                 cap: flows[i].cap,
             })
             .collect();
-        let rates = maxmin_rates(net, &demands);
+        let rates = maxmin_rates_recorded(net, &demands, rec);
+        rec.add("fluid/steps", 1);
 
         // Time until the first active flow drains at current rates.
         let mut dt_finish = f64::INFINITY;
@@ -566,6 +609,74 @@ mod tests {
             }],
         );
         assert!((done[0].finish.as_secs_f64() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn maxmin_counters_match_the_classic_example() {
+        // Same instance as `classic_maxmin_example`, with the filling
+        // hand-traced: round 1 saturates node B freezing f1,f2
+        // (node-limited), round 2 freezes f0 on node A (node-limited).
+        let n = net(&[10.0, 4.0]);
+        let flows = [
+            FlowDemand { nodes: vec![0], cap: None },
+            FlowDemand { nodes: vec![0, 1], cap: None },
+            FlowDemand { nodes: vec![1], cap: None },
+        ];
+        let mut rec = ptperf_obs::MemoryRecorder::new();
+        let rates = maxmin_rates_recorded(&n, &flows, &mut rec);
+        let data = rec.into_data();
+        assert_eq!(data.counter("maxmin/recomputations"), Some(1));
+        assert_eq!(data.counter("maxmin/rounds"), Some(2));
+        assert_eq!(data.counter("maxmin/flows_node_limited"), Some(3));
+        assert_eq!(data.counter("maxmin/flows_cap_limited"), Some(0));
+        assert_eq!(data.counter("maxmin/nodes_saturated"), Some(2));
+        // And the rates are untouched by recording.
+        assert_eq!(rates, maxmin_rates(&n, &flows));
+    }
+
+    #[test]
+    fn maxmin_counts_cap_limited_flows() {
+        let n = net(&[100.0]);
+        let flows = [
+            FlowDemand { nodes: vec![0], cap: Some(10.0) },
+            FlowDemand { nodes: vec![0], cap: None },
+        ];
+        let mut rec = ptperf_obs::MemoryRecorder::new();
+        let _ = maxmin_rates_recorded(&n, &flows, &mut rec);
+        let data = rec.into_data();
+        assert_eq!(data.counter("maxmin/flows_cap_limited"), Some(1));
+        assert_eq!(data.counter("maxmin/flows_node_limited"), Some(1));
+    }
+
+    #[test]
+    fn fluid_recording_counts_steps_without_changing_results() {
+        // Late-arrival scenario from `fluid_late_arrival_shares_remaining`:
+        // three constant-rate segments → three fluid steps, each with one
+        // max-min recomputation.
+        let n = net(&[10.0]);
+        let flows = [
+            FluidFlow {
+                start: SimTime::ZERO,
+                bytes: 200.0,
+                nodes: vec![0],
+                cap: None,
+                extra_latency: SimDuration::ZERO,
+            },
+            FluidFlow {
+                start: SimTime::from_nanos(10_000_000_000),
+                bytes: 50.0,
+                nodes: vec![0],
+                cap: None,
+                extra_latency: SimDuration::ZERO,
+            },
+        ];
+        let mut rec = ptperf_obs::MemoryRecorder::new();
+        let recorded = fluid_schedule_recorded(&n, &flows, &mut rec);
+        let plain = fluid_schedule(&n, &flows);
+        assert_eq!(recorded, plain);
+        let data = rec.into_data();
+        assert_eq!(data.counter("fluid/steps"), Some(3));
+        assert_eq!(data.counter("maxmin/recomputations"), Some(3));
     }
 
     #[test]

@@ -128,6 +128,12 @@ impl Consensus {
                 }
             }
         }
+        let guards = relays.iter().filter(|r| r.flags.guard).count();
+        let exits = relays.iter().filter(|r| r.flags.exit).count();
+        ptperf_obs::obs_debug!(
+            "consensus: generated {} relays ({guards} guards, {exits} exits)",
+            relays.len()
+        );
         Consensus { relays }
     }
 

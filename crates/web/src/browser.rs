@@ -9,7 +9,8 @@
 //! resource contributes visual weight when it finishes, so the index sits
 //! *below* the full load time — the paper's §5.4 observation.
 
-use ptperf_sim::{fluid_schedule, FairNetwork, FluidFlow, SimDuration, SimRng, SimTime};
+use ptperf_obs::{obs_debug, NullRecorder, Recorder};
+use ptperf_sim::{fluid_schedule_recorded, FairNetwork, FluidFlow, SimDuration, SimRng, SimTime};
 
 use crate::channel::{Channel, Outcome};
 use crate::curl::PAGE_TIMEOUT;
@@ -69,6 +70,20 @@ pub fn load_page(
     load_page_with_timeout(channel, site, PAGE_TIMEOUT, rng)
 }
 
+/// [`load_page`] with observation: per-page counters and the fluid
+/// scheduler's step/recomputation counts flow into `rec`. The plain
+/// entry points delegate here with a no-op recorder, so traced and
+/// untraced loads run the identical model and draw the identical RNG
+/// sequence.
+pub fn load_page_traced(
+    channel: &Channel,
+    site: &Website,
+    rng: &mut SimRng,
+    rec: &mut dyn Recorder,
+) -> Result<PageLoad, BrowserError> {
+    load_page_traced_with_timeout(channel, site, PAGE_TIMEOUT, rng, rec)
+}
+
 /// [`load_page`] with an explicit timeout.
 pub fn load_page_with_timeout(
     channel: &Channel,
@@ -76,12 +91,29 @@ pub fn load_page_with_timeout(
     timeout: SimDuration,
     rng: &mut SimRng,
 ) -> Result<PageLoad, BrowserError> {
+    load_page_traced_with_timeout(channel, site, timeout, rng, &mut NullRecorder)
+}
+
+/// [`load_page_traced`] with an explicit timeout.
+pub fn load_page_traced_with_timeout(
+    channel: &Channel,
+    site: &Website,
+    timeout: SimDuration,
+    rng: &mut SimRng,
+    rec: &mut dyn Recorder,
+) -> Result<PageLoad, BrowserError> {
     if channel.max_parallel_streams < 2 {
+        obs_debug!(
+            "browser: transport supports {} stream(s), needs 2 — page load rejected",
+            channel.max_parallel_streams
+        );
         return Err(BrowserError::ParallelismUnsupported {
             supported: channel.max_parallel_streams,
             required: 2,
         });
     }
+    rec.add("browser/pages", 1);
+    rec.add("browser/resources", site.resources.len() as u64);
     let parallelism = BROWSER_PARALLELISM.min(channel.max_parallel_streams);
 
     if rng.chance(channel.connect_failure_p) {
@@ -135,7 +167,7 @@ pub fn load_page_with_timeout(
             }
         })
         .collect();
-    let completions = fluid_schedule(&net, &flows);
+    let completions = fluid_schedule_recorded(&net, &flows, rec);
     let resources_done: Vec<SimDuration> = completions
         .iter()
         .map(|c| c.finish.duration_since(SimTime::ZERO))
@@ -270,6 +302,26 @@ mod tests {
         ch.connect_failure_p = 1.0;
         let page = load_page(&ch, &site(), &mut rng).unwrap();
         assert_eq!(page.outcome, Outcome::Failed);
+    }
+
+    #[test]
+    fn traced_load_matches_untraced_and_counts_scheduler_work() {
+        let ch = channel(1.0e6);
+        let s = site();
+        let mut rng_a = SimRng::new(8);
+        let mut rng_b = SimRng::new(8);
+        let mut rec = ptperf_obs::MemoryRecorder::new();
+        let plain = load_page(&ch, &s, &mut rng_a).unwrap();
+        let traced = load_page_traced(&ch, &s, &mut rng_b, &mut rec).unwrap();
+        assert_eq!(plain.total, traced.total);
+        assert_eq!(plain.speed_index, traced.speed_index);
+        assert_eq!(plain.outcome, traced.outcome);
+        let data = rec.into_data();
+        assert_eq!(data.counter("browser/pages"), Some(1));
+        assert_eq!(data.counter("browser/resources"), Some(s.resources.len() as u64));
+        // The fluid scheduler ran at least one constant-rate segment.
+        assert!(data.counter("fluid/steps").unwrap_or(0) >= 1);
+        assert!(data.counter("maxmin/recomputations").unwrap_or(0) >= 1);
     }
 
     #[test]

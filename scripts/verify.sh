@@ -3,6 +3,7 @@
 #   1. release build of the whole workspace (all targets)
 #   2. full workspace test suite
 #   3. clippy with warnings promoted to errors
+#   4. repro observability smoke run (--profile/--trace/--metrics)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,5 +15,15 @@ cargo test --workspace -q
 
 echo "== clippy (-D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== repro observability smoke (fig6) =="
+obs_dir="$(mktemp -d)"
+trap 'rm -rf "$obs_dir"' EXIT
+cargo run --release -q -p ptperf-bench --bin repro -- \
+  --profile --trace "$obs_dir/trace.jsonl" --metrics "$obs_dir/metrics.json" \
+  fig6 > "$obs_dir/out.txt"
+grep -q "Profile —" "$obs_dir/out.txt"
+test -s "$obs_dir/trace.jsonl"
+test -s "$obs_dir/metrics.json"
 
 echo "== verify: all gates passed =="
