@@ -10,6 +10,7 @@
 //! repro --trace t.jsonl fig6 # deterministic sim-time trace (JSONL)
 //! repro --metrics m.json fig6# wall-clock metrics registry (JSON)
 //! repro --profile fig6       # per-family profile table
+//! repro --bench-flow         # fluid-scheduler benchmark → BENCH_flow.json
 //! repro --quiet / -v         # errors only / debug diagnostics
 //! repro --list               # list targets
 //! ```
@@ -29,6 +30,8 @@ fn main() {
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
     let mut profile = false;
+    let mut bench_flow = false;
+    let mut bench_out = "BENCH_flow.json".to_string();
     let mut par = Parallelism::sequential();
 
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -56,6 +59,18 @@ fn main() {
     if let Some(pos) = args.iter().position(|a| a == "--profile") {
         profile = true;
         args.remove(pos);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--bench-flow") {
+        bench_flow = true;
+        args.remove(pos);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--bench-out") {
+        if pos + 1 >= args.len() {
+            obs_error!("--bench-out requires a path");
+            std::process::exit(2);
+        }
+        bench_out = args[pos + 1].clone();
+        args.drain(pos..=pos + 1);
     }
     if let Some(pos) = args.iter().position(|a| a == "--seed") {
         if pos + 1 >= args.len() {
@@ -105,6 +120,16 @@ fn main() {
     }
     if trace_path.is_some() || metrics_path.is_some() || profile {
         par = par.with_recording(Record::Trace);
+    }
+
+    if bench_flow {
+        let runs = ptperf_bench::flowbench::runs_from_env();
+        obs_info!("flow bench: {runs} run(s) per class");
+        let (results, doc) = ptperf_bench::flowbench::run_flow_bench(runs);
+        println!("{}", ptperf_bench::flowbench::render_table(&results, runs));
+        std::fs::write(&bench_out, doc).expect("write flow bench json");
+        obs_info!("wrote flow benchmark to {bench_out}");
+        return;
     }
 
     let targets: Vec<String> = if args.is_empty() {
@@ -163,6 +188,7 @@ fn print_help() {
         "repro — regenerate PTPerf tables and figures\n\n\
          usage: repro [--paper] [--seed N] [--workers N|auto] [--csv DIR]\n\
          \x20            [--trace FILE] [--metrics FILE] [--profile]\n\
+         \x20            [--bench-flow] [--bench-out FILE]\n\
          \x20            [--quiet] [-v|--verbose] [--list] [TARGET ...]\n\n\
          --workers only changes wall-clock time: output is bit-for-bit\n\
          identical at any worker count.\n\
@@ -171,6 +197,11 @@ fn print_help() {
          --metrics writes the wall-clock metrics registry (JSON; per-family\n\
          p50/p95 shard times, worker utilization); --profile prints a\n\
          per-family table of events, simulated seconds, and throughput.\n\
+         --bench-flow benchmarks the fluid scheduler (optimized vs the\n\
+         reference oracle, p50/p95 per workload class, steps/s, fast-path\n\
+         hits, allocations-per-step proxy) and writes BENCH_flow.json\n\
+         (path override: --bench-out; runs per class:\n\
+         PTPERF_FLOWBENCH_RUNS, default 400), then exits.\n\
          --quiet shows errors only; -v enables debug diagnostics.\n\
          With no targets, all of them run. Targets:\n  {}",
         available_targets().join(" ")

@@ -74,8 +74,10 @@ pub fn build_metrics(runs: &[TargetRun], workers: usize, elapsed: Duration) -> M
 
 /// Renders the `--profile` table: per family (first-seen order), shard
 /// and sample counts, recorded event count, simulated seconds, shard
-/// wall-clock milliseconds, and simulation throughput in events per
-/// wall-clock second.
+/// wall-clock milliseconds, simulation throughput in events per
+/// wall-clock second, and the allocator fast-path hit rate (`fast%`:
+/// `maxmin/fast_path` over `maxmin/recomputations` — "-" when the
+/// family never ran the allocator).
 pub fn profile_table(runs: &[TargetRun]) -> String {
     struct Row {
         family: String,
@@ -84,6 +86,8 @@ pub fn profile_table(runs: &[TargetRun]) -> String {
         events: u64,
         sim_ns: u64,
         wall_secs: f64,
+        allocs: u64,
+        fast: u64,
     }
     let mut rows: Vec<Row> = Vec::new();
     for run in runs {
@@ -99,6 +103,8 @@ pub fn profile_table(runs: &[TargetRun]) -> String {
                         events: 0,
                         sim_ns: 0,
                         wall_secs: 0.0,
+                        allocs: 0,
+                        fast: 0,
                     });
                     rows.last_mut().expect("just pushed")
                 }
@@ -108,6 +114,8 @@ pub fn profile_table(runs: &[TargetRun]) -> String {
             row.events += report.obs.counter("events").unwrap_or(0);
             row.sim_ns += report.obs.counter("sim_ns").unwrap_or(0);
             row.wall_secs += report.wall.as_secs_f64();
+            row.allocs += report.obs.counter("maxmin/recomputations").unwrap_or(0);
+            row.fast += report.obs.counter("maxmin/fast_path").unwrap_or(0);
         }
     }
     let mut table = Table::new([
@@ -118,10 +126,16 @@ pub fn profile_table(runs: &[TargetRun]) -> String {
         "sim (s)",
         "wall (ms)",
         "events/s",
+        "fast%",
     ]);
     for r in &rows {
         let throughput = if r.wall_secs > 0.0 {
             format!("{:.0}", r.events as f64 / r.wall_secs)
+        } else {
+            "-".to_string()
+        };
+        let fast = if r.allocs > 0 {
+            format!("{:.0}", 100.0 * r.fast as f64 / r.allocs as f64)
         } else {
             "-".to_string()
         };
@@ -133,6 +147,7 @@ pub fn profile_table(runs: &[TargetRun]) -> String {
             format!("{:.2}", r.sim_ns as f64 / 1e9),
             format!("{:.1}", r.wall_secs * 1e3),
             throughput,
+            fast,
         ]);
     }
     let totals = rows.iter().fold((0usize, 0u64, 0u64), |acc, r| {

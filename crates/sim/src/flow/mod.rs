@@ -12,10 +12,35 @@
 //!   with start times and sizes, computes each flow's completion time under
 //!   continuous max–min re-allocation (used for browser-style parallel
 //!   sub-resource loading).
+//!
+//! ## Two implementations, one behavior
+//!
+//! The public entry points run the **incremental** implementation in the
+//! private `sched` module (exported as [`FluidScheduler`]): persistent
+//! scratch buffers, a reverse node→active-flow index, an arrival
+//! min-heap, a skip of the allocator when a step leaves the active set
+//! unchanged, and an analytic fast path for the dominant
+//! single-bottleneck case. The original from-scratch progressive-filling
+//! implementation is retained in [`reference`] as an equivalence oracle;
+//! `crates/sim/tests/equivalence.rs` proves the two agree **bit for
+//! bit** (rates and completion times) on thousands of generated
+//! workloads, and the Criterion suite in `crates/bench/benches/flow.rs`
+//! measures the speedup.
+//!
+//! Flows listing the same node twice are deduplicated on entry by both
+//! implementations — a duplicated [`NodeId`] used to double-count the
+//! flow's share against that node's capacity.
+
+use std::cell::RefCell;
 
 use ptperf_obs::{NullRecorder, Recorder};
 
 use crate::time::{SimDuration, SimTime};
+
+pub mod reference;
+mod sched;
+
+pub use sched::FluidScheduler;
 
 /// Index of a capacity-constrained node inside a [`FairNetwork`].
 pub type NodeId = usize;
@@ -65,7 +90,8 @@ impl FairNetwork {
 #[derive(Debug, Clone)]
 pub struct FlowDemand {
     /// The nodes this flow traverses (order does not matter for
-    /// allocation). An empty path means the flow is only limited by `cap`.
+    /// allocation, and duplicates count once). An empty path means the
+    /// flow is only limited by `cap`.
     pub nodes: Vec<NodeId>,
     /// Optional rate ceiling imposed by the flow itself (bytes/s), e.g. a
     /// transport's carrier constraint.
@@ -89,134 +115,32 @@ pub fn maxmin_rates(net: &FairNetwork, flows: &[FlowDemand]) -> Vec<f64> {
     maxmin_rates_recorded(net, flows, &mut NullRecorder)
 }
 
+thread_local! {
+    /// Reused allocator state: repeated calls on the same thread are
+    /// allocation-free (beyond the returned `Vec`) once the scratch
+    /// buffers have warmed up.
+    static MAXMIN_STATE: RefCell<sched::MaxMinState> = RefCell::new(sched::MaxMinState::new());
+    /// Reused fluid-scheduler state for the module-level entry points.
+    static FLUID_STATE: RefCell<FluidScheduler> = RefCell::new(FluidScheduler::new());
+}
+
 /// [`maxmin_rates`] with observation: counts recomputations, filling
-/// rounds, how each flow froze (node-limited vs cap-limited), and how
-/// many nodes ended saturated. The un-recorded entry point delegates
-/// here with a [`NullRecorder`], so both run the *same* allocation code
-/// — the recorder only ever receives already-computed values.
+/// rounds, how each flow froze (node-limited vs cap-limited), analytic
+/// fast-path hits (`maxmin/fast_path`), and how many nodes ended
+/// saturated. The un-recorded entry point delegates here with a
+/// [`NullRecorder`], so both run the *same* allocation code — the
+/// recorder only ever receives already-computed values.
 pub fn maxmin_rates_recorded(
     net: &FairNetwork,
     flows: &[FlowDemand],
     rec: &mut dyn Recorder,
 ) -> Vec<f64> {
-    rec.add("maxmin/recomputations", 1);
-    for (i, f) in flows.iter().enumerate() {
-        assert!(
-            !f.nodes.is_empty() || f.cap.is_some(),
-            "flow {i} has no node constraint and no cap: demand is unbounded"
-        );
-        for &n in &f.nodes {
-            assert!(n < net.len(), "flow {i} references unknown node {n}");
-        }
-        if let Some(c) = f.cap {
-            assert!(c > 0.0 && c.is_finite(), "flow {i} has invalid cap {c}");
-        }
-    }
-
-    let mut rate = vec![0.0f64; flows.len()];
-    let mut frozen = vec![false; flows.len()];
-    let mut used = vec![0.0f64; net.len()];
-    let mut remaining = flows.len();
-
-    while remaining > 0 {
-        rec.add("maxmin/rounds", 1);
-        // Per-node equal share among still-unfrozen flows.
-        let mut count = vec![0usize; net.len()];
-        for (i, f) in flows.iter().enumerate() {
-            if frozen[i] {
-                continue;
-            }
-            for &n in &f.nodes {
-                count[n] += 1;
-            }
-        }
-        // The binding level this round: the smallest of all node shares and
-        // all unfrozen flow caps.
-        let mut level = f64::INFINITY;
-        for n in 0..net.len() {
-            if count[n] > 0 {
-                let share = ((net.capacity[n] - used[n]) / count[n] as f64).max(0.0);
-                level = level.min(share);
-            }
-        }
-        for (i, f) in flows.iter().enumerate() {
-            if !frozen[i] {
-                if let Some(c) = f.cap {
-                    level = level.min(c);
-                }
-            }
-        }
-        debug_assert!(level.is_finite(), "no binding constraint found");
-
-        // Determine the freeze set against a *snapshot* of `used` —
-        // freezing mutates `used`, and recomputing shares mid-round with
-        // stale per-node counts would wrongly freeze flows whose binding
-        // node is not actually saturated at this level.
-        let eps = 1e-9 * level.max(1.0);
-        let mut freeze_set: Vec<usize> = Vec::new();
-        for n in 0..net.len() {
-            if count[n] == 0 {
-                continue;
-            }
-            let share = ((net.capacity[n] - used[n]) / count[n] as f64).max(0.0);
-            if share <= level + eps {
-                for (i, f) in flows.iter().enumerate() {
-                    if !frozen[i] && f.nodes.contains(&n) && !freeze_set.contains(&i) {
-                        freeze_set.push(i);
-                    }
-                }
-            }
-        }
-        let node_limited = freeze_set.len();
-        for (i, f) in flows.iter().enumerate() {
-            if !frozen[i] && !freeze_set.contains(&i) {
-                if let Some(c) = f.cap {
-                    if c <= level + eps {
-                        freeze_set.push(i);
-                    }
-                }
-            }
-        }
-        rec.add("maxmin/flows_node_limited", node_limited as u64);
-        rec.add(
-            "maxmin/flows_cap_limited",
-            (freeze_set.len() - node_limited) as u64,
-        );
-        if freeze_set.is_empty() {
-            // Defensive: guarantee termination under floating-point
-            // pathologies by freezing everything at the level.
-            debug_assert!(false, "progressive filling made no progress");
-            freeze_set.extend((0..flows.len()).filter(|&i| !frozen[i]));
-        }
-        for i in freeze_set {
-            let at = flows[i].cap.map_or(level, |c| c.min(level));
-            freeze(i, at, flows, &mut rate, &mut frozen, &mut used, &mut remaining);
-        }
-    }
-    if rec.enabled() {
-        let saturated = (0..net.len())
-            .filter(|&n| used[n] + 1e-9 * net.capacity[n].max(1.0) >= net.capacity[n])
-            .count();
-        rec.add("maxmin/nodes_saturated", saturated as u64);
-    }
-    rate
-}
-
-fn freeze(
-    i: usize,
-    level: f64,
-    flows: &[FlowDemand],
-    rate: &mut [f64],
-    frozen: &mut [bool],
-    used: &mut [f64],
-    remaining: &mut usize,
-) {
-    rate[i] = level;
-    frozen[i] = true;
-    for &n in &flows[i].nodes {
-        used[n] += level;
-    }
-    *remaining -= 1;
+    MAXMIN_STATE.with(|state| match state.try_borrow_mut() {
+        Ok(mut state) => state.rates(net, flows, rec),
+        // Re-entrant call (possible only if a recorder implementation
+        // itself allocates rates): fall back to fresh state.
+        Err(_) => sched::MaxMinState::new().rates(net, flows, rec),
+    })
 }
 
 /// A flow submitted to the fluid scheduler.
@@ -247,15 +171,20 @@ pub struct FluidCompletion {
 ///
 /// Deterministic, event-stepped: between consecutive events (a flow
 /// arriving or finishing) rates are constant, so each flow's remaining
-/// bytes decrease linearly. Complexity is O(E² · N) for E flows — fine for
-/// browser workloads (tens of sub-resources).
+/// bytes decrease linearly. The incremental implementation keeps every
+/// per-step structure in reusable scratch (see [`FluidScheduler`]), so
+/// the hot path is allocation-free after warmup and each step costs
+/// O(log E) heap work plus one allocation pass only when the active set
+/// actually changed.
 pub fn fluid_schedule(net: &FairNetwork, flows: &[FluidFlow]) -> Vec<FluidCompletion> {
     fluid_schedule_recorded(net, flows, &mut NullRecorder)
 }
 
 /// [`fluid_schedule`] with observation: counts scheduler steps
-/// (`fluid/steps`, one per constant-rate segment) and forwards the
-/// recorder to [`maxmin_rates_recorded`] so per-step allocator work is
+/// (`fluid/steps`, one per constant-rate segment), steps that reused the
+/// previous rates because the active set was unchanged
+/// (`fluid/realloc_skipped`), and forwards the recorder to the allocator
+/// so per-step work (`maxmin/recomputations`, `maxmin/fast_path`) is
 /// visible too. Delegation works the same way as for `maxmin_rates`:
 /// one body, observations only.
 pub fn fluid_schedule_recorded(
@@ -263,108 +192,19 @@ pub fn fluid_schedule_recorded(
     flows: &[FluidFlow],
     rec: &mut dyn Recorder,
 ) -> Vec<FluidCompletion> {
-    #[derive(Clone)]
-    struct Live {
-        remaining: f64,
-        done: bool,
-    }
-    let mut live: Vec<Live> = flows
-        .iter()
-        .map(|f| Live {
-            remaining: f.bytes.max(0.0),
-            done: false,
-        })
-        .collect();
-    let mut finish = vec![SimTime::ZERO; flows.len()];
-
-    // Process in virtual time.
-    let mut now = flows
-        .iter()
-        .map(|f| f.start)
-        .min()
-        .unwrap_or(SimTime::ZERO);
-
-    loop {
-        // Active = started, not done. Pending = not yet started.
-        let mut active_idx = Vec::new();
-        let mut next_start: Option<SimTime> = None;
-        for (i, f) in flows.iter().enumerate() {
-            if live[i].done {
-                continue;
-            }
-            if f.start <= now {
-                if live[i].remaining <= 0.0 {
-                    // Zero-byte flow: completes the moment it starts.
-                    live[i].done = true;
-                    finish[i] = f.start + f.extra_latency;
-                    continue;
-                }
-                active_idx.push(i);
-            } else {
-                next_start = Some(next_start.map_or(f.start, |s: SimTime| s.min(f.start)));
-            }
-        }
-        if active_idx.is_empty() {
-            match next_start {
-                Some(t) => {
-                    now = t;
-                    continue;
-                }
-                None => break,
-            }
-        }
-
-        let demands: Vec<FlowDemand> = active_idx
-            .iter()
-            .map(|&i| FlowDemand {
-                nodes: flows[i].nodes.clone(),
-                cap: flows[i].cap,
-            })
-            .collect();
-        let rates = maxmin_rates_recorded(net, &demands, rec);
-        rec.add("fluid/steps", 1);
-
-        // Time until the first active flow drains at current rates.
-        let mut dt_finish = f64::INFINITY;
-        for (k, &i) in active_idx.iter().enumerate() {
-            if rates[k] > 0.0 {
-                dt_finish = dt_finish.min(live[i].remaining / rates[k]);
-            }
-        }
-        debug_assert!(
-            dt_finish.is_finite(),
-            "active flows exist but none can make progress"
-        );
-        let mut dt = dt_finish;
-        if let Some(t) = next_start {
-            let until_start = t.duration_since(now).as_secs_f64();
-            if until_start < dt {
-                dt = until_start;
-            }
-        }
-
-        // Advance: drain bytes, mark completions.
-        let step = SimDuration::from_secs_f64(dt);
-        let after = now + step;
-        for (k, &i) in active_idx.iter().enumerate() {
-            live[i].remaining -= rates[k] * dt;
-            if live[i].remaining <= 1e-6 {
-                live[i].done = true;
-                finish[i] = after + flows[i].extra_latency;
-            }
-        }
-        now = after;
-    }
-
-    finish.into_iter().map(|finish| FluidCompletion { finish }).collect()
+    FLUID_STATE.with(|state| match state.try_borrow_mut() {
+        Ok(mut s) => s.run_recorded(net, flows, rec),
+        Err(_) => FluidScheduler::new().run_recorded(net, flows, rec),
+    })
 }
 
 /// Helpers for benchmarking and stress-testing the allocator on random
-/// instances (used by `ptperf-bench`; kept here so instance generation is
-/// versioned with the allocator).
+/// instances (used by `ptperf-bench` and the equivalence tests; kept
+/// here so instance generation is versioned with the allocator).
 pub mod maxmin_demo {
-    use super::{maxmin_rates, FairNetwork, FlowDemand};
+    use super::{maxmin_rates, FairNetwork, FlowDemand, FluidFlow};
     use crate::rng::SimRng;
+    use crate::time::{SimDuration, SimTime};
 
     /// A random allocator instance.
     pub struct Instance {
@@ -400,6 +240,116 @@ pub mod maxmin_demo {
             })
             .collect();
         Instance { net, flows }
+    }
+
+    /// Like [`random_instance`], but adversarial: node paths may contain
+    /// duplicates (exercising dedupe-on-entry) and some flows are
+    /// cap-only (empty path). Used by the equivalence tests to prove the
+    /// optimized allocator and the reference oracle agree on messy
+    /// inputs too.
+    pub fn random_instance_raw(rng: &mut SimRng, n_nodes: usize, n_flows: usize) -> Instance {
+        assert!(n_nodes > 0);
+        let mut net = FairNetwork::new();
+        for _ in 0..n_nodes {
+            net.add_node(rng.range_f64(1.0e6, 100.0e6));
+        }
+        let flows = (0..n_flows)
+            .map(|_| {
+                let cap_only = rng.chance(0.1);
+                let mut nodes: Vec<usize> = if cap_only {
+                    Vec::new()
+                } else {
+                    let hops = 1 + rng.below(3) as usize;
+                    (0..hops)
+                        .map(|_| rng.below(n_nodes as u64) as usize)
+                        .collect()
+                };
+                // Sometimes repeat a node: the allocator must treat the
+                // path as a set.
+                if !nodes.is_empty() && rng.chance(0.2) {
+                    let dup = nodes[rng.below(nodes.len() as u64) as usize];
+                    nodes.push(dup);
+                }
+                let cap = if cap_only || rng.chance(0.33) {
+                    Some(rng.range_f64(0.1e6, 10.0e6))
+                } else {
+                    None
+                };
+                FlowDemand { nodes, cap }
+            })
+            .collect();
+        Instance { net, flows }
+    }
+
+    /// A random fluid-scheduling workload.
+    pub struct FluidInstance {
+        /// The node set.
+        pub net: FairNetwork,
+        /// The flows, with start times, sizes and optional caps.
+        pub flows: Vec<FluidFlow>,
+    }
+
+    /// Generates a random fluid workload over `n_nodes` nodes: zero-byte
+    /// flows, cap-only flows, duplicated node paths, and simultaneous
+    /// arrivals (start times quantized to 10 ms so collisions are
+    /// common) are all represented.
+    pub fn random_fluid_instance(
+        rng: &mut SimRng,
+        n_nodes: usize,
+        n_flows: usize,
+    ) -> FluidInstance {
+        let raw = random_instance_raw(rng, n_nodes, n_flows);
+        let flows = raw
+            .flows
+            .into_iter()
+            .map(|d| {
+                let bytes = if rng.chance(0.15) {
+                    0.0
+                } else {
+                    rng.range_f64(1.0, 5.0e6)
+                };
+                let start = if rng.chance(0.3) {
+                    SimTime::ZERO
+                } else {
+                    SimTime::from_nanos(rng.below(200) * 10_000_000)
+                };
+                FluidFlow {
+                    start,
+                    bytes,
+                    nodes: d.nodes,
+                    cap: d.cap,
+                    extra_latency: SimDuration::from_nanos(rng.below(50_000_000)),
+                }
+            })
+            .collect();
+        FluidInstance {
+            net: raw.net,
+            flows,
+        }
+    }
+
+    /// A browser-style workload: `n_flows` sub-resources share one
+    /// tunnel node of `rate_bps`, starting in staggered waves of six —
+    /// the shape `ptperf-web::browser` submits for every selenium and
+    /// speed-index measurement. This is the single-bottleneck case the
+    /// allocator's analytic fast path targets.
+    pub fn browser_style_instance(rng: &mut SimRng, n_flows: usize, rate_bps: f64) -> FluidInstance {
+        let mut net = FairNetwork::new();
+        let tunnel = net.add_node(rate_bps);
+        let per_req = SimDuration::from_millis(180);
+        let flows = (0..n_flows)
+            .map(|i| {
+                let wave = (i / 6) as u64;
+                FluidFlow {
+                    start: SimTime::ZERO + per_req * wave.min(20),
+                    bytes: rng.range_f64(500.0, 400_000.0),
+                    nodes: vec![tunnel],
+                    cap: None,
+                    extra_latency: per_req,
+                }
+            })
+            .collect();
+        FluidInstance { net, flows }
     }
 
     /// Solves an instance.
@@ -533,6 +483,29 @@ mod tests {
     }
 
     #[test]
+    fn duplicated_node_in_path_counts_once() {
+        // Regression: a path listing the same node twice used to
+        // double-count the flow's share in that node's `count` and
+        // `used`, halving its rate and over-reserving capacity.
+        let dup = [
+            FlowDemand {
+                nodes: vec![0, 0],
+                cap: None,
+            },
+            FlowDemand {
+                nodes: vec![0],
+                cap: None,
+            },
+        ];
+        let n = net(&[100.0]);
+        let rates = maxmin_rates(&n, &dup);
+        assert!((rates[0] - 50.0).abs() < 1e-9, "{rates:?}");
+        assert!((rates[1] - 50.0).abs() < 1e-9, "{rates:?}");
+        // And the retained oracle applies the same fix.
+        assert_eq!(rates, reference::maxmin_rates(&n, &dup));
+    }
+
+    #[test]
     fn fluid_single_flow_duration() {
         let n = net(&[10.0]); // 10 bytes/s
         let done = fluid_schedule(
@@ -630,6 +603,9 @@ mod tests {
         assert_eq!(data.counter("maxmin/flows_node_limited"), Some(3));
         assert_eq!(data.counter("maxmin/flows_cap_limited"), Some(0));
         assert_eq!(data.counter("maxmin/nodes_saturated"), Some(2));
+        // Two bottleneck nodes: the single-bottleneck fast path must
+        // stay out of the way.
+        assert_eq!(data.counter("maxmin/fast_path"), None);
         // And the rates are untouched by recording.
         assert_eq!(rates, maxmin_rates(&n, &flows));
     }
@@ -649,10 +625,60 @@ mod tests {
     }
 
     #[test]
+    fn single_bottleneck_fast_path_fires_and_matches_the_oracle() {
+        // Browser shape: every flow crosses the one tunnel node, no caps.
+        let n = net(&[120.0]);
+        let f = FlowDemand { nodes: vec![0], cap: None };
+        let flows = [f.clone(), f.clone(), f];
+        let mut rec = ptperf_obs::MemoryRecorder::new();
+        let rates = maxmin_rates_recorded(&n, &flows, &mut rec);
+        let data = rec.into_data();
+        assert_eq!(data.counter("maxmin/fast_path"), Some(1));
+        assert_eq!(data.counter("maxmin/rounds"), Some(1));
+        assert_eq!(data.counter("maxmin/flows_node_limited"), Some(3));
+        assert_eq!(data.counter("maxmin/nodes_saturated"), Some(1));
+        // Bit-identical to the reference oracle on the same instance.
+        let oracle = reference::maxmin_rates(&n, &flows);
+        for (a, b) in rates.iter().zip(&oracle) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{rates:?} vs {oracle:?}");
+        }
+    }
+
+    #[test]
+    fn uniform_cap_fast_path_matches_the_oracle() {
+        let n = net(&[120.0]);
+        let capped = FlowDemand { nodes: vec![0], cap: Some(10.0) };
+        let flows = [capped.clone(), capped.clone(), capped];
+        let mut rec = ptperf_obs::MemoryRecorder::new();
+        let rates = maxmin_rates_recorded(&n, &flows, &mut rec);
+        let data = rec.into_data();
+        assert_eq!(data.counter("maxmin/fast_path"), Some(1));
+        assert_eq!(data.counter("maxmin/flows_cap_limited"), Some(3));
+        let oracle = reference::maxmin_rates(&n, &flows);
+        for (a, b) in rates.iter().zip(&oracle) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{rates:?} vs {oracle:?}");
+        }
+        assert!((rates[0] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_caps_take_the_generic_path() {
+        let n = net(&[120.0]);
+        let flows = [
+            FlowDemand { nodes: vec![0], cap: Some(10.0) },
+            FlowDemand { nodes: vec![0], cap: None },
+        ];
+        let mut rec = ptperf_obs::MemoryRecorder::new();
+        let _ = maxmin_rates_recorded(&n, &flows, &mut rec);
+        let data = rec.into_data();
+        assert_eq!(data.counter("maxmin/fast_path"), None);
+    }
+
+    #[test]
     fn fluid_recording_counts_steps_without_changing_results() {
         // Late-arrival scenario from `fluid_late_arrival_shares_remaining`:
         // three constant-rate segments → three fluid steps, each with one
-        // max-min recomputation.
+        // max-min recomputation (the active set changes at every event).
         let n = net(&[10.0]);
         let flows = [
             FluidFlow {
@@ -693,5 +719,40 @@ mod tests {
             }],
         );
         assert_eq!(done[0].finish.as_nanos(), 5);
+    }
+
+    #[test]
+    fn zero_byte_arrival_skips_reallocation() {
+        // A zero-byte flow arriving mid-transfer completes instantly and
+        // leaves the active set unchanged, so the scheduler reuses the
+        // previous rates instead of re-running the allocator.
+        let n = net(&[10.0]);
+        let flows = [
+            FluidFlow {
+                start: SimTime::ZERO,
+                bytes: 100.0,
+                nodes: vec![0],
+                cap: None,
+                extra_latency: SimDuration::ZERO,
+            },
+            FluidFlow {
+                start: SimTime::from_nanos(5_000_000_000),
+                bytes: 0.0,
+                nodes: vec![0],
+                cap: None,
+                extra_latency: SimDuration::ZERO,
+            },
+        ];
+        let mut rec = ptperf_obs::MemoryRecorder::new();
+        let done = fluid_schedule_recorded(&n, &flows, &mut rec);
+        assert_eq!(done[1].finish.as_nanos(), 5_000_000_000);
+        assert!((done[0].finish.as_secs_f64() - 10.0).abs() < 1e-6);
+        let data = rec.into_data();
+        assert_eq!(data.counter("fluid/steps"), Some(2));
+        assert_eq!(data.counter("fluid/realloc_skipped"), Some(1));
+        assert_eq!(data.counter("maxmin/recomputations"), Some(1));
+        // The reference recomputes unconditionally yet lands on the
+        // exact same completion times.
+        assert_eq!(done, reference::fluid_schedule(&n, &flows));
     }
 }

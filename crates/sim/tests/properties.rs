@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use ptperf_sim::flow::{fluid_schedule, maxmin_rates, FairNetwork, FlowDemand, FluidFlow};
+use ptperf_sim::flow::{fluid_schedule, maxmin_rates, reference, FairNetwork, FlowDemand, FluidFlow};
 use ptperf_sim::{SimDuration, SimRng, SimTime, TransferModel};
 
 type FlowSpecs = Vec<(Vec<usize>, Option<f64>)>;
@@ -26,6 +26,67 @@ fn arb_network_and_flows() -> impl Strategy<Value = (Vec<f64>, FlowSpecs)> {
         });
         (caps, flows)
     })
+}
+
+/// Like [`arb_network_and_flows`] but adversarial: paths may repeat
+/// nodes (dedupe-on-entry must make that harmless) and may be empty, in
+/// which case a cap is forced so the demand stays bounded.
+fn arb_raw_network_and_flows() -> impl Strategy<Value = (Vec<f64>, FlowSpecs)> {
+    (1usize..6).prop_flat_map(|n_nodes| {
+        let caps = proptest::collection::vec(1.0f64..1000.0, n_nodes);
+        let flows = proptest::collection::vec(
+            (
+                proptest::collection::vec(0..n_nodes, 0..6),
+                proptest::option::of(0.5f64..500.0),
+            ),
+            1..12,
+        )
+        .prop_map(|v| {
+            v.into_iter()
+                .map(|(nodes, cap)| {
+                    let cap = if nodes.is_empty() { cap.or(Some(1.0)) } else { cap };
+                    (nodes, cap)
+                })
+                .collect::<Vec<_>>()
+        });
+        (caps, flows)
+    })
+}
+
+type FluidSpecs = Vec<(Vec<usize>, Option<f64>, bool, f64, u64, u64)>;
+
+/// Random fluid workloads with zero-byte flows, duplicated path nodes,
+/// cap-only flows, and start times quantized to 10 ms slots so
+/// simultaneous arrivals are common.
+fn arb_fluid_workload() -> impl Strategy<Value = (Vec<f64>, FluidSpecs)> {
+    (1usize..5).prop_flat_map(|n_nodes| {
+        let caps = proptest::collection::vec(10.0f64..1000.0, n_nodes);
+        let flows = proptest::collection::vec(
+            (
+                proptest::collection::vec(0..n_nodes, 0..5),
+                proptest::option::of(0.5f64..500.0),
+                any::<bool>(),
+                1.0f64..100_000.0,
+                0u64..20,
+                0u64..50,
+            ),
+            1..10,
+        );
+        (caps, flows)
+    })
+}
+
+fn build_fluid_flows(specs: &FluidSpecs) -> Vec<FluidFlow> {
+    specs
+        .iter()
+        .map(|(nodes, cap, zero, bytes, slot, extra_ms)| FluidFlow {
+            start: SimTime::ZERO + SimDuration::from_millis(slot * 10),
+            bytes: if *zero { 0.0 } else { *bytes },
+            nodes: nodes.clone(),
+            cap: if nodes.is_empty() { cap.or(Some(1.0)) } else { *cap },
+            extra_latency: SimDuration::from_millis(*extra_ms),
+        })
+        .collect()
 }
 
 proptest! {
@@ -105,6 +166,61 @@ proptest! {
             if let Some(c) = f.cap {
                 prop_assert!(*r <= c * (1.0 + 1e-9));
             }
+        }
+    }
+
+    /// The incremental allocator is bit-for-bit the reference oracle,
+    /// even on adversarial paths (duplicated nodes, cap-only flows).
+    #[test]
+    fn maxmin_matches_reference_bitwise((caps, flow_specs) in arb_raw_network_and_flows()) {
+        let mut net = FairNetwork::new();
+        for &c in &caps {
+            net.add_node(c);
+        }
+        let flows: Vec<FlowDemand> = flow_specs
+            .iter()
+            .map(|(nodes, cap)| FlowDemand { nodes: nodes.clone(), cap: *cap })
+            .collect();
+        let got = maxmin_rates(&net, &flows);
+        let want = reference::maxmin_rates(&net, &flows);
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            prop_assert_eq!(
+                g.to_bits(),
+                w.to_bits(),
+                "flow {}: optimized {:e} != reference {:e}",
+                i,
+                g,
+                w
+            );
+        }
+    }
+
+    /// The incremental fluid scheduler completes every flow at exactly
+    /// the nanosecond the reference scheduler does — zero-byte flows,
+    /// simultaneous arrivals and all — and both satisfy the max–min
+    /// capacity invariant implicitly (rates come from the allocator
+    /// already proven equivalent above).
+    #[test]
+    fn fluid_matches_reference_bitwise((caps, specs) in arb_fluid_workload()) {
+        let mut net = FairNetwork::new();
+        for &c in &caps {
+            net.add_node(c);
+        }
+        let flows = build_fluid_flows(&specs);
+        let got = fluid_schedule(&net, &flows);
+        let want = reference::fluid_schedule(&net, &flows);
+        prop_assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            prop_assert_eq!(
+                g.finish.as_nanos(),
+                w.finish.as_nanos(),
+                "flow {} diverged",
+                i
+            );
+        }
+        // Sanity: no flow finishes before it starts + its extra latency.
+        for (f, d) in flows.iter().zip(&got) {
+            prop_assert!(d.finish >= f.start + f.extra_latency);
         }
     }
 

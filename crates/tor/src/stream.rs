@@ -52,6 +52,21 @@ impl StreamTransfer {
         self.bytes.div_ceil(RELAY_DATA_LEN as u64)
     }
 
+    /// Upper bound on the engine's pending-event queue depth while this
+    /// transfer runs, for [`Engine::with_capacity`]: cells whose client
+    /// arrival is still propagating (at most half an RTT's worth of
+    /// service, clamped by the window and the transfer size), the single
+    /// in-service cell, and the SENDMEs those arrivals can spawn.
+    pub fn expected_events(&self) -> usize {
+        let service_per_half_rtt = (self.rtt.as_secs_f64() / 2.0 * self.bottleneck_bps
+            / RELAY_DATA_LEN as f64)
+            .ceil() as u64;
+        let in_flight = service_per_half_rtt
+            .min(self.window_cells as u64)
+            .min(self.total_cells().max(1));
+        (in_flight + in_flight / SENDME_INCREMENT as u64 + 4) as usize
+    }
+
     /// The closed-form prediction: fluid time at
     /// `min(bottleneck, window/RTT)` plus half an RTT for the final
     /// cell's propagation.
@@ -153,10 +168,43 @@ mod tests {
 
     fn run_one(bytes: u64, rtt_ms: u64, rate: f64) -> (f64, f64) {
         let xfer = StreamTransfer::new(bytes, SimDuration::from_millis(rtt_ms), rate);
-        let mut engine = Engine::new(1);
+        let mut engine = Engine::with_capacity(1, xfer.expected_events());
         let actual = xfer.run(&mut engine).as_secs_f64();
         let predicted = xfer.predicted().as_secs_f64();
         (actual, predicted)
+    }
+
+    #[test]
+    fn expected_events_bounds_the_queue_and_saves_reallocs() {
+        for (bytes, rtt_ms, rate) in [
+            (2_000_000u64, 100u64, 200_000.0),
+            (3_000_000, 600, 20.0e6),
+            (400, 100, 1.0e6),
+        ] {
+            let xfer = StreamTransfer::new(bytes, SimDuration::from_millis(rtt_ms), rate);
+            let mut cold = Engine::new(1);
+            let t_cold = xfer.run(&mut cold);
+            let mut sized = Engine::with_capacity(1, xfer.expected_events());
+            let t_sized = xfer.run(&mut sized);
+            assert_eq!(t_cold, t_sized, "pre-sizing changed a result");
+            assert!(
+                sized.queue_high_water() <= xfer.expected_events(),
+                "bound too tight: high water {} vs expected {}",
+                sized.queue_high_water(),
+                xfer.expected_events()
+            );
+            assert_eq!(sized.queue_reallocs_saved(), cold.queue_reallocs_saved() + {
+                // Everything the cold engine had to grow through, the
+                // sized one skipped.
+                let mut cap = 0usize;
+                let mut n = 0;
+                while cap < cold.queue_high_water() {
+                    cap = (cap * 2).max(4);
+                    n += 1;
+                }
+                n
+            });
+        }
     }
 
     #[test]

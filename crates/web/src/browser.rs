@@ -322,6 +322,14 @@ mod tests {
         // The fluid scheduler ran at least one constant-rate segment.
         assert!(data.counter("fluid/steps").unwrap_or(0) >= 1);
         assert!(data.counter("maxmin/recomputations").unwrap_or(0) >= 1);
+        // Browser pages are the single-bottleneck shape the allocator's
+        // analytic fast path exists for: every recomputation here must
+        // take it, and the skipped generic machinery shows up as zero
+        // extra rounds.
+        assert_eq!(
+            data.counter("maxmin/fast_path"),
+            data.counter("maxmin/recomputations"),
+        );
     }
 
     #[test]

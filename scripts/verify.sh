@@ -4,6 +4,9 @@
 #   2. full workspace test suite
 #   3. clippy with warnings promoted to errors
 #   4. repro observability smoke run (--profile/--trace/--metrics)
+#   5. perf smoke: quick flow benches + repro --bench-flow emitting
+#      BENCH_flow.json (fails on panic or non-finite output, never on
+#      speed thresholds)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,5 +28,16 @@ cargo run --release -q -p ptperf-bench --bin repro -- \
 grep -q "Profile —" "$obs_dir/out.txt"
 test -s "$obs_dir/trace.jsonl"
 test -s "$obs_dir/metrics.json"
+
+echo "== perf smoke (flow benches, quick mode) =="
+cargo bench -q -p ptperf-bench --bench flow > "$obs_dir/bench_flow.txt"
+grep -q "fluid_scheduler/browser_64_optimized" "$obs_dir/bench_flow.txt"
+PTPERF_FLOWBENCH_RUNS=40 cargo run --release -q -p ptperf-bench --bin repro -- \
+  --bench-flow --bench-out "$obs_dir/BENCH_flow.json" > "$obs_dir/bench_out.txt"
+test -s "$obs_dir/BENCH_flow.json"
+if grep -qi "nan\|inf" "$obs_dir/BENCH_flow.json"; then
+  echo "BENCH_flow.json contains non-finite values" >&2
+  exit 1
+fi
 
 echo "== verify: all gates passed =="
