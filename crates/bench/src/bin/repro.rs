@@ -11,6 +11,7 @@
 //! repro --metrics m.json fig6# wall-clock metrics registry (JSON)
 //! repro --profile fig6       # per-family profile table
 //! repro --bench-flow         # fluid-scheduler benchmark → BENCH_flow.json
+//! repro --bench-establish    # establishment benchmark → BENCH_establish.json
 //! repro --quiet / -v         # errors only / debug diagnostics
 //! repro --list               # list targets
 //! ```
@@ -31,7 +32,8 @@ fn main() {
     let mut metrics_path: Option<String> = None;
     let mut profile = false;
     let mut bench_flow = false;
-    let mut bench_out = "BENCH_flow.json".to_string();
+    let mut bench_establish = false;
+    let mut bench_out: Option<String> = None;
     let mut par = Parallelism::sequential();
 
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -64,12 +66,16 @@ fn main() {
         bench_flow = true;
         args.remove(pos);
     }
+    if let Some(pos) = args.iter().position(|a| a == "--bench-establish") {
+        bench_establish = true;
+        args.remove(pos);
+    }
     if let Some(pos) = args.iter().position(|a| a == "--bench-out") {
         if pos + 1 >= args.len() {
             obs_error!("--bench-out requires a path");
             std::process::exit(2);
         }
-        bench_out = args[pos + 1].clone();
+        bench_out = Some(args[pos + 1].clone());
         args.drain(pos..=pos + 1);
     }
     if let Some(pos) = args.iter().position(|a| a == "--seed") {
@@ -127,8 +133,22 @@ fn main() {
         obs_info!("flow bench: {runs} run(s) per class");
         let (results, doc) = ptperf_bench::flowbench::run_flow_bench(runs);
         println!("{}", ptperf_bench::flowbench::render_table(&results, runs));
-        std::fs::write(&bench_out, doc).expect("write flow bench json");
-        obs_info!("wrote flow benchmark to {bench_out}");
+        let out = bench_out.as_deref().unwrap_or("BENCH_flow.json");
+        std::fs::write(out, doc).expect("write flow bench json");
+        obs_info!("wrote flow benchmark to {out}");
+        return;
+    }
+    if bench_establish {
+        let runs = ptperf_bench::establishbench::runs_from_env();
+        obs_info!("establish bench: {runs} run(s) per class");
+        let (results, dep, doc) = ptperf_bench::establishbench::run_establish_bench(runs);
+        println!(
+            "{}",
+            ptperf_bench::establishbench::render_table(&results, &dep, runs)
+        );
+        let out = bench_out.as_deref().unwrap_or("BENCH_establish.json");
+        std::fs::write(out, doc).expect("write establish bench json");
+        obs_info!("wrote establish benchmark to {out}");
         return;
     }
 
@@ -188,7 +208,7 @@ fn print_help() {
         "repro — regenerate PTPerf tables and figures\n\n\
          usage: repro [--paper] [--seed N] [--workers N|auto] [--csv DIR]\n\
          \x20            [--trace FILE] [--metrics FILE] [--profile]\n\
-         \x20            [--bench-flow] [--bench-out FILE]\n\
+         \x20            [--bench-flow] [--bench-establish] [--bench-out FILE]\n\
          \x20            [--quiet] [-v|--verbose] [--list] [TARGET ...]\n\n\
          --workers only changes wall-clock time: output is bit-for-bit\n\
          identical at any worker count.\n\
@@ -202,6 +222,12 @@ fn print_help() {
          hits, allocations-per-step proxy) and writes BENCH_flow.json\n\
          (path override: --bench-out; runs per class:\n\
          PTPERF_FLOWBENCH_RUNS, default 400), then exits.\n\
+         --bench-establish benchmarks channel establishment (indexed\n\
+         path selection vs the reference scan oracle at 600 and 5000\n\
+         relays, establishes/s, fast-path fraction, allocations per\n\
+         establish, deployment-memo savings) and writes\n\
+         BENCH_establish.json (path override: --bench-out; runs per\n\
+         class: PTPERF_ESTABLISHBENCH_RUNS, default 400), then exits.\n\
          --quiet shows errors only; -v enables debug diagnostics.\n\
          With no targets, all of them run. Targets:\n  {}",
         available_targets().join(" ")

@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod establishbench;
 pub mod flowbench;
 pub mod obs_export;
 pub mod targets;

@@ -296,7 +296,7 @@ pub fn run_scheduled_snowflake_with(
     use crate::experiments::snowflake_load::user_timeline;
     use crate::schedule::{plan, RateLimits};
     use ptperf_sim::{SimDuration, SimTime};
-    use ptperf_transports::{transport_for, PtId};
+    use ptperf_transports::{transport_for, EstablishScratch, PtId};
     use ptperf_web::curl;
 
     /// Slots per shard: small enough to balance across workers, large
@@ -336,6 +336,7 @@ pub fn run_scheduled_snowflake_with(
                 let transport = transport_for(PtId::Snowflake);
                 let sites = crate::measure::target_sites(20);
                 let mut rng = scenario.rng(&format!("scheduled-snowflake/{shard_idx}"));
+                let mut scratch = EstablishScratch::new();
                 let mut phases = ptperf_obs::PhaseAccum::new();
                 let mut out: Vec<TimedMeasurement> = Vec::with_capacity(chunk.len());
                 for slot in &chunk {
@@ -343,7 +344,8 @@ pub fn run_scheduled_snowflake_with(
                     let mut opts = scenario.access_options();
                     opts.load_mult = load;
                     let site = &sites[slot.index as usize % sites.len()];
-                    let ch = transport.establish(&dep, &opts, site.server, &mut rng);
+                    let ch =
+                        transport.establish_with(&dep, &opts, site.server, &mut rng, &mut scratch);
                     let fetch = curl::fetch(&ch, site, &mut rng);
                     if rec.enabled() {
                         crate::measure::record_fetch_phases(&mut phases, &ch, &fetch);

@@ -7,9 +7,10 @@
 //! the reliability analysis (Figure 8) and the t-test table.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use ptperf_stats::{ascii_boxplots, Summary};
-use ptperf_transports::{transport_for, PtId};
+use ptperf_transports::{transport_for, EstablishScratch, PtId};
 use ptperf_web::{filedl, Outcome, FILE_SIZES};
 
 use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
@@ -84,22 +85,33 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
     if matches!(scenario.epoch, Epoch::PreSurge) {
         scenario.epoch = Epoch::Plateau;
     }
+    // One shared scenario for all thirteen units: each closure clones the
+    // Arc, not the Scenario, and the deployment build is shared through
+    // the scenario's memo.
+    let scenario = Arc::new(scenario);
     let cfg = *cfg;
     figure_order()
         .into_iter()
         .map(|pt| {
-            let scenario = scenario.clone();
+            let scenario = Arc::clone(&scenario);
             Unit::traced(format!("fig5/{pt}"), move |rec| {
                 let transport = transport_for(pt);
                 let dep = scenario.deployment();
                 let opts = scenario.access_options();
                 let file_server = scenario.server_region;
                 let mut rng = scenario.rng(&format!("fig5/{pt}"));
+                let mut scratch = EstablishScratch::new();
                 let mut list = Vec::with_capacity(cfg.sizes.len() * cfg.attempts);
                 let mut phases = ptperf_obs::PhaseAccum::new();
                 for &size in &cfg.sizes {
                     for _ in 0..cfg.attempts {
-                        let ch = transport.establish(&dep, &opts, file_server, &mut rng);
+                        let ch = transport.establish_with(
+                            &dep,
+                            &opts,
+                            file_server,
+                            &mut rng,
+                            &mut scratch,
+                        );
                         let d = filedl::download(&ch, size, &mut rng);
                         if rec.enabled() {
                             let handshake = (ch.setup + ch.stream_open).min(d.elapsed);

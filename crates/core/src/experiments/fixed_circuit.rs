@@ -90,7 +90,7 @@ pub fn run_traced(
     cfg: &Config,
     rec: &mut dyn ptperf_obs::Recorder,
 ) -> Result {
-    let mut dep = scenario.deployment();
+    let mut dep = scenario.deployment_owned();
     let mut rng = scenario.rng("fig3");
     let mut phases = ptperf_obs::PhaseAccum::new();
 

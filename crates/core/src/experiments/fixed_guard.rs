@@ -93,7 +93,7 @@ pub fn run_traced(
     cfg: &Config,
     rec: &mut dyn ptperf_obs::Recorder,
 ) -> Result {
-    let mut dep = scenario.deployment();
+    let mut dep = scenario.deployment_owned();
     let mut rng = scenario.rng("fig4");
     let mut phases = ptperf_obs::PhaseAccum::new();
     let host = dep.consensus.add_relay(Relay {

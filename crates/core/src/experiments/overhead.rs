@@ -124,7 +124,7 @@ pub fn run_traced(
     let mut scenario = scenario.clone();
     scenario.server_region = scenario.client;
 
-    let mut dep = scenario.deployment();
+    let mut dep = scenario.deployment_owned();
     // §5.2 uses *private, co-located* PT servers; replace the
     // Tor-operated obfs4 bridge so its bootstrap targets the same host
     // as everything else (webtunnel/dnstt already follow server_region).

@@ -7,9 +7,10 @@
 //! meek fail outright ~10% of the time.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use ptperf_stats::{ascii_ecdf, Ecdf};
-use ptperf_transports::{transport_for, PtId};
+use ptperf_transports::{transport_for, EstablishScratch, PtId};
 use ptperf_web::{filedl, ReliabilityCounts, FILE_SIZES};
 
 use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
@@ -73,24 +74,32 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
     if matches!(scenario.epoch, Epoch::PreSurge) {
         scenario.epoch = Epoch::Surge;
     }
+    let scenario = Arc::new(scenario);
     let cfg = *cfg;
     figure_order()
         .into_iter()
         .filter(|&pt| pt != PtId::Vanilla)
         .map(|pt| {
-            let scenario = scenario.clone();
+            let scenario = Arc::clone(&scenario);
             Unit::traced(format!("fig8/{pt}"), move |rec| {
                 let transport = transport_for(pt);
                 let dep = scenario.deployment();
                 let opts = scenario.access_options();
                 let file_server = scenario.server_region;
                 let mut rng = scenario.rng(&format!("fig8/{pt}"));
+                let mut scratch = EstablishScratch::new();
                 let mut c = ReliabilityCounts::default();
                 let mut f = Vec::with_capacity(cfg.sizes.len() * cfg.attempts);
                 let mut phases = ptperf_obs::PhaseAccum::new();
                 for &size in &cfg.sizes {
                     for _ in 0..cfg.attempts {
-                        let ch = transport.establish(&dep, &opts, file_server, &mut rng);
+                        let ch = transport.establish_with(
+                            &dep,
+                            &opts,
+                            file_server,
+                            &mut rng,
+                            &mut scratch,
+                        );
                         let d = filedl::download(&ch, size, &mut rng);
                         if rec.enabled() {
                             let handshake = (ch.setup + ch.stream_open).min(d.elapsed);

@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use ptperf_stats::{ascii_boxplots, Summary};
-use ptperf_transports::{transport_for, PtId};
+use ptperf_transports::{transport_for, EstablishScratch, PtId};
 use ptperf_web::browser;
 
 use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
@@ -61,22 +61,30 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
     if matches!(scenario.epoch, Epoch::PreSurge) {
         scenario.epoch = Epoch::Plateau;
     }
+    let scenario = Arc::new(scenario);
     let sites = Arc::new(target_sites(cfg.sites_per_list));
     figure_order()
         .into_iter()
         .map(|pt| {
-            let scenario = scenario.clone();
+            let scenario = Arc::clone(&scenario);
             let sites = Arc::clone(&sites);
             Unit::traced(format!("fig11/{pt}"), move |rec| {
                 let transport = transport_for(pt);
                 let dep = scenario.deployment();
                 let opts = scenario.access_options();
                 let mut rng = scenario.rng(&format!("fig11/{pt}"));
+                let mut scratch = EstablishScratch::new();
                 let mut si = Vec::new();
                 let mut lt = Vec::new();
                 let mut phases = ptperf_obs::PhaseAccum::new();
                 for site in sites.iter() {
-                    let ch = transport.establish(&dep, &opts, site.server, &mut rng);
+                    let ch = transport.establish_with(
+                        &dep,
+                        &opts,
+                        site.server,
+                        &mut rng,
+                        &mut scratch,
+                    );
                     match browser::load_page_traced(&ch, site, &mut rng, rec) {
                         Ok(page) => {
                             if rec.enabled() {

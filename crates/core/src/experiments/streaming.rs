@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 use ptperf_obs::obs_debug;
 use ptperf_sim::SimDuration;
 use ptperf_stats::Table;
-use ptperf_transports::{transport_for, PtId};
+use ptperf_transports::{transport_for, EstablishScratch, PtId};
 use ptperf_web::streaming::{play, MediaStream, StreamingSession};
 
 use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
@@ -101,15 +101,22 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
                 let media_server = scenario.server_region;
                 let transport = transport_for(pt);
                 let mut rng = scenario.rng(&format!("streaming/{pt}"));
+                let mut scratch = EstablishScratch::new();
                 let mut phases = ptperf_obs::PhaseAccum::new();
                 let run_medium =
                     |media: MediaStream, rng: &mut ptperf_sim::SimRng,
+                     scratch: &mut EstablishScratch,
                      rec: &mut dyn ptperf_obs::Recorder,
                      phases: &mut ptperf_obs::PhaseAccum| {
                         let sessions: Vec<StreamingSession> = (0..cfg.sessions)
                             .map(|_| {
-                                let ch =
-                                    transport.establish(&dep, &opts, media_server, rng);
+                                let ch = transport.establish_with(
+                                    &dep,
+                                    &opts,
+                                    media_server,
+                                    rng,
+                                    scratch,
+                                );
                                 let session = play(&ch, &media, rng);
                                 if rec.enabled() {
                                     phases.add_ns(
@@ -128,10 +135,20 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
                             .collect();
                         Qoe::from_sessions(&sessions)
                     };
-                let audio =
-                    run_medium(MediaStream::audio(cfg.duration), &mut rng, rec, &mut phases);
-                let video =
-                    run_medium(MediaStream::video(cfg.duration), &mut rng, rec, &mut phases);
+                let audio = run_medium(
+                    MediaStream::audio(cfg.duration),
+                    &mut rng,
+                    &mut scratch,
+                    rec,
+                    &mut phases,
+                );
+                let video = run_medium(
+                    MediaStream::video(cfg.duration),
+                    &mut rng,
+                    &mut scratch,
+                    rec,
+                    &mut phases,
+                );
                 obs_debug!(
                     "streaming/{pt}: audio watchable {:.2}, video watchable {:.2}",
                     audio.watchable,

@@ -6,7 +6,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use ptperf_stats::{ascii_ecdf, Ecdf};
-use ptperf_transports::{transport_for, PtId};
+use ptperf_transports::{transport_for, EstablishScratch, PtId};
 use ptperf_web::curl;
 
 use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
@@ -60,10 +60,17 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
                 let dep = scenario.deployment();
                 let opts = scenario.access_options();
                 let mut rng = scenario.rng(&format!("fig6/{pt}"));
+                let mut scratch = EstablishScratch::new();
                 let mut v = Vec::new();
                 let mut phases = ptperf_obs::PhaseAccum::new();
                 for site in sites.iter() {
-                    let ch = transport.establish(&dep, &opts, site.server, &mut rng);
+                    let ch = transport.establish_with(
+                        &dep,
+                        &opts,
+                        site.server,
+                        &mut rng,
+                        &mut scratch,
+                    );
                     let fetch = curl::fetch(&ch, site, &mut rng);
                     if rec.enabled() {
                         crate::measure::record_fetch_phases(&mut phases, &ch, &fetch);

@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use ptperf_stats::{ascii_boxplots, Summary};
-use ptperf_transports::{transport_for, PtId};
+use ptperf_transports::{transport_for, EstablishScratch, PtId};
 use ptperf_web::browser;
 
 use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
@@ -65,24 +65,32 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
     if matches!(scenario.epoch, Epoch::PreSurge) {
         scenario.epoch = Epoch::Plateau;
     }
+    let scenario = Arc::new(scenario);
     let sites = Arc::new(target_sites(cfg.sites_per_list));
     let cfg = *cfg;
     figure_order()
         .into_iter()
         .map(|pt| {
-            let scenario = scenario.clone();
+            let scenario = Arc::clone(&scenario);
             let sites = Arc::clone(&sites);
             Unit::traced(format!("fig2b/{pt}"), move |rec| {
                 let transport = transport_for(pt);
                 let dep = scenario.deployment();
                 let opts = scenario.access_options();
                 let mut rng = scenario.rng(&format!("fig2b/{pt}"));
+                let mut scratch = EstablishScratch::new();
                 let mut per_site = Vec::with_capacity(sites.len());
                 let mut phases = ptperf_obs::PhaseAccum::new();
                 for site in sites.iter() {
                     let mut total = 0.0;
                     for _ in 0..cfg.repeats {
-                        let ch = transport.establish(&dep, &opts, site.server, &mut rng);
+                        let ch = transport.establish_with(
+                            &dep,
+                            &opts,
+                            site.server,
+                            &mut rng,
+                            &mut scratch,
+                        );
                         match browser::load_page_traced(&ch, site, &mut rng, rec) {
                             Ok(page) => {
                                 if rec.enabled() {

@@ -7,7 +7,7 @@ use std::collections::BTreeMap;
 use ptperf_obs::{NullRecorder, PhaseAccum, Recorder};
 use ptperf_sim::SimRng;
 use ptperf_stats::{PairedTTest, Summary};
-use ptperf_transports::{transport_for, PtId};
+use ptperf_transports::{transport_for, EstablishScratch, PtId};
 use ptperf_web::{curl, SiteList, Website};
 
 use crate::scenario::Scenario;
@@ -120,12 +120,13 @@ pub fn curl_site_averages_traced(
     let dep = scenario.deployment();
     let opts = scenario.access_options();
     let transport = transport_for(pt);
+    let mut scratch = EstablishScratch::new();
     let mut phases = PhaseAccum::new();
     let mut averages = Vec::with_capacity(sites.len());
     for site in sites {
         let mut total = 0.0;
         for _ in 0..repeats {
-            let ch = transport.establish(&dep, &opts, site.server, rng);
+            let ch = transport.establish_with(&dep, &opts, site.server, rng, &mut scratch);
             let fetch = curl::fetch(&ch, site, rng);
             total += fetch.total.as_secs_f64();
             if rec.enabled() {

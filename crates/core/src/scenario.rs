@@ -2,8 +2,28 @@
 //! under — deployment seed, client/server locations, access medium, and
 //! the snowflake load epoch.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
 use ptperf_sim::{Location, Medium, SimRng};
 use ptperf_transports::{AccessOptions, Deployment};
+
+/// Memoized deployments, shared by every clone of a [`Scenario`].
+///
+/// Building a deployment regenerates the full relay consensus, which is
+/// by far the most expensive step of a measurement unit. Deployment
+/// construction is a pure function of `(seed, server_region)`, so all
+/// thirteen families (and every executor shard that clones the scenario)
+/// can share one immutable build per key. The handful of keys per
+/// campaign makes a small linear-scan vec cheaper and simpler than a
+/// hash map.
+type CacheKey = (u64, Location);
+
+#[derive(Debug, Default)]
+struct DeploymentCache {
+    bypass: AtomicBool,
+    entries: Mutex<Vec<(CacheKey, Arc<Deployment>)>>,
+}
 
 /// The snowflake load epoch (§5.3): before the September-2022 Iran
 /// protests, the surge, and the elevated plateau the paper kept observing
@@ -45,6 +65,7 @@ pub struct Scenario {
     pub medium: Medium,
     /// Snowflake load epoch.
     pub epoch: Epoch,
+    dep_cache: Arc<DeploymentCache>,
 }
 
 impl Scenario {
@@ -57,12 +78,43 @@ impl Scenario {
             server_region: Location::Frankfurt,
             medium: Medium::Wired,
             epoch: Epoch::PreSurge,
+            dep_cache: Arc::new(DeploymentCache::default()),
         }
     }
 
-    /// Builds the deployment for this scenario.
-    pub fn deployment(&self) -> Deployment {
+    /// The deployment for this scenario, built once per
+    /// `(seed, server_region)` and shared by reference afterwards —
+    /// across all families' units and across executor shards holding
+    /// clones of this scenario. Deployment construction is seed-pure, so
+    /// sharing is observationally identical to rebuilding (the
+    /// determinism suite proves this bit-for-bit).
+    pub fn deployment(&self) -> Arc<Deployment> {
+        if self.dep_cache.bypass.load(Ordering::Relaxed) {
+            return Arc::new(Deployment::standard(self.seed, self.server_region));
+        }
+        let key = (self.seed, self.server_region);
+        let mut entries = self.dep_cache.entries.lock().unwrap();
+        if let Some((_, dep)) = entries.iter().find(|(k, _)| *k == key) {
+            ptperf_obs::perf::incr_deployment_rebuilds_saved();
+            return Arc::clone(dep);
+        }
+        let dep = Arc::new(Deployment::standard(self.seed, self.server_region));
+        entries.push((key, Arc::clone(&dep)));
+        dep
+    }
+
+    /// A private, mutable deployment build for experiments that modify
+    /// the infrastructure (private-bridge hosting, overhead probes).
+    /// Never cached: mutations must not leak into other families.
+    pub fn deployment_owned(&self) -> Deployment {
         Deployment::standard(self.seed, self.server_region)
+    }
+
+    /// Toggles deployment memoization (on by default). The off position
+    /// is the A/B lane for the determinism suite and the establish
+    /// benchmark: every `deployment()` call rebuilds from the seed.
+    pub fn set_deployment_caching(&self, enabled: bool) {
+        self.dep_cache.bypass.store(!enabled, Ordering::Relaxed);
     }
 
     /// Per-measurement access options.
@@ -123,5 +175,54 @@ mod tests {
         let a = s.deployment();
         let b = s.deployment();
         assert_eq!(a.consensus.len(), b.consensus.len());
+    }
+
+    #[test]
+    fn deployment_is_shared_across_calls_and_clones() {
+        let s = Scenario::baseline(11);
+        let a = s.deployment();
+        let b = s.deployment();
+        assert!(Arc::ptr_eq(&a, &b), "repeat call rebuilt the deployment");
+        let c = s.clone().deployment();
+        assert!(Arc::ptr_eq(&a, &c), "scenario clone rebuilt the deployment");
+        // A different key gets its own entry without evicting the first.
+        let mut far = s.clone();
+        far.server_region = Location::Singapore;
+        let d = far.deployment();
+        assert!(!Arc::ptr_eq(&a, &d));
+        assert!(Arc::ptr_eq(&a, &s.deployment()));
+    }
+
+    #[test]
+    fn cached_deployment_matches_fresh_and_owned_builds() {
+        let s = Scenario::baseline(12);
+        let cached = s.deployment();
+        assert_eq!(*cached, s.deployment_owned());
+        assert_eq!(*cached, Deployment::standard(12, s.server_region));
+    }
+
+    #[test]
+    fn caching_can_be_bypassed_for_ab_runs() {
+        let s = Scenario::baseline(13);
+        let warm = s.deployment();
+        s.set_deployment_caching(false);
+        let cold = s.deployment();
+        assert!(!Arc::ptr_eq(&warm, &cold), "bypass still hit the cache");
+        assert_eq!(*warm, *cold, "rebuild diverged from the cached build");
+        s.set_deployment_caching(true);
+        assert!(Arc::ptr_eq(&warm, &s.deployment()));
+    }
+
+    #[test]
+    fn owned_deployment_mutations_do_not_leak_into_the_cache() {
+        let s = Scenario::baseline(14);
+        let before = s.deployment().consensus.len();
+        let mut owned = s.deployment_owned();
+        owned.host_private_bridge(
+            ptperf_transports::PtId::Obfs4,
+            Location::London,
+            3.0e6,
+        );
+        assert_eq!(s.deployment().consensus.len(), before);
     }
 }

@@ -25,10 +25,16 @@
 //! atomic level so binaries can offer `--quiet`/`-v` without threading
 //! a logger handle everywhere.
 //!
+//! A fourth facility is the process-wide performance counter set in
+//! [`perf`] — monotone relaxed atomics (`path/index_pick`,
+//! `path/scan_fallback`, `deployment/rebuilds_saved`) for hot paths
+//! that have no recorder handle. They are write-only from simulation
+//! code and excluded from the deterministic trace stream.
+//!
 //! The crate is intentionally dependency-free (it sits *below*
 //! `ptperf-sim` in the crate graph, so the simulator itself can record
 //! into it) and contains no randomness and no global mutable state
-//! besides the log-level atomic.
+//! besides the log-level atomic and the write-only [`perf`] counters.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,6 +42,7 @@
 pub mod json;
 pub mod log;
 pub mod metrics;
+pub mod perf;
 pub mod recorder;
 
 pub use log::{set_level, Level};

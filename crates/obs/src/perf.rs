@@ -1,0 +1,111 @@
+//! Process-wide performance counters for hot paths that have no
+//! [`crate::Recorder`] handle.
+//!
+//! Path selection and deployment construction run deep inside the
+//! per-measurement hot loop, below the layer where the executor threads
+//! a per-shard recorder. Routing a recorder down there would widen
+//! every signature on the establishment path for three counters, so
+//! they live here instead: monotone process-wide atomics, bumped with
+//! `Relaxed` ordering (they order nothing) and *never read back by
+//! simulation logic*. They therefore cannot perturb a single result
+//! bit — the neutrality guarantee `tests/obs_neutrality.rs` proves for
+//! the recorder applies trivially here — and they are deliberately kept
+//! out of the deterministic trace stream, because shard scheduling
+//! makes their interleaving (though not their totals) nondeterministic.
+//!
+//! Consumers take a [`snapshot`] before and after a region of interest
+//! and report the [`PerfSnapshot::delta_since`]; `repro
+//! --bench-establish` is the canonical reader.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static PATH_INDEX_PICK: AtomicU64 = AtomicU64::new(0);
+static PATH_SCAN_FALLBACK: AtomicU64 = AtomicU64::new(0);
+static DEPLOYMENT_REBUILDS_SAVED: AtomicU64 = AtomicU64::new(0);
+
+/// Counts one `path/index_pick`: a bandwidth-weighted relay pick
+/// resolved by binary search over the consensus index.
+pub fn incr_path_index_pick() {
+    PATH_INDEX_PICK.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Counts one `path/scan_fallback`: a pick that fell back to the exact
+/// dense scan (large exclude set, near-boundary draw, degenerate
+/// bandwidths, or a near-zero class total).
+pub fn incr_path_scan_fallback() {
+    PATH_SCAN_FALLBACK.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Counts one `deployment/rebuilds_saved`: a `Scenario::deployment()`
+/// call served from the shared cache instead of regenerating the
+/// consensus and bridge registry.
+pub fn incr_deployment_rebuilds_saved() {
+    DEPLOYMENT_REBUILDS_SAVED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A point-in-time reading of every perf counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PerfSnapshot {
+    /// `path/index_pick` total.
+    pub path_index_pick: u64,
+    /// `path/scan_fallback` total.
+    pub path_scan_fallback: u64,
+    /// `deployment/rebuilds_saved` total.
+    pub deployment_rebuilds_saved: u64,
+}
+
+impl PerfSnapshot {
+    /// Counter increments between `earlier` and `self` (saturating, so
+    /// snapshots taken out of order read as zero rather than wrapping).
+    pub fn delta_since(&self, earlier: &PerfSnapshot) -> PerfSnapshot {
+        PerfSnapshot {
+            path_index_pick: self.path_index_pick.saturating_sub(earlier.path_index_pick),
+            path_scan_fallback: self
+                .path_scan_fallback
+                .saturating_sub(earlier.path_scan_fallback),
+            deployment_rebuilds_saved: self
+                .deployment_rebuilds_saved
+                .saturating_sub(earlier.deployment_rebuilds_saved),
+        }
+    }
+}
+
+/// Reads all perf counters at once.
+pub fn snapshot() -> PerfSnapshot {
+    PerfSnapshot {
+        path_index_pick: PATH_INDEX_PICK.load(Ordering::Relaxed),
+        path_scan_fallback: PATH_SCAN_FALLBACK.load(Ordering::Relaxed),
+        deployment_rebuilds_saved: DEPLOYMENT_REBUILDS_SAVED.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_delta() {
+        let before = snapshot();
+        incr_path_index_pick();
+        incr_path_index_pick();
+        incr_path_scan_fallback();
+        incr_deployment_rebuilds_saved();
+        let after = snapshot();
+        let d = after.delta_since(&before);
+        // Other tests may bump the same process-wide counters
+        // concurrently, so deltas are lower bounds here.
+        assert!(d.path_index_pick >= 2);
+        assert!(d.path_scan_fallback >= 1);
+        assert!(d.deployment_rebuilds_saved >= 1);
+    }
+
+    #[test]
+    fn out_of_order_delta_saturates() {
+        incr_path_index_pick();
+        let later = snapshot();
+        incr_path_index_pick();
+        let even_later = snapshot();
+        let d = later.delta_since(&even_later);
+        assert_eq!(d.path_index_pick, 0);
+    }
+}

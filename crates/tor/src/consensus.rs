@@ -13,14 +13,29 @@
 //! * volunteer relays carry heavy-tailed background utilization
 //!   ([`LoadProfile::VolunteerRelay`]).
 
+use std::sync::{Arc, OnceLock};
+
 use ptperf_sim::{Location, LoadProfile, SimRng};
 
+use crate::index::ConsensusIndex;
 use crate::relay::{Relay, RelayFlags, RelayId};
 
 /// A generated relay consensus.
+///
+/// Carries a lazily built, mutation-invalidated [`ConsensusIndex`] for
+/// sublinear path selection; cloning a consensus shares the built index
+/// (valid because the relay lists are identical).
 #[derive(Debug, Clone)]
 pub struct Consensus {
     relays: Vec<Relay>,
+    index: OnceLock<Arc<ConsensusIndex>>,
+}
+
+impl PartialEq for Consensus {
+    /// Relay-list equality; the derived cache state is irrelevant.
+    fn eq(&self, other: &Self) -> bool {
+        self.relays == other.relays
+    }
 }
 
 /// Parameters for consensus generation.
@@ -134,7 +149,17 @@ impl Consensus {
             "consensus: generated {} relays ({guards} guards, {exits} exits)",
             relays.len()
         );
-        Consensus { relays }
+        Consensus {
+            relays,
+            index: OnceLock::new(),
+        }
+    }
+
+    /// The precomputed pick index, built on first use and shared by
+    /// clones. Invalidated by [`Self::relay_mut`] and [`Self::add_relay`].
+    pub fn index(&self) -> &ConsensusIndex {
+        self.index
+            .get_or_init(|| Arc::new(ConsensusIndex::build(&self.relays)))
     }
 
     /// All relays.
@@ -160,12 +185,14 @@ impl Consensus {
     /// Mutable access, used by experiments that retune a relay (e.g. our
     /// own guard hosted for the fixed-circuit experiments).
     pub fn relay_mut(&mut self, id: RelayId) -> &mut Relay {
+        self.index.take();
         &mut self.relays[id.0 as usize]
     }
 
     /// Adds a relay under our control (a self-hosted guard or bridge) and
     /// returns its id.
     pub fn add_relay(&mut self, mut relay: Relay) -> RelayId {
+        self.index.take();
         let id = RelayId(self.relays.len() as u32);
         relay.id = id;
         self.relays.push(relay);
@@ -300,6 +327,51 @@ mod tests {
         });
         assert_eq!(id.0 as usize, n);
         assert_eq!(c.relay(id).bandwidth_bps, 50e6);
+    }
+
+    #[test]
+    fn index_is_cached_shared_by_clones_and_invalidated_by_mutation() {
+        let mut rng = SimRng::new(8);
+        let mut c = Consensus::generate(&mut rng);
+        let before = c.index().class(crate::index::FilterClass::All).len();
+        assert_eq!(before, c.len());
+        // A clone taken after the index is built reuses it without a
+        // rebuild (same Arc).
+        let clone = c.clone();
+        assert!(std::ptr::eq(c.index(), clone.index()));
+        // Mutation drops the cache; the rebuilt index sees the new state.
+        c.relay_mut(RelayId(0)).flags.exit = true;
+        assert!(c
+            .index()
+            .class(crate::index::FilterClass::Exit)
+            .position(RelayId(0))
+            .is_some());
+        let n = c.len();
+        c.add_relay(Relay {
+            id: RelayId(0),
+            location: Location::London,
+            bandwidth_bps: 9e6,
+            flags: RelayFlags {
+                guard: true,
+                exit: false,
+                fast: true,
+                stable: true,
+            },
+            utilization: 0.0,
+        });
+        assert_eq!(c.index().class(crate::index::FilterClass::All).len(), n + 1);
+        // The clone's index is unaffected by the original's mutations.
+        assert_eq!(clone.index().class(crate::index::FilterClass::All).len(), before);
+    }
+
+    #[test]
+    fn equality_ignores_index_cache_state() {
+        let a = Consensus::generate(&mut SimRng::new(9));
+        let b = Consensus::generate(&mut SimRng::new(9));
+        let _ = a.index();
+        assert_eq!(a, b);
+        let c = Consensus::generate(&mut SimRng::new(10));
+        assert_ne!(a, c);
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod cell;
 pub mod circuit;
 pub mod control;
 pub mod consensus;
+pub mod index;
 pub mod ntor;
 pub mod onion;
 pub mod path;
@@ -40,8 +41,12 @@ pub use cell::{Cell, CellCommand, RelayCell, RelayCommand, CELL_LEN, RELAY_DATA_
 pub use control::{Command as ControlCommand, Reply as ControlReply, TorController};
 pub use circuit::{access_capacity, Circuit, CircuitOptions, Via};
 pub use consensus::{Consensus, ConsensusParams};
+pub use index::{ClassIndex, ConsensusIndex, FilterClass};
 pub use ntor::{ClientHandshake, NtorKeys, RelayIdentity};
 pub use onion::{HopCrypto, OnionStack};
-pub use path::{CircuitSpec, PathConfig, PathError, PathSelector, Role, PRIMARY_GUARDS, SAMPLED_GUARDS};
+pub use path::{
+    CircuitSpec, PathConfig, PathError, PathSelector, PickMode, Role, PRIMARY_GUARDS,
+    SAMPLED_GUARDS,
+};
 pub use relay::{Relay, RelayFlags, RelayId};
 pub use stream::{StreamTransfer, SENDME_INCREMENT};

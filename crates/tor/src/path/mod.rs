@@ -2,11 +2,25 @@
 //! the circuit-pinning controls the paper's experiments rely on
 //! (stem/carml-style `MaxCircuitDirtiness`, fixed guard, fixed circuit —
 //! Appendix A.3).
+//!
+//! Picks resolve through the precomputed [`crate::index::ConsensusIndex`]
+//! ([`indexed`], the default) or the original full-scan oracle
+//! ([`reference`], retained for equivalence testing and benchmarking);
+//! the two are bit-for-bit interchangeable (`tests/path_equivalence.rs`).
+//! A [`PathSelector`] is built for reuse: [`PathSelector::reset`] clears
+//! guard state while keeping its buffers, so a persistent selector makes
+//! repeated channel establishment allocation-free in steady state.
+
+pub mod indexed;
+pub mod reference;
 
 use ptperf_sim::SimRng;
 
 use crate::consensus::Consensus;
-use crate::relay::{Relay, RelayId};
+use crate::index::FilterClass;
+use crate::relay::RelayId;
+
+use indexed::PickScratch;
 
 /// Which position a relay occupies in a circuit. Utilization differs by
 /// role: guards carry most of the Tor network's client traffic (the
@@ -86,6 +100,18 @@ pub const SAMPLED_GUARDS: usize = 20;
 /// reachable.
 pub const PRIMARY_GUARDS: usize = 3;
 
+/// Which `weighted_pick` implementation a [`PathSelector`] dispatches to.
+/// Both produce bit-identical selections; `Reference` exists for the
+/// equivalence suite and the establish benchmark's oracle lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PickMode {
+    /// Binary search over the consensus index (the default).
+    #[default]
+    Indexed,
+    /// The original full-consensus filtered scan.
+    Reference,
+}
+
 /// Selects circuit paths for one client, with Tor's guard-spec behavior:
 /// a bandwidth-weighted *sampled set* of guards is drawn once, the first
 /// few are primaries tried in order, and the client sticks to its
@@ -97,16 +123,15 @@ pub struct PathSelector {
     config: PathConfig,
     sampled_guards: Vec<RelayId>,
     down: Vec<RelayId>,
+    mode: PickMode,
+    scratch: PickScratch,
+    vec_grows: u64,
 }
 
 impl PathSelector {
     /// A selector with default (unpinned) configuration.
     pub fn new() -> Self {
-        PathSelector {
-            config: PathConfig::default(),
-            sampled_guards: Vec::new(),
-            down: Vec::new(),
-        }
+        Self::with_config(PathConfig::default())
     }
 
     /// A selector with pinning applied.
@@ -115,7 +140,39 @@ impl PathSelector {
             config,
             sampled_guards: Vec::new(),
             down: Vec::new(),
+            mode: PickMode::default(),
+            scratch: PickScratch::new(),
+            vec_grows: 0,
         }
+    }
+
+    /// Reconfigures the selector for a fresh client, retaining buffer
+    /// capacity: guard state is dropped (the next selection resamples, so
+    /// a reused selector draws exactly like a freshly constructed one)
+    /// while the sampled-guard vector and pick scratch keep their
+    /// allocations.
+    pub fn reset(&mut self, config: PathConfig) {
+        self.config = config;
+        self.sampled_guards.clear();
+        self.down.clear();
+    }
+
+    /// Switches the pick implementation (selections are identical either
+    /// way; see [`PickMode`]).
+    pub fn set_pick_mode(&mut self, mode: PickMode) {
+        self.mode = mode;
+    }
+
+    /// The pick implementation in use.
+    pub fn pick_mode(&self) -> PickMode {
+        self.mode
+    }
+
+    /// How many times this selector's internal buffers reallocated — an
+    /// allocation proxy for benches; the delta is 0 once reuse reaches
+    /// steady state.
+    pub fn scratch_grows(&self) -> u64 {
+        self.scratch.grows() + self.vec_grows
     }
 
     /// The guard this client is currently pinned or settled on, if any:
@@ -163,20 +220,26 @@ impl PathSelector {
         if !self.sampled_guards.is_empty() {
             return;
         }
-        // Bandwidth-weighted sampling without replacement.
-        let mut taken: Vec<RelayId> = Vec::new();
+        // Bandwidth-weighted sampling without replacement, accumulated
+        // directly into the persistent buffer (draw-identical to
+        // collecting into a temporary).
+        let cap = self.sampled_guards.capacity();
         for _ in 0..SAMPLED_GUARDS {
-            match weighted_pick(
+            match dispatch_pick(
+                self.mode,
                 rng,
-                consensus.relays(),
-                |r| r.flags.guard && r.flags.fast,
-                &taken,
+                consensus,
+                FilterClass::Guard,
+                &self.sampled_guards,
+                &mut self.scratch,
             ) {
-                Some(g) => taken.push(g),
+                Some(g) => self.sampled_guards.push(g),
                 None => break, // consensus has fewer eligible guards
             }
         }
-        self.sampled_guards = taken;
+        if self.sampled_guards.capacity() != cap {
+            self.vec_grows += 1;
+        }
     }
 
     /// Picks a circuit path.
@@ -194,13 +257,27 @@ impl PathSelector {
         };
         let exit = match self.config.fixed_exit {
             Some(e) => e,
-            None => weighted_pick(rng, consensus.relays(), |r| r.flags.exit, &[guard])
-                .ok_or(PathError::NoEligibleRelay(Role::Exit))?,
+            None => dispatch_pick(
+                self.mode,
+                rng,
+                consensus,
+                FilterClass::Exit,
+                &[guard],
+                &mut self.scratch,
+            )
+            .ok_or(PathError::NoEligibleRelay(Role::Exit))?,
         };
         let middle = match self.config.fixed_middle {
             Some(m) => m,
-            None => weighted_pick(rng, consensus.relays(), |_| true, &[guard, exit])
-                .ok_or(PathError::NoEligibleRelay(Role::Middle))?,
+            None => dispatch_pick(
+                self.mode,
+                rng,
+                consensus,
+                FilterClass::All,
+                &[guard, exit],
+                &mut self.scratch,
+            )
+            .ok_or(PathError::NoEligibleRelay(Role::Middle))?,
         };
         Ok(CircuitSpec {
             guard,
@@ -216,38 +293,20 @@ impl Default for PathSelector {
     }
 }
 
-/// Bandwidth-weighted sample over relays passing `filter`, excluding ids in
-/// `exclude`. Returns `None` when nothing qualifies.
-fn weighted_pick(
+fn dispatch_pick(
+    mode: PickMode,
     rng: &mut SimRng,
-    relays: &[Relay],
-    filter: impl Fn(&Relay) -> bool,
+    consensus: &Consensus,
+    class: FilterClass,
     exclude: &[RelayId],
+    scratch: &mut PickScratch,
 ) -> Option<RelayId> {
-    let total: f64 = relays
-        .iter()
-        .filter(|r| filter(r) && !exclude.contains(&r.id))
-        .map(|r| r.bandwidth_bps)
-        .sum();
-    if total <= 0.0 {
-        return None;
-    }
-    let mut target = rng.next_f64() * total;
-    for r in relays {
-        if !filter(r) || exclude.contains(&r.id) {
-            continue;
-        }
-        target -= r.bandwidth_bps;
-        if target <= 0.0 {
-            return Some(r.id);
+    match mode {
+        PickMode::Indexed => indexed::weighted_pick(rng, consensus, class, exclude, scratch),
+        PickMode::Reference => {
+            reference::weighted_pick(rng, consensus.relays(), |r| class.matches(r), exclude)
         }
     }
-    // Floating-point tail: return the last eligible relay.
-    relays
-        .iter()
-        .rev()
-        .find(|r| filter(r) && !exclude.contains(&r.id))
-        .map(|r| r.id)
 }
 
 #[cfg(test)]
@@ -410,5 +469,71 @@ mod tests {
     fn guard_role_sees_most_load() {
         assert!(Role::Guard.utilization_factor() > Role::Exit.utilization_factor());
         assert!(Role::Exit.utilization_factor() > Role::Middle.utilization_factor());
+    }
+
+    #[test]
+    fn reset_reuse_matches_fresh_selector_exactly() {
+        let c = consensus(31);
+        let mut reused = PathSelector::new();
+        for round in 0..10u64 {
+            let cfg = if round % 2 == 0 {
+                PathConfig::default()
+            } else {
+                PathConfig {
+                    fixed_guard: Some(RelayId(round as u32)),
+                    ..PathConfig::default()
+                }
+            };
+            let mut rng_a = SimRng::new(100 + round);
+            let mut rng_b = rng_a.clone();
+            reused.reset(cfg);
+            let mut fresh = PathSelector::with_config(cfg);
+            for _ in 0..5 {
+                assert_eq!(
+                    reused.select(&c, &mut rng_a).unwrap(),
+                    fresh.select(&c, &mut rng_b).unwrap()
+                );
+            }
+            assert_eq!(rng_a, rng_b, "reused selector consumed extra draws");
+        }
+    }
+
+    #[test]
+    fn reused_selector_stops_growing() {
+        let c = consensus(33);
+        let mut sel = PathSelector::new();
+        let mut rng = SimRng::new(34);
+        // Warm up: first establishes grow the sample + scratch buffers.
+        for _ in 0..3 {
+            sel.reset(PathConfig::default());
+            sel.select(&c, &mut rng).unwrap();
+        }
+        let grows = sel.scratch_grows();
+        for _ in 0..50 {
+            sel.reset(PathConfig::default());
+            sel.select(&c, &mut rng).unwrap();
+        }
+        assert_eq!(sel.scratch_grows(), grows, "steady-state reuse reallocated");
+    }
+
+    #[test]
+    fn pick_modes_agree_on_full_selection_sequences() {
+        for seed in 0..5u64 {
+            let c = consensus(40 + seed);
+            let mut rng_i = SimRng::new(50 + seed);
+            let mut rng_r = rng_i.clone();
+            let mut sel_i = PathSelector::new();
+            let mut sel_r = PathSelector::new();
+            sel_r.set_pick_mode(PickMode::Reference);
+            assert_eq!(sel_i.pick_mode(), PickMode::Indexed);
+            for _ in 0..20 {
+                assert_eq!(
+                    sel_i.select(&c, &mut rng_i).unwrap(),
+                    sel_r.select(&c, &mut rng_r).unwrap()
+                );
+            }
+            assert_eq!(sel_i.sampled_guards(), sel_r.sampled_guards());
+            assert_eq!(rng_i, rng_r, "modes consumed different draw counts");
+        }
     }
 }

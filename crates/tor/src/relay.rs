@@ -33,7 +33,7 @@ pub struct RelayFlags {
 }
 
 /// A relay descriptor.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Relay {
     /// Identity within the consensus.
     pub id: RelayId,

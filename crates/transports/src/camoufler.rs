@@ -18,7 +18,7 @@
 use ptperf_sim::{Location, SimDuration, SimRng};
 use ptperf_web::Channel;
 
-use crate::common::{bootstrap_time, tor_channel, FirstHop, TorChannelSpec};
+use crate::common::{bootstrap_time, tor_channel_with, EstablishScratch, FirstHop, TorChannelSpec};
 use crate::ids::PtId;
 use crate::transport::{AccessOptions, Deployment, PluggableTransport};
 
@@ -156,12 +156,13 @@ impl PluggableTransport for Camoufler {
         PtId::Camoufler
     }
 
-    fn establish(
+    fn establish_with(
         &self,
         dep: &Deployment,
         opts: &AccessOptions,
         dest: Location,
         rng: &mut SimRng,
+        scratch: &mut EstablishScratch,
     ) -> Channel {
         let peer = dep.server(PtId::Camoufler);
         // The IM service's servers sit between client and peer; model the
@@ -169,7 +170,7 @@ impl PluggableTransport for Camoufler {
         let bootstrap = bootstrap_time(opts, peer.location, 3, rng);
         let limiter = RateLimiter::new(self.api_rate_per_sec, 10.0);
 
-        let mut ch = tor_channel(
+        let mut ch = tor_channel_with(
             dep,
             opts,
             TorChannelSpec {
@@ -183,6 +184,7 @@ impl PluggableTransport for Camoufler {
             },
             dest,
             rng,
+            scratch,
         );
         ch.setup += bootstrap;
         // Bulk throughput = message quota × payload per message.

@@ -22,7 +22,7 @@ use ptperf_crypto::{ct_eq, hmac_sha256, Keypair};
 use ptperf_sim::{Location, SimRng};
 use ptperf_web::Channel;
 
-use crate::common::{apply_frame_overhead, bootstrap_time, tor_channel, FirstHop, TorChannelSpec};
+use crate::common::{apply_frame_overhead, bootstrap_time, tor_channel_with, EstablishScratch, FirstHop, TorChannelSpec};
 use crate::ids::PtId;
 use crate::transport::{AccessOptions, Deployment, PluggableTransport};
 
@@ -129,18 +129,19 @@ impl PluggableTransport for Cloak {
         PtId::Cloak
     }
 
-    fn establish(
+    fn establish_with(
         &self,
         dep: &Deployment,
         opts: &AccessOptions,
         dest: Location,
         rng: &mut SimRng,
+        scratch: &mut EstablishScratch,
     ) -> Channel {
         let server = dep.server(PtId::Cloak);
         // TCP + TLS; the credential rides the ClientHello, so no extra
         // auth round trip (zero-RTT authentication).
         let bootstrap = bootstrap_time(opts, server.location, 2, rng);
-        let mut ch = tor_channel(
+        let mut ch = tor_channel_with(
             dep,
             opts,
             TorChannelSpec {
@@ -154,6 +155,7 @@ impl PluggableTransport for Cloak {
             },
             dest,
             rng,
+            scratch,
         );
         ch.setup += bootstrap;
         apply_frame_overhead(&mut ch, frame_overhead());

@@ -8,10 +8,52 @@
 //! on what makes that transport different.
 
 use ptperf_sim::{Location, SimDuration, SimRng};
-use ptperf_tor::{Circuit, CircuitOptions, PathSelector, RelayId, Via};
+use ptperf_tor::{Circuit, CircuitOptions, PathSelector, PickMode, RelayId, Via};
 use ptperf_web::Channel;
 
 use crate::transport::{AccessOptions, Deployment};
+
+/// Reusable per-client establishment state: a persistent
+/// [`PathSelector`] whose buffers survive across establishes.
+///
+/// One establish still resamples guards from scratch (so a reused
+/// scratch is draw-for-draw identical to a fresh one — proven by
+/// `reset_reuse_matches_fresh_selector_exactly` in `ptperf_tor`), but
+/// the sampled-guard and exclude buffers keep their capacity, making
+/// steady-state establishment allocation-free.
+#[derive(Debug)]
+pub struct EstablishScratch {
+    selector: PathSelector,
+}
+
+impl EstablishScratch {
+    /// Fresh scratch using the indexed pick path (the default).
+    pub fn new() -> Self {
+        EstablishScratch {
+            selector: PathSelector::new(),
+        }
+    }
+
+    /// Fresh scratch pinned to the reference (full-scan) pick oracle —
+    /// the comparison lane for the establish benchmark.
+    pub fn reference_oracle() -> Self {
+        let mut selector = PathSelector::new();
+        selector.set_pick_mode(PickMode::Reference);
+        EstablishScratch { selector }
+    }
+
+    /// How many times the internal buffers reallocated; the delta across
+    /// a warm region is the benchmark's allocations-per-establish proxy.
+    pub fn grows(&self) -> u64 {
+        self.selector.scratch_grows()
+    }
+}
+
+impl Default for EstablishScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// The first Tor hop of a tunnel.
 #[derive(Debug, Clone, Copy)]
@@ -44,6 +86,19 @@ pub fn tor_channel(
     dest: Location,
     rng: &mut SimRng,
 ) -> Channel {
+    tor_channel_with(dep, opts, spec, dest, rng, &mut EstablishScratch::new())
+}
+
+/// [`tor_channel`] with caller-provided scratch: hot loops pass a
+/// persistent [`EstablishScratch`] to avoid per-establish allocation.
+pub fn tor_channel_with(
+    dep: &Deployment,
+    opts: &AccessOptions,
+    spec: TorChannelSpec,
+    dest: Location,
+    rng: &mut SimRng,
+    scratch: &mut EstablishScratch,
+) -> Channel {
     // Resolve the circuit path: the first hop may be pinned by the
     // experiment (fixed-circuit runs), then by the transport's bridge,
     // then by guard selection.
@@ -53,8 +108,9 @@ pub fn tor_channel(
             path_cfg.fixed_guard = Some(id);
         }
     }
-    let mut selector = PathSelector::with_config(path_cfg);
-    let circuit_spec = selector
+    scratch.selector.reset(path_cfg);
+    let circuit_spec = scratch
+        .selector
         .select(&dep.consensus, rng)
         .expect("generated consensus always has eligible relays");
 
@@ -216,6 +272,36 @@ mod tests {
         let before = ch.response.bottleneck_bps;
         apply_frame_overhead(&mut ch, 1.25);
         assert!((ch.response.bottleneck_bps - before / 1.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reused_scratch_is_draw_identical_to_one_shot_and_stops_growing() {
+        let (dep, opts, _) = setup();
+        let mut scratch = EstablishScratch::new();
+        let spec = TorChannelSpec {
+            first_hop: FirstHop::VolunteerGuard,
+            via: None,
+            guard_load_mult: 1.0,
+        };
+        let mut rng_a = SimRng::new(9);
+        let mut rng_b = SimRng::new(9);
+        for i in 0..30 {
+            let reused = tor_channel_with(&dep, &opts, spec, Location::NewYork, &mut rng_a, &mut scratch);
+            let fresh = tor_channel(&dep, &opts, spec, Location::NewYork, &mut rng_b);
+            assert_eq!(reused.setup, fresh.setup, "iteration {i}");
+            assert_eq!(reused.request_rtt, fresh.request_rtt);
+            assert_eq!(
+                reused.response.bottleneck_bps.to_bits(),
+                fresh.response.bottleneck_bps.to_bits()
+            );
+        }
+        // Buffers settle after warmup: further establishes are
+        // allocation-free inside the selector.
+        let grows = scratch.grows();
+        for _ in 0..50 {
+            let _ = tor_channel_with(&dep, &opts, spec, Location::NewYork, &mut rng_a, &mut scratch);
+        }
+        assert_eq!(scratch.grows(), grows, "steady-state establish reallocated");
     }
 
     #[test]

@@ -24,7 +24,7 @@ use ptperf_crypto::{ct_eq, hkdf, hmac_sha256};
 use ptperf_sim::{Location, SimRng};
 use ptperf_web::Channel;
 
-use crate::common::{bootstrap_time, tor_channel, FirstHop, TorChannelSpec};
+use crate::common::{bootstrap_time, tor_channel_with, EstablishScratch, FirstHop, TorChannelSpec};
 use crate::ids::PtId;
 use crate::transport::{AccessOptions, Deployment, PluggableTransport};
 
@@ -100,19 +100,20 @@ impl PluggableTransport for Conjure {
         PtId::Conjure
     }
 
-    fn establish(
+    fn establish_with(
         &self,
         dep: &Deployment,
         opts: &AccessOptions,
         dest: Location,
         rng: &mut SimRng,
+        scratch: &mut EstablishScratch,
     ) -> Channel {
         let station = dep.bridge(PtId::Conjure);
         let station_loc = dep.consensus.relay(station).location;
         // Registration round trip + TCP dial to the phantom (intercepted
         // at the station): ~2 round trips.
         let bootstrap = bootstrap_time(opts, station_loc, 2, rng);
-        let mut ch = tor_channel(
+        let mut ch = tor_channel_with(
             dep,
             opts,
             TorChannelSpec {
@@ -122,6 +123,7 @@ impl PluggableTransport for Conjure {
             },
             dest,
             rng,
+            scratch,
         );
         ch.setup += bootstrap;
         ch

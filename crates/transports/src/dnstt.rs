@@ -20,7 +20,7 @@
 use ptperf_sim::{sample_path, Location, SimDuration, SimRng};
 use ptperf_web::Channel;
 
-use crate::common::{bootstrap_time, tor_channel, FirstHop, TorChannelSpec};
+use crate::common::{bootstrap_time, tor_channel_with, EstablishScratch, FirstHop, TorChannelSpec};
 use crate::ids::PtId;
 use crate::transport::{AccessOptions, Deployment, PluggableTransport};
 
@@ -249,12 +249,13 @@ impl PluggableTransport for Dnstt {
         PtId::Dnstt
     }
 
-    fn establish(
+    fn establish_with(
         &self,
         dep: &Deployment,
         opts: &AccessOptions,
         dest: Location,
         rng: &mut SimRng,
+        scratch: &mut EstablishScratch,
     ) -> Channel {
         let bridge = dep.bridge(PtId::Dnstt);
         // The DoH resolver is anycast-near the client.
@@ -263,7 +264,7 @@ impl PluggableTransport for Dnstt {
         // DoH session setup: TCP + TLS to the resolver.
         let bootstrap = bootstrap_time(opts, resolver_loc, 2, rng);
 
-        let mut ch = tor_channel(
+        let mut ch = tor_channel_with(
             dep,
             opts,
             TorChannelSpec {
@@ -277,6 +278,7 @@ impl PluggableTransport for Dnstt {
             },
             dest,
             rng,
+            scratch,
         );
         ch.setup += bootstrap;
         // The defining constraint: query-clocked downstream.

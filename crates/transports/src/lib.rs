@@ -47,6 +47,7 @@ pub mod transport;
 pub mod vanilla;
 pub mod webtunnel;
 
+pub use common::EstablishScratch;
 pub use ids::{Category, HopSet, PtId};
 pub use transport::{AccessOptions, Deployment, PluggableTransport, PtServer};
 

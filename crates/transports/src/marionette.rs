@@ -25,7 +25,7 @@ use std::collections::BTreeMap;
 use ptperf_sim::{Location, SimDuration, SimRng};
 use ptperf_web::Channel;
 
-use crate::common::{bootstrap_time, tor_channel, FirstHop, TorChannelSpec};
+use crate::common::{bootstrap_time, tor_channel_with, EstablishScratch, FirstHop, TorChannelSpec};
 use crate::ids::PtId;
 use crate::transport::{AccessOptions, Deployment, PluggableTransport};
 
@@ -366,19 +366,20 @@ impl PluggableTransport for Marionette {
         PtId::Marionette
     }
 
-    fn establish(
+    fn establish_with(
         &self,
         dep: &Deployment,
         opts: &AccessOptions,
         dest: Location,
         rng: &mut SimRng,
+        scratch: &mut EstablishScratch,
     ) -> Channel {
         let server = dep.server(PtId::Marionette);
         let perf = self.derived;
 
         // TCP + cover-model session establishment.
         let bootstrap = bootstrap_time(opts, server.location, 2, rng);
-        let mut ch = tor_channel(
+        let mut ch = tor_channel_with(
             dep,
             opts,
             TorChannelSpec {
@@ -392,6 +393,7 @@ impl PluggableTransport for Marionette {
             },
             dest,
             rng,
+            scratch,
         );
         ch.setup += bootstrap + perf.ramp_up;
         // Payload only moves through payload transitions: the derived

@@ -20,7 +20,7 @@
 use ptperf_sim::{Location, SimDuration, SimRng};
 use ptperf_web::Channel;
 
-use crate::common::{bootstrap_time, tor_channel, FirstHop, TorChannelSpec};
+use crate::common::{bootstrap_time, tor_channel_with, EstablishScratch, FirstHop, TorChannelSpec};
 use crate::ids::PtId;
 use crate::transport::{AccessOptions, Deployment, PluggableTransport};
 
@@ -235,12 +235,13 @@ impl PluggableTransport for Meek {
         PtId::Meek
     }
 
-    fn establish(
+    fn establish_with(
         &self,
         dep: &Deployment,
         opts: &AccessOptions,
         dest: Location,
         rng: &mut SimRng,
+        scratch: &mut EstablishScratch,
     ) -> Channel {
         let bridge = dep.bridge(PtId::Meek);
         // The fronting CDN edge is anycast-near the client; TLS to the
@@ -249,7 +250,7 @@ impl PluggableTransport for Meek {
         let front_edge = opts.client; // nearest edge = client's region
         let bootstrap = bootstrap_time(opts, front_edge, 2, rng);
 
-        let mut ch = tor_channel(
+        let mut ch = tor_channel_with(
             dep,
             opts,
             TorChannelSpec {
@@ -259,6 +260,7 @@ impl PluggableTransport for Meek {
             },
             dest,
             rng,
+            scratch,
         );
         ch.setup += bootstrap;
         // Every request transits the front: TLS termination, header

@@ -16,11 +16,11 @@
 //! Tor-operated and lightly loaded — which is precisely why obfs4 can
 //! beat vanilla Tor (§4.2.1).
 
-use ptperf_crypto::{ct_eq, hmac_sha256, ChaCha20, Keypair};
+use ptperf_crypto::{ct_eq, hmac_sha256, ChaCha20, HmacSha256, Keypair};
 use ptperf_sim::{Location, SimRng};
 use ptperf_web::Channel;
 
-use crate::common::{apply_frame_overhead, bootstrap_time, tor_channel, FirstHop, TorChannelSpec};
+use crate::common::{apply_frame_overhead, bootstrap_time, tor_channel_with, EstablishScratch, FirstHop, TorChannelSpec};
 use crate::ids::PtId;
 use crate::transport::{AccessOptions, Deployment, PluggableTransport};
 
@@ -290,20 +290,21 @@ impl FrameCodec {
             "obfs4 frame payload {} > {MAX_FRAME_PAYLOAD}",
             payload.len()
         );
-        let mut ct = payload.to_vec();
-        self.payload_cipher.apply(&mut ct);
-        let mut tag_input = self.counter.to_be_bytes().to_vec();
-        tag_input.extend_from_slice(&ct);
-        let tag = hmac_sha256(&self.mac_key, &tag_input);
+        // Single output allocation: [len | ct | tag], encrypting the
+        // payload in place inside `out` and MACing incrementally.
+        let mut out = Vec::with_capacity(2 + payload.len() + TAG_LEN);
+        out.extend_from_slice(&[0, 0]);
+        out.extend_from_slice(payload);
+        self.payload_cipher.apply(&mut out[2..]);
+        let mut mac = HmacSha256::new(&self.mac_key);
+        mac.update(&self.counter.to_be_bytes()).update(&out[2..]);
+        let tag = mac.finalize();
         self.counter += 1;
 
-        let framed_len = (ct.len() + TAG_LEN) as u16;
+        let framed_len = (payload.len() + TAG_LEN) as u16;
         let mut len_bytes = framed_len.to_be_bytes();
         self.length_cipher.apply(&mut len_bytes);
-
-        let mut out = Vec::with_capacity(2 + ct.len() + TAG_LEN);
-        out.extend_from_slice(&len_bytes);
-        out.extend_from_slice(&ct);
+        out[..2].copy_from_slice(&len_bytes);
         out.extend_from_slice(&tag[..TAG_LEN]);
         out
     }
@@ -312,16 +313,34 @@ impl FrameCodec {
     /// `Ok(None)` when more bytes are needed.
     ///
     /// An `Err` is **terminal for the connection**: the offending bytes
-    /// stay in the buffer, so retrying on the same buffer returns the
-    /// same error. Real obfs4 tears the connection down on a MAC
-    /// failure; callers must do the same rather than retry.
+    /// stay in the buffer (and no codec state advances), so retrying on
+    /// the same buffer returns the same error. Real obfs4 tears the
+    /// connection down on a MAC failure; callers must do the same rather
+    /// than retry.
     pub fn open(&mut self, buf: &mut Vec<u8>) -> Result<Option<Vec<u8>>, HandshakeError> {
+        let mut out = Vec::new();
+        Ok(self.open_into(buf, &mut out)?.map(|_| out))
+    }
+
+    /// [`Self::open`] appending the plaintext to a caller-provided
+    /// buffer instead of allocating one, and decrypting in place inside
+    /// `buf` — no per-frame allocation once `out` has capacity. Returns
+    /// the plaintext length on a completed frame.
+    ///
+    /// Error and need-more-bytes behavior match [`Self::open`]: on
+    /// either, `buf`, `out`, and all codec state are left untouched.
+    pub fn open_into(
+        &mut self,
+        buf: &mut Vec<u8>,
+        out: &mut Vec<u8>,
+    ) -> Result<Option<usize>, HandshakeError> {
         if buf.len() < 2 {
             return Ok(None);
         }
         let mut len_bytes = [buf[0], buf[1]];
-        // Peek-decrypt the length: we must not advance the length cipher
-        // until the whole frame is present, so decrypt on a clone.
+        // Peek-decrypt the length: nothing may advance — neither the
+        // length cipher nor the counter — until the whole frame is
+        // present *and* authenticated, so decrypt on a stack copy.
         let mut peek = self.length_cipher.clone();
         peek.apply(&mut len_bytes);
         let framed_len = u16::from_be_bytes(len_bytes) as usize;
@@ -331,25 +350,27 @@ impl FrameCodec {
         if buf.len() < 2 + framed_len {
             return Ok(None);
         }
-        // Commit: advance the real length cipher.
-        let mut commit = [buf[0], buf[1]];
-        self.length_cipher.apply(&mut commit);
-
-        let ct = buf[2..2 + framed_len - TAG_LEN].to_vec();
-        let tag = &buf[2 + framed_len - TAG_LEN..2 + framed_len];
-        let mut tag_input = self.counter.to_be_bytes().to_vec();
-        tag_input.extend_from_slice(&ct);
-        let expect = hmac_sha256(&self.mac_key, &tag_input);
+        let ct_len = framed_len - TAG_LEN;
+        // Authenticate the ciphertext where it sits, incrementally.
+        let mut mac = HmacSha256::new(&self.mac_key);
+        mac.update(&self.counter.to_be_bytes())
+            .update(&buf[2..2 + ct_len]);
+        let expect = mac.finalize();
+        let tag = &buf[2 + ct_len..2 + framed_len];
         if !ct_eq(tag, &expect[..TAG_LEN]) {
             return Err(HandshakeError::BadMac);
         }
+        // Commit: the frame is authentic — advance the length cipher and
+        // counter, decrypt in place, hand the plaintext out, and consume
+        // the frame.
+        let mut commit = [buf[0], buf[1]];
+        self.length_cipher.apply(&mut commit);
         self.counter += 1;
-        let mut pt = ct;
-        self.payload_cipher.apply(&mut pt);
+        self.payload_cipher.apply(&mut buf[2..2 + ct_len]);
+        out.extend_from_slice(&buf[2..2 + ct_len]);
         buf.drain(..2 + framed_len);
-        Ok(Some(pt))
+        Ok(Some(ct_len))
     }
-
 }
 
 /// Wire overhead of the frame layer: wire bytes per payload byte at full
@@ -416,18 +437,19 @@ impl PluggableTransport for Obfs4 {
         PtId::Obfs4
     }
 
-    fn establish(
+    fn establish_with(
         &self,
         dep: &Deployment,
         opts: &AccessOptions,
         dest: Location,
         rng: &mut SimRng,
+        scratch: &mut EstablishScratch,
     ) -> Channel {
         let bridge = dep.bridge(PtId::Obfs4);
         let bridge_loc = dep.consensus.relay(bridge).location;
         // TCP connect (1 RTT) + obfs4 ntor handshake (1 RTT).
         let bootstrap = bootstrap_time(opts, bridge_loc, 2, rng);
-        let mut ch = tor_channel(
+        let mut ch = tor_channel_with(
             dep,
             opts,
             TorChannelSpec {
@@ -437,6 +459,7 @@ impl PluggableTransport for Obfs4 {
             },
             dest,
             rng,
+            scratch,
         );
         ch.setup += bootstrap;
         apply_frame_overhead(&mut ch, frame_overhead());
@@ -574,6 +597,109 @@ mod tests {
         frame[mid] ^= 0x01;
         let mut buf = frame;
         assert!(rx.open(&mut buf).is_err());
+    }
+
+    #[test]
+    fn open_into_round_trips_with_a_reused_buffer() {
+        // The allocation-free path: many frames through one plaintext
+        // buffer, interleaved with `open` to prove the two entry points
+        // share state correctly.
+        let seed = [7u8; 32];
+        let mut tx = FrameCodec::derive(&seed, false);
+        let mut rx = FrameCodec::derive(&seed, false);
+        let mut buf = Vec::new();
+        let mut out = Vec::new();
+        let messages: Vec<Vec<u8>> = (0..64u8)
+            .map(|i| vec![i; 1 + (i as usize * 23) % MAX_FRAME_PAYLOAD])
+            .collect();
+        for msg in &messages {
+            buf.extend_from_slice(&tx.seal(msg));
+        }
+        // Warm up capacity on the first few frames...
+        for msg in messages.iter().take(8) {
+            out.clear();
+            let n = rx.open_into(&mut buf, &mut out).unwrap().expect("frame");
+            assert_eq!(n, msg.len());
+            assert_eq!(&out, msg);
+        }
+        // ...then the steady state must not reallocate `out` (every
+        // payload fits the largest already seen or grows it at most to
+        // MAX_FRAME_PAYLOAD once).
+        out.reserve(MAX_FRAME_PAYLOAD);
+        let cap = out.capacity();
+        for (i, msg) in messages.iter().enumerate().skip(8) {
+            if i % 2 == 0 {
+                out.clear();
+                rx.open_into(&mut buf, &mut out).unwrap().expect("frame");
+                assert_eq!(&out, msg);
+            } else {
+                assert_eq!(&rx.open(&mut buf).unwrap().expect("frame"), msg);
+            }
+        }
+        assert_eq!(out.capacity(), cap, "steady-state open_into reallocated");
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn open_into_appends_without_clobbering() {
+        let seed = [8u8; 32];
+        let mut tx = FrameCodec::derive(&seed, true);
+        let mut rx = FrameCodec::derive(&seed, true);
+        let mut buf = tx.seal(b"second");
+        let mut out = b"first/".to_vec();
+        rx.open_into(&mut buf, &mut out).unwrap().expect("frame");
+        assert_eq!(out, b"first/second");
+    }
+
+    #[test]
+    fn failed_open_leaves_buffer_and_codec_state_untouched() {
+        let seed = [9u8; 32];
+        let mut tx = FrameCodec::derive(&seed, false);
+        let mut rx = FrameCodec::derive(&seed, false);
+        // A good frame decodes after a tampered copy was rejected, but
+        // only once the tampered bytes are gone: the reject must not
+        // have advanced the length cipher, counter, or payload cipher.
+        let good = tx.seal(b"kept intact");
+        let mut tampered = good.clone();
+        let n = tampered.len();
+        tampered[n - 1] ^= 0x80; // break the tag, keep the length intact
+        let mut buf = tampered.clone();
+        let before_len = buf.len();
+        assert!(rx.open(&mut buf).is_err());
+        assert_eq!(buf.len(), before_len, "reject consumed bytes");
+        // Same error again on retry (documented terminal behavior).
+        assert!(rx.open(&mut buf).is_err());
+        // Replace with the intact frame: decodes with the same codec.
+        buf.clear();
+        buf.extend_from_slice(&good);
+        assert_eq!(rx.open(&mut buf).unwrap().unwrap(), b"kept intact");
+    }
+
+    #[test]
+    fn seal_output_is_wire_compatible_across_frame_sizes() {
+        // Regression pin: the single-allocation seal emits byte-for-byte
+        // what a decoupled encrypt-then-concatenate construction does.
+        let seed = [10u8; 32];
+        let mut tx = FrameCodec::derive(&seed, false);
+        let mut oracle = FrameCodec::derive(&seed, false);
+        for len in [0usize, 1, 2, 100, MAX_FRAME_PAYLOAD] {
+            let payload = vec![0x5A; len];
+            let frame = tx.seal(&payload);
+            // Oracle construction, mirroring the original implementation.
+            let mut ct = payload.clone();
+            oracle.payload_cipher.apply(&mut ct);
+            let mut tag_input = oracle.counter.to_be_bytes().to_vec();
+            tag_input.extend_from_slice(&ct);
+            let tag = hmac_sha256(&oracle.mac_key, &tag_input);
+            oracle.counter += 1;
+            let mut len_bytes = ((ct.len() + TAG_LEN) as u16).to_be_bytes();
+            oracle.length_cipher.apply(&mut len_bytes);
+            let mut expect = Vec::new();
+            expect.extend_from_slice(&len_bytes);
+            expect.extend_from_slice(&ct);
+            expect.extend_from_slice(&tag[..TAG_LEN]);
+            assert_eq!(frame, expect, "wire mismatch at payload len {len}");
+        }
     }
 
     #[test]

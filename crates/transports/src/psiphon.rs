@@ -19,7 +19,7 @@ use ptperf_crypto::{ct_eq, hmac_sha256, Keypair};
 use ptperf_sim::{Location, SimRng};
 use ptperf_web::Channel;
 
-use crate::common::{apply_frame_overhead, bootstrap_time, tor_channel, FirstHop, TorChannelSpec};
+use crate::common::{apply_frame_overhead, bootstrap_time, tor_channel_with, EstablishScratch, FirstHop, TorChannelSpec};
 use crate::ids::PtId;
 use crate::transport::{AccessOptions, Deployment, PluggableTransport};
 
@@ -126,17 +126,18 @@ impl PluggableTransport for Psiphon {
         PtId::Psiphon
     }
 
-    fn establish(
+    fn establish_with(
         &self,
         dep: &Deployment,
         opts: &AccessOptions,
         dest: Location,
         rng: &mut SimRng,
+        scratch: &mut EstablishScratch,
     ) -> Channel {
         let server = dep.server(PtId::Psiphon);
         // TCP + SSH version exchange + DH kex: ~3 round trips.
         let bootstrap = bootstrap_time(opts, server.location, 3, rng);
-        let mut ch = tor_channel(
+        let mut ch = tor_channel_with(
             dep,
             opts,
             TorChannelSpec {
@@ -150,6 +151,7 @@ impl PluggableTransport for Psiphon {
             },
             dest,
             rng,
+            scratch,
         );
         ch.setup += bootstrap;
         apply_frame_overhead(&mut ch, frame_overhead());

@@ -17,7 +17,7 @@ use ptperf_crypto::{ct_eq, hmac_sha256, ChaCha20};
 use ptperf_sim::{Location, SimRng};
 use ptperf_web::Channel;
 
-use crate::common::{apply_frame_overhead, bootstrap_time, tor_channel, FirstHop, TorChannelSpec};
+use crate::common::{apply_frame_overhead, bootstrap_time, tor_channel_with, EstablishScratch, FirstHop, TorChannelSpec};
 use crate::ids::PtId;
 use crate::transport::{AccessOptions, Deployment, PluggableTransport};
 
@@ -220,18 +220,19 @@ impl PluggableTransport for Shadowsocks {
         PtId::Shadowsocks
     }
 
-    fn establish(
+    fn establish_with(
         &self,
         dep: &Deployment,
         opts: &AccessOptions,
         dest: Location,
         rng: &mut SimRng,
+        scratch: &mut EstablishScratch,
     ) -> Channel {
         let server = dep.server(PtId::Shadowsocks);
         // TCP connect only: shadowsocks AEAD is zero-RTT after transport
         // establishment.
         let bootstrap = bootstrap_time(opts, server.location, 1, rng);
-        let mut ch = tor_channel(
+        let mut ch = tor_channel_with(
             dep,
             opts,
             TorChannelSpec {
@@ -245,6 +246,7 @@ impl PluggableTransport for Shadowsocks {
             },
             dest,
             rng,
+            scratch,
         );
         ch.setup += bootstrap;
         apply_frame_overhead(&mut ch, frame_overhead());

@@ -20,7 +20,7 @@
 use ptperf_sim::{Location, SimDuration, SimRng};
 use ptperf_web::Channel;
 
-use crate::common::{bootstrap_time, tor_channel, FirstHop, TorChannelSpec};
+use crate::common::{bootstrap_time, tor_channel_with, EstablishScratch, FirstHop, TorChannelSpec};
 use crate::ids::PtId;
 use crate::transport::{AccessOptions, Deployment, PluggableTransport};
 
@@ -253,12 +253,13 @@ impl PluggableTransport for Snowflake {
         PtId::Snowflake
     }
 
-    fn establish(
+    fn establish_with(
         &self,
         dep: &Deployment,
         opts: &AccessOptions,
         dest: Location,
         rng: &mut SimRng,
+        scratch: &mut EstablishScratch,
     ) -> Channel {
         let bridge = dep.bridge(PtId::Snowflake);
         // NAT matchmaking: the broker keeps handing out proxies until one
@@ -273,7 +274,7 @@ impl PluggableTransport for Snowflake {
             + SimDuration::from_millis(250) * u64::from(match_rounds.saturating_sub(1));
         let ice = bootstrap_time(opts, proxy.location, 2, rng);
 
-        let mut ch = tor_channel(
+        let mut ch = tor_channel_with(
             dep,
             opts,
             TorChannelSpec {
@@ -288,6 +289,7 @@ impl PluggableTransport for Snowflake {
             },
             dest,
             rng,
+            scratch,
         );
         ch.setup += rendezvous + ice;
         // SCTP chunk header overhead.

@@ -18,7 +18,7 @@
 use ptperf_sim::{Location, SimRng};
 use ptperf_web::Channel;
 
-use crate::common::{apply_frame_overhead, bootstrap_time, tor_channel, FirstHop, TorChannelSpec};
+use crate::common::{apply_frame_overhead, bootstrap_time, tor_channel_with, EstablishScratch, FirstHop, TorChannelSpec};
 use crate::ids::PtId;
 use crate::transport::{AccessOptions, Deployment, PluggableTransport};
 
@@ -165,17 +165,18 @@ impl PluggableTransport for Stegotorus {
         PtId::Stegotorus
     }
 
-    fn establish(
+    fn establish_with(
         &self,
         dep: &Deployment,
         opts: &AccessOptions,
         dest: Location,
         rng: &mut SimRng,
+        scratch: &mut EstablishScratch,
     ) -> Channel {
         let server = dep.server(PtId::Stegotorus);
         // TCP × CONNECTIONS (pipelined: ~1 RTT) + chopper hello (1 RTT).
         let bootstrap = bootstrap_time(opts, server.location, 2, rng);
-        let mut ch = tor_channel(
+        let mut ch = tor_channel_with(
             dep,
             opts,
             TorChannelSpec {
@@ -189,6 +190,7 @@ impl PluggableTransport for Stegotorus {
             },
             dest,
             rng,
+            scratch,
         );
         ch.setup += bootstrap;
         // The cover encoding is the dominant cost: ~1.6× wire expansion.

@@ -4,13 +4,14 @@
 use std::collections::BTreeMap;
 
 use ptperf_sim::{Location, LoadProfile, Medium, SimRng};
-use ptperf_tor::{Consensus, PathConfig, Relay, RelayFlags, RelayId};
+use ptperf_tor::{Consensus, ConsensusParams, PathConfig, Relay, RelayFlags, RelayId};
 use ptperf_web::Channel;
 
+use crate::common::EstablishScratch;
 use crate::ids::PtId;
 
 /// A PT server host that is *not* a consensus relay (hop sets 2 and 3).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PtServer {
     /// Where the server runs.
     pub location: Location,
@@ -24,7 +25,7 @@ pub struct PtServer {
 /// Mirrors the paper's setup (Appendix A.3): obfs4/meek/snowflake/conjure
 /// use Tor-project-operated servers; the rest are self-hosted at the
 /// campaign's server location.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Deployment {
     /// The relay consensus, including registered PT bridges.
     pub consensus: Consensus,
@@ -39,8 +40,19 @@ impl Deployment {
     /// * `server_region` is where self-hosted PT servers run (the paper
     ///   used Singapore, Frankfurt, and New York).
     pub fn standard(seed: u64, server_region: Location) -> Deployment {
+        Self::standard_with(seed, server_region, &ConsensusParams::default())
+    }
+
+    /// [`Self::standard`] with explicit consensus parameters (benchmarks
+    /// use this to provision 5000-relay consensuses). With default
+    /// parameters this is draw-for-draw identical to [`Self::standard`].
+    pub fn standard_with(
+        seed: u64,
+        server_region: Location,
+        params: &ConsensusParams,
+    ) -> Deployment {
         let mut rng = SimRng::new(seed);
-        let mut consensus = Consensus::generate(&mut rng);
+        let mut consensus = Consensus::generate_with(&mut rng, params);
         let mut bridges = BTreeMap::new();
         let mut servers = BTreeMap::new();
 
@@ -174,14 +186,30 @@ pub trait PluggableTransport {
     /// Which transport this is.
     fn id(&self) -> PtId;
 
-    /// Establishes the tunnel and returns the channel a client would see.
+    /// Establishes the tunnel and returns the channel a client would
+    /// see, reusing `scratch` for path-selection state. Hot loops keep
+    /// one [`EstablishScratch`] alive across establishes to avoid
+    /// per-establish allocation; results are identical either way.
+    fn establish_with(
+        &self,
+        dep: &Deployment,
+        opts: &AccessOptions,
+        dest: Location,
+        rng: &mut SimRng,
+        scratch: &mut EstablishScratch,
+    ) -> Channel;
+
+    /// Establishes the tunnel with one-shot scratch (convenience for
+    /// call sites outside hot loops).
     fn establish(
         &self,
         dep: &Deployment,
         opts: &AccessOptions,
         dest: Location,
         rng: &mut SimRng,
-    ) -> Channel;
+    ) -> Channel {
+        self.establish_with(dep, opts, dest, rng, &mut EstablishScratch::new())
+    }
 }
 
 #[cfg(test)]

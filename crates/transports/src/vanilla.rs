@@ -9,7 +9,7 @@
 use ptperf_sim::{Location, SimRng};
 use ptperf_web::Channel;
 
-use crate::common::{bootstrap_time, tor_channel, FirstHop, TorChannelSpec};
+use crate::common::{bootstrap_time, tor_channel_with, EstablishScratch, FirstHop, TorChannelSpec};
 use crate::ids::PtId;
 use crate::transport::{AccessOptions, Deployment, PluggableTransport};
 
@@ -21,18 +21,19 @@ impl PluggableTransport for Vanilla {
         PtId::Vanilla
     }
 
-    fn establish(
+    fn establish_with(
         &self,
         dep: &Deployment,
         opts: &AccessOptions,
         dest: Location,
         rng: &mut SimRng,
+        scratch: &mut EstablishScratch,
     ) -> Channel {
         // TLS link handshake with the guard before circuit building. The
         // guard is not known until selection, so approximate with a
         // continental-median path (the cost is small either way).
         let bootstrap = bootstrap_time(opts, Location::Frankfurt, 2, rng);
-        let mut ch = tor_channel(
+        let mut ch = tor_channel_with(
             dep,
             opts,
             TorChannelSpec {
@@ -42,6 +43,7 @@ impl PluggableTransport for Vanilla {
             },
             dest,
             rng,
+            scratch,
         );
         ch.setup += bootstrap;
         ch

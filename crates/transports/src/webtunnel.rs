@@ -18,7 +18,7 @@
 use ptperf_sim::{Location, SimRng};
 use ptperf_web::Channel;
 
-use crate::common::{apply_frame_overhead, bootstrap_time, tor_channel, FirstHop, TorChannelSpec};
+use crate::common::{apply_frame_overhead, bootstrap_time, tor_channel_with, EstablishScratch, FirstHop, TorChannelSpec};
 use crate::ids::PtId;
 use crate::transport::{AccessOptions, Deployment, PluggableTransport};
 
@@ -103,18 +103,19 @@ impl PluggableTransport for WebTunnel {
         PtId::WebTunnel
     }
 
-    fn establish(
+    fn establish_with(
         &self,
         dep: &Deployment,
         opts: &AccessOptions,
         dest: Location,
         rng: &mut SimRng,
+        scratch: &mut EstablishScratch,
     ) -> Channel {
         let bridge = dep.bridge(PtId::WebTunnel);
         let bridge_loc = dep.consensus.relay(bridge).location;
         // TCP (1) + TLS (1) + HTTP upgrade (1): 3 round trips.
         let bootstrap = bootstrap_time(opts, bridge_loc, 3, rng);
-        let mut ch = tor_channel(
+        let mut ch = tor_channel_with(
             dep,
             opts,
             TorChannelSpec {
@@ -124,6 +125,7 @@ impl PluggableTransport for WebTunnel {
             },
             dest,
             rng,
+            scratch,
         );
         ch.setup += bootstrap;
         apply_frame_overhead(&mut ch, frame_overhead());

@@ -7,6 +7,9 @@
 #   5. perf smoke: quick flow benches + repro --bench-flow emitting
 #      BENCH_flow.json (fails on panic or non-finite output, never on
 #      speed thresholds)
+#   6. establish smoke: quick establish benches + repro --bench-establish
+#      emitting BENCH_establish.json (same failure policy: panics and
+#      non-finite values only, never thresholds)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,6 +40,17 @@ PTPERF_FLOWBENCH_RUNS=40 cargo run --release -q -p ptperf-bench --bin repro -- \
 test -s "$obs_dir/BENCH_flow.json"
 if grep -qi "nan\|inf" "$obs_dir/BENCH_flow.json"; then
   echo "BENCH_flow.json contains non-finite values" >&2
+  exit 1
+fi
+
+echo "== perf smoke (establish benches, quick mode) =="
+cargo bench -q -p ptperf-bench --bench establish > "$obs_dir/bench_establish.txt"
+grep -q "establish/vanilla_600_indexed" "$obs_dir/bench_establish.txt"
+PTPERF_ESTABLISHBENCH_RUNS=20 cargo run --release -q -p ptperf-bench --bin repro -- \
+  --bench-establish --bench-out "$obs_dir/BENCH_establish.json" > "$obs_dir/establish_out.txt"
+test -s "$obs_dir/BENCH_establish.json"
+if grep -qi "nan\|inf" "$obs_dir/BENCH_establish.json"; then
+  echo "BENCH_establish.json contains non-finite values" >&2
   exit 1
 fi
 

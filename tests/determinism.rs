@@ -129,3 +129,52 @@ fn website_corpus_is_stable_across_calls() {
         assert_eq!(x.server, y.server);
     }
 }
+
+#[test]
+fn shared_deployment_matches_per_unit_rebuild_bit_for_bit() {
+    // The scenario's deployment memo shares one build across all units;
+    // with caching bypassed every unit rebuilds from the seed. Raw
+    // samples and rendered output must be bit-identical either way, at
+    // any worker count.
+    use ptperf::executor::Parallelism;
+    let cfg = file_download::Config {
+        attempts: 3,
+        sizes: ptperf_web::FILE_SIZES,
+    };
+    let shared = Scenario::baseline(29);
+    let rebuilt = Scenario::baseline(29);
+    rebuilt.set_deployment_caching(false);
+    for workers in [1usize, 4] {
+        let par = Parallelism::new(workers);
+        let (a, _) = file_download::run_with(&shared, &cfg, &par).unwrap();
+        let (b, _) = file_download::run_with(&rebuilt, &cfg, &par).unwrap();
+        for (pt, list) in &a.attempts {
+            let other = &b.attempts[pt];
+            assert_eq!(list.len(), other.len(), "{pt} at {workers} workers");
+            for (x, y) in list.iter().zip(other) {
+                assert_eq!(
+                    x.elapsed.to_bits(),
+                    y.elapsed.to_bits(),
+                    "{pt} at {workers} workers: shared vs rebuilt deployment diverged"
+                );
+                assert_eq!(x.fraction.to_bits(), y.fraction.to_bits(), "{pt}");
+                assert_eq!(x.outcome, y.outcome, "{pt}");
+            }
+        }
+        assert_eq!(a.render(), b.render(), "render diverged at {workers} workers");
+    }
+}
+
+#[test]
+fn cached_deployment_equals_a_fresh_standard_build() {
+    use ptperf_transports::Deployment;
+    let s = Scenario::baseline(31);
+    let cached = s.deployment();
+    let again = s.deployment();
+    assert_eq!(*cached, *again);
+    assert_eq!(
+        *cached,
+        Deployment::standard(31, s.server_region),
+        "memoized deployment drifted from a fresh build"
+    );
+}
