@@ -18,14 +18,14 @@ use ptperf_sim::{fluid_schedule, maxmin_demo, maxmin_rates, FluidScheduler, SimR
 fn bench_fluid_scheduler(c: &mut Criterion) {
     let mut g = c.benchmark_group("fluid_scheduler");
     for w in &standard_workloads() {
-        g.throughput(Throughput::Elements(w.flows.len() as u64));
+        g.throughput(Throughput::Elements(w.batch.len() as u64));
         // The production path: thread-local persistent scheduler, warm
         // after the first call.
         g.bench_function(format!("{}_optimized", w.name), |b| {
-            b.iter(|| black_box(fluid_schedule(&w.net, &w.flows)))
+            b.iter(|| black_box(fluid_schedule(&w.net, &w.batch)))
         });
         g.bench_function(format!("{}_reference", w.name), |b| {
-            b.iter(|| black_box(reference::fluid_schedule(&w.net, &w.flows)))
+            b.iter(|| black_box(reference::fluid_schedule(&w.net, &w.batch)))
         });
     }
     // Explicit persistent-scheduler reuse (no thread-local indirection):
@@ -34,8 +34,8 @@ fn bench_fluid_scheduler(c: &mut Criterion) {
     let browser = workloads.iter().find(|w| w.name == "browser_64").expect("class exists");
     g.bench_function("browser_64_warm_explicit", |b| {
         let mut sched = FluidScheduler::new();
-        sched.run(&browser.net, &browser.flows);
-        b.iter(|| black_box(sched.run(&browser.net, &browser.flows)))
+        sched.run(&browser.net, &browser.batch);
+        b.iter(|| black_box(sched.run(&browser.net, &browser.batch)))
     });
     g.finish();
 }

@@ -12,6 +12,7 @@
 //! repro --profile fig6       # per-family profile table
 //! repro --bench-flow         # fluid-scheduler benchmark → BENCH_flow.json
 //! repro --bench-establish    # establishment benchmark → BENCH_establish.json
+//! repro --bench-unit         # measurement-unit benchmark → BENCH_unit.json
 //! repro --quiet / -v         # errors only / debug diagnostics
 //! repro --list               # list targets
 //! ```
@@ -33,6 +34,7 @@ fn main() {
     let mut profile = false;
     let mut bench_flow = false;
     let mut bench_establish = false;
+    let mut bench_unit = false;
     let mut bench_out: Option<String> = None;
     let mut par = Parallelism::sequential();
 
@@ -68,6 +70,10 @@ fn main() {
     }
     if let Some(pos) = args.iter().position(|a| a == "--bench-establish") {
         bench_establish = true;
+        args.remove(pos);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--bench-unit") {
+        bench_unit = true;
         args.remove(pos);
     }
     if let Some(pos) = args.iter().position(|a| a == "--bench-out") {
@@ -151,6 +157,19 @@ fn main() {
         obs_info!("wrote establish benchmark to {out}");
         return;
     }
+    if bench_unit {
+        let runs = ptperf_bench::unitbench::runs_from_env();
+        obs_info!("unit bench: {runs} run(s) per class");
+        let (results, sites, doc) = ptperf_bench::unitbench::run_unit_bench(runs);
+        println!(
+            "{}",
+            ptperf_bench::unitbench::render_table(&results, &sites, runs)
+        );
+        let out = bench_out.as_deref().unwrap_or("BENCH_unit.json");
+        std::fs::write(out, doc).expect("write unit bench json");
+        obs_info!("wrote unit benchmark to {out}");
+        return;
+    }
 
     let targets: Vec<String> = if args.is_empty() {
         available_targets().iter().map(|s| s.to_string()).collect()
@@ -208,7 +227,8 @@ fn print_help() {
         "repro — regenerate PTPerf tables and figures\n\n\
          usage: repro [--paper] [--seed N] [--workers N|auto] [--csv DIR]\n\
          \x20            [--trace FILE] [--metrics FILE] [--profile]\n\
-         \x20            [--bench-flow] [--bench-establish] [--bench-out FILE]\n\
+         \x20            [--bench-flow] [--bench-establish] [--bench-unit]\n\
+         \x20            [--bench-out FILE]\n\
          \x20            [--quiet] [-v|--verbose] [--list] [TARGET ...]\n\n\
          --workers only changes wall-clock time: output is bit-for-bit\n\
          identical at any worker count.\n\
@@ -228,6 +248,12 @@ fn print_help() {
          establish, deployment-memo savings) and writes\n\
          BENCH_establish.json (path override: --bench-out; runs per\n\
          class: PTPERF_ESTABLISHBENCH_RUNS, default 400), then exits.\n\
+         --bench-unit benchmarks whole measurement units (warm pooled\n\
+         pipeline vs the retained allocating reference path, per workload\n\
+         class: browser page loads, curl fetches, file downloads;\n\
+         units/s, allocations per warm unit, site-workload-memo savings)\n\
+         and writes BENCH_unit.json (path override: --bench-out; runs\n\
+         per class: PTPERF_UNITBENCH_RUNS, default 200), then exits.\n\
          --quiet shows errors only; -v enables debug diagnostics.\n\
          With no targets, all of them run. Targets:\n  {}",
         available_targets().join(" ")

@@ -20,7 +20,7 @@ use std::time::Instant;
 
 use ptperf_obs::{json, MemoryRecorder};
 use ptperf_sim::flow::{maxmin_demo, reference};
-use ptperf_sim::{FairNetwork, FluidFlow, FluidScheduler, SimRng};
+use ptperf_sim::{FairNetwork, FlowBatch, FluidScheduler, SimRng};
 use ptperf_stats::quantile;
 
 /// How many timed runs per workload class (override with the
@@ -34,8 +34,8 @@ pub struct Workload {
     pub name: &'static str,
     /// The shared node set.
     pub net: FairNetwork,
-    /// The flows submitted to the scheduler.
-    pub flows: Vec<FluidFlow>,
+    /// The flow batch submitted to the scheduler.
+    pub batch: FlowBatch,
 }
 
 /// The measured result for one workload class.
@@ -77,19 +77,19 @@ pub fn standard_workloads() -> Vec<Workload> {
         // tunnel node, staggered waves of six sub-resources.
         let mut rng = SimRng::new(11);
         let inst = maxmin_demo::browser_style_instance(&mut rng, 64, 2.0e6);
-        out.push(Workload { name: "browser_64", net: inst.net, flows: inst.flows });
+        out.push(Workload { name: "browser_64", net: inst.net, batch: inst.batch });
     }
     {
         let mut rng = SimRng::new(12);
         let inst = maxmin_demo::browser_style_instance(&mut rng, 256, 2.0e6);
-        out.push(Workload { name: "browser_256", net: inst.net, flows: inst.flows });
+        out.push(Workload { name: "browser_256", net: inst.net, batch: inst.batch });
     }
     {
         // Adversarial mesh: 16 nodes, multi-hop paths, caps, zero-byte
         // flows, staggered arrivals — the generic-path worst case.
         let mut rng = SimRng::new(13);
         let inst = maxmin_demo::random_fluid_instance(&mut rng, 16, 64);
-        out.push(Workload { name: "mesh_16n_64f", net: inst.net, flows: inst.flows });
+        out.push(Workload { name: "mesh_16n_64f", net: inst.net, batch: inst.batch });
     }
     {
         // Uniformly capped pool on one node: the uniform-cap analytic
@@ -97,16 +97,17 @@ pub fn standard_workloads() -> Vec<Workload> {
         let mut rng = SimRng::new(14);
         let mut net = FairNetwork::new();
         let node = net.add_node(50.0e6);
-        let flows = (0..64)
-            .map(|_| FluidFlow {
-                start: ptperf_sim::SimTime::ZERO,
-                bytes: rng.range_f64(1_000.0, 2.0e6),
-                nodes: vec![node],
-                cap: Some(0.4e6),
-                extra_latency: ptperf_sim::SimDuration::ZERO,
-            })
-            .collect();
-        out.push(Workload { name: "capped_uniform_64", net, flows });
+        let mut batch = FlowBatch::new();
+        for _ in 0..64 {
+            batch.push(
+                ptperf_sim::SimTime::ZERO,
+                rng.range_f64(1_000.0, 2.0e6),
+                &[node],
+                Some(0.4e6),
+                ptperf_sim::SimDuration::ZERO,
+            );
+        }
+        out.push(Workload { name: "capped_uniform_64", net, batch });
     }
     out
 }
@@ -138,14 +139,14 @@ pub fn bench_class(w: &Workload, runs: usize) -> ClassResult {
     // functions of the workload, measured once.
     let mut rec = MemoryRecorder::new();
     let mut sched = FluidScheduler::new();
-    let baseline = sched.run_recorded(&w.net, &w.flows, &mut rec);
+    let baseline = sched.run_recorded(&w.net, &w.batch, &mut rec);
     let data = rec.into_data();
     let steps_per_run = data.counter("fluid/steps").unwrap_or(0);
     let fast_path_per_run = data.counter("maxmin/fast_path").unwrap_or(0);
 
     // Warmup: let the scratch reach its high-water marks.
     for _ in 0..3 {
-        let again = sched.run(&w.net, &w.flows);
+        let again = sched.run(&w.net, &w.batch);
         assert_eq!(again, baseline, "flow bench {}: warm run diverged", w.name);
     }
 
@@ -153,7 +154,7 @@ pub fn bench_class(w: &Workload, runs: usize) -> ClassResult {
     let mut opt_us = Vec::with_capacity(runs);
     for _ in 0..runs {
         let t = Instant::now();
-        let done = sched.run(&w.net, &w.flows);
+        let done = sched.run(&w.net, &w.batch);
         opt_us.push(t.elapsed().as_secs_f64() * 1e6);
         std::hint::black_box(done);
     }
@@ -162,7 +163,7 @@ pub fn bench_class(w: &Workload, runs: usize) -> ClassResult {
     let mut ref_us = Vec::with_capacity(runs);
     for _ in 0..runs {
         let t = Instant::now();
-        let done = reference::fluid_schedule(&w.net, &w.flows);
+        let done = reference::fluid_schedule(&w.net, &w.batch);
         ref_us.push(t.elapsed().as_secs_f64() * 1e6);
         std::hint::black_box(done);
     }
@@ -195,7 +196,7 @@ pub fn bench_class(w: &Workload, runs: usize) -> ClassResult {
 
     ClassResult {
         name: w.name,
-        flows: w.flows.len(),
+        flows: w.batch.len(),
         steps_per_run,
         fast_path_per_run,
         opt_p50_us: opt_p50,
@@ -291,8 +292,8 @@ mod tests {
         assert_eq!(a.len(), b.len());
         for (wa, wb) in a.iter().zip(&b) {
             assert_eq!(wa.name, wb.name);
-            assert_eq!(wa.flows.len(), wb.flows.len());
-            for (fa, fb) in wa.flows.iter().zip(&wb.flows) {
+            assert_eq!(wa.batch.len(), wb.batch.len());
+            for (fa, fb) in wa.batch.flows().iter().zip(wb.batch.flows()) {
                 assert_eq!(fa.bytes.to_bits(), fb.bytes.to_bits());
                 assert_eq!(fa.start, fb.start);
             }

@@ -13,6 +13,7 @@ pub mod establishbench;
 pub mod flowbench;
 pub mod obs_export;
 pub mod targets;
+pub mod unitbench;
 
 pub use targets::{
     available_targets, run_target, run_target_obs, run_target_with, RunScale, TargetRun,

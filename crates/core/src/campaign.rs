@@ -296,7 +296,7 @@ pub fn run_scheduled_snowflake_with(
     use crate::experiments::snowflake_load::user_timeline;
     use crate::schedule::{plan, RateLimits};
     use ptperf_sim::{SimDuration, SimTime};
-    use ptperf_transports::{transport_for, EstablishScratch, PtId};
+    use ptperf_transports::{transport_for, PtId};
     use ptperf_web::curl;
 
     /// Slots per shard: small enough to balance across workers, large
@@ -319,7 +319,7 @@ pub fn run_scheduled_snowflake_with(
         .map(|(shard_idx, chunk)| {
             let chunk = chunk.to_vec();
             let scenario = scenario.clone();
-            Unit::traced(format!("scheduled-snowflake/{shard_idx}"), move |rec| {
+            Unit::pooled(format!("scheduled-snowflake/{shard_idx}"), move |rec, scratch| {
                 const WEEK: SimDuration = SimDuration::from_secs(7 * 24 * 3600);
                 let timeline = user_timeline();
                 let first_week = timeline.first().expect("timeline non-empty").week;
@@ -334,9 +334,8 @@ pub fn run_scheduled_snowflake_with(
                 };
                 let dep = scenario.deployment();
                 let transport = transport_for(PtId::Snowflake);
-                let sites = crate::measure::target_sites(20);
+                let sites = scenario.target_sites(20);
                 let mut rng = scenario.rng(&format!("scheduled-snowflake/{shard_idx}"));
-                let mut scratch = EstablishScratch::new();
                 let mut phases = ptperf_obs::PhaseAccum::new();
                 let mut out: Vec<TimedMeasurement> = Vec::with_capacity(chunk.len());
                 for slot in &chunk {
@@ -344,8 +343,13 @@ pub fn run_scheduled_snowflake_with(
                     let mut opts = scenario.access_options();
                     opts.load_mult = load;
                     let site = &sites[slot.index as usize % sites.len()];
-                    let ch =
-                        transport.establish_with(&dep, &opts, site.server, &mut rng, &mut scratch);
+                    let ch = transport.establish_with(
+                        &dep,
+                        &opts,
+                        site.server,
+                        &mut rng,
+                        &mut scratch.establish,
+                    );
                     let fetch = curl::fetch(&ch, site, &mut rng);
                     if rec.enabled() {
                         crate::measure::record_fetch_phases(&mut phases, &ch, &fetch);

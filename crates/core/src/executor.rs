@@ -28,6 +28,54 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use ptperf_obs::{MemoryRecorder, NullRecorder, Recorder, ShardObsData};
+use ptperf_transports::EstablishScratch;
+use ptperf_web::PageScratch;
+
+/// Per-worker reusable buffers for measurement units: everything a unit
+/// pipeline needs to run allocation-free once warm. One `UnitScratch`
+/// lives on each worker thread for the lifetime of the pool (under the
+/// default [`ScratchMode::PerWorker`]), so consecutive units on the
+/// same worker reuse the same channel-establishment and page-load
+/// buffers. Every unit closure receives one; results are proven
+/// independent of scratch warmth by the determinism suite.
+#[derive(Debug, Default)]
+pub struct UnitScratch {
+    /// Channel-establishment scratch (relay-selection buffers).
+    pub establish: EstablishScratch,
+    /// Browser page-load scratch (fair network, flow batch, completion
+    /// buffer, fluid scheduler).
+    pub page: PageScratch,
+}
+
+impl UnitScratch {
+    /// An empty (cold) scratch.
+    pub fn new() -> UnitScratch {
+        UnitScratch::default()
+    }
+
+    /// Total buffer-growth events across all members — the workspace's
+    /// allocation proxy. Unchanged across a warm unit means the unit
+    /// performed no heap allocation in the pooled pipeline.
+    pub fn grows(&self) -> u64 {
+        self.establish.grows() + self.page.grows()
+    }
+}
+
+/// How unit scratch is provisioned.
+///
+/// [`ScratchMode::PerWorker`] (the default) keeps one warm
+/// [`UnitScratch`] per worker thread; [`ScratchMode::PerUnit`] builds a
+/// cold scratch for every unit. Both produce bit-identical results —
+/// `PerUnit` exists as the A/B lane the determinism suite uses to prove
+/// exactly that — so the mode is purely an allocation knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScratchMode {
+    /// One warm scratch per worker thread, reused across units.
+    #[default]
+    PerWorker,
+    /// A cold scratch per unit (the reference lane).
+    PerUnit,
+}
 
 /// Whether shards record sim-time observations.
 ///
@@ -62,23 +110,31 @@ pub struct Parallelism {
     pub chunk: usize,
     /// Whether shards record sim-time observations (default off).
     pub record: Record,
+    /// How unit scratch is provisioned (default one warm scratch per
+    /// worker).
+    pub scratch: ScratchMode,
 }
 
 impl Parallelism {
     /// One worker on the calling thread; the reference execution.
     pub fn sequential() -> Parallelism {
-        Parallelism { workers: 1, chunk: 1, record: Record::Off }
+        Parallelism { workers: 1, chunk: 1, record: Record::Off, scratch: ScratchMode::PerWorker }
     }
 
     /// A fixed worker count with single-unit claiming.
     pub fn new(workers: usize) -> Parallelism {
-        Parallelism { workers: workers.max(1), chunk: 1, record: Record::Off }
+        Parallelism {
+            workers: workers.max(1),
+            chunk: 1,
+            record: Record::Off,
+            scratch: ScratchMode::PerWorker,
+        }
     }
 
     /// One worker per available hardware thread.
     pub fn auto() -> Parallelism {
         let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
-        Parallelism { workers, chunk: 1, record: Record::Off }
+        Parallelism { workers, chunk: 1, record: Record::Off, scratch: ScratchMode::PerWorker }
     }
 
     /// Set the units-per-claim chunk size.
@@ -90,6 +146,12 @@ impl Parallelism {
     /// Set the recording mode.
     pub fn with_recording(mut self, record: Record) -> Parallelism {
         self.record = record;
+        self
+    }
+
+    /// Set the scratch provisioning mode.
+    pub fn with_scratch(mut self, scratch: ScratchMode) -> Parallelism {
+        self.scratch = scratch;
         self
     }
 }
@@ -108,9 +170,10 @@ pub struct Unit<T> {
     work: ShardWork<T>,
 }
 
-/// A shard's boxed closure: given the shard's recorder, produces the
-/// shard value plus its raw sample count.
-type ShardWork<T> = Box<dyn FnOnce(&mut dyn Recorder) -> (T, usize) + Send>;
+/// A shard's boxed closure: given the shard's recorder and the worker's
+/// reusable scratch, produces the shard value plus its raw sample count.
+type ShardWork<T> =
+    Box<dyn FnOnce(&mut dyn Recorder, &mut UnitScratch) -> (T, usize) + Send>;
 
 impl<T> Unit<T> {
     /// Create a unit that does not record observations. `work` returns
@@ -121,7 +184,7 @@ impl<T> Unit<T> {
         label: impl Into<String>,
         work: impl FnOnce() -> (T, usize) + Send + 'static,
     ) -> Unit<T> {
-        Unit { label: label.into(), work: Box::new(move |_| work()) }
+        Unit { label: label.into(), work: Box::new(move |_, _| work()) }
     }
 
     /// Create a unit whose closure records into the shard's
@@ -131,6 +194,17 @@ impl<T> Unit<T> {
     pub fn traced(
         label: impl Into<String>,
         work: impl FnOnce(&mut dyn Recorder) -> (T, usize) + Send + 'static,
+    ) -> Unit<T> {
+        Unit { label: label.into(), work: Box::new(move |rec, _| work(rec)) }
+    }
+
+    /// Create a unit whose closure additionally borrows the worker's
+    /// [`UnitScratch`], making the whole unit allocation-free once the
+    /// worker is warm. Under [`ScratchMode::PerUnit`] the closure sees a
+    /// cold scratch instead; results are identical either way.
+    pub fn pooled(
+        label: impl Into<String>,
+        work: impl FnOnce(&mut dyn Recorder, &mut UnitScratch) -> (T, usize) + Send + 'static,
     ) -> Unit<T> {
         Unit { label: label.into(), work: Box::new(work) }
     }
@@ -149,8 +223,8 @@ impl<T: Send + 'static> Unit<T> {
         let Unit { label, work } = self;
         Unit {
             label,
-            work: Box::new(move |rec| {
-                let (value, samples) = work(rec);
+            work: Box::new(move |rec, scratch| {
+                let (value, samples) = work(rec, scratch);
                 (Box::new(value) as Box<dyn std::any::Any + Send>, samples)
             }),
         }
@@ -245,16 +319,17 @@ fn run_one<T>(
     unit: Unit<T>,
     index: usize,
     record: Record,
+    scratch: &mut UnitScratch,
     results: &Mutex<Vec<Option<(T, ShardReport)>>>,
     failures: &Mutex<Vec<ShardFailure>>,
-) {
+) -> bool {
     let Unit { label, work } = unit;
     let started = Instant::now();
     let outcome = catch_unwind(AssertUnwindSafe(|| match record {
-        Record::Off => (work(&mut NullRecorder), ShardObsData::default()),
+        Record::Off => (work(&mut NullRecorder, scratch), ShardObsData::default()),
         Record::Trace => {
             let mut rec = MemoryRecorder::new();
-            let out = work(&mut rec);
+            let out = work(&mut rec, scratch);
             (out, rec.into_data())
         }
     }));
@@ -263,6 +338,7 @@ fn run_one<T>(
             let report =
                 ShardReport { index, label, wall: started.elapsed(), samples, obs };
             results.lock().expect("results lock")[index] = Some((value, report));
+            true
         }
         Err(payload) => {
             failures.lock().expect("failures lock").push(ShardFailure {
@@ -270,6 +346,7 @@ fn run_one<T>(
                 label,
                 message: panic_message(payload),
             });
+            false
         }
     }
 }
@@ -296,8 +373,16 @@ pub fn run_units<T: Send>(
     let failures: Mutex<Vec<ShardFailure>> = Mutex::new(Vec::new());
 
     if workers <= 1 {
+        let mut scratch = UnitScratch::new();
         for (index, unit) in units.into_iter().enumerate() {
-            run_one(unit, index, par.record, &results, &failures);
+            if par.scratch == ScratchMode::PerUnit {
+                scratch = UnitScratch::new();
+            }
+            if !run_one(unit, index, par.record, &mut scratch, &results, &failures) {
+                // A panicking unit may leave half-torn buffers; start
+                // the next unit from a cold scratch.
+                scratch = UnitScratch::new();
+            }
         }
     } else {
         let jobs: Vec<Mutex<Option<Unit<T>>>> =
@@ -305,16 +390,32 @@ pub fn run_units<T: Send>(
         let cursor = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let base = cursor.fetch_add(chunk, Ordering::Relaxed);
-                    if base >= n {
-                        break;
-                    }
-                    let claimed = jobs[base..(base + chunk).min(n)].iter().enumerate();
-                    for (offset, job) in claimed {
-                        let unit = job.lock().expect("job lock").take();
-                        if let Some(unit) = unit {
-                            run_one(unit, base + offset, par.record, &results, &failures);
+                scope.spawn(|| {
+                    let mut scratch = UnitScratch::new();
+                    loop {
+                        let base = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if base >= n {
+                            break;
+                        }
+                        let claimed = jobs[base..(base + chunk).min(n)].iter().enumerate();
+                        for (offset, job) in claimed {
+                            let unit = job.lock().expect("job lock").take();
+                            if let Some(unit) = unit {
+                                if par.scratch == ScratchMode::PerUnit {
+                                    scratch = UnitScratch::new();
+                                }
+                                let ok = run_one(
+                                    unit,
+                                    base + offset,
+                                    par.record,
+                                    &mut scratch,
+                                    &results,
+                                    &failures,
+                                );
+                                if !ok {
+                                    scratch = UnitScratch::new();
+                                }
+                            }
                         }
                     }
                 });
@@ -440,6 +541,59 @@ mod tests {
         let samples =
             |r: &[ShardReport]| r.iter().map(|s| s.samples).collect::<Vec<_>>();
         assert_eq!(samples(&off.reports), samples(&on.reports));
+    }
+
+    fn page_units(n: usize) -> Vec<Unit<u64>> {
+        use ptperf_transports::{transport_for, PtId};
+        use ptperf_web::{SiteList, Website};
+        (0..n)
+            .map(|i| {
+                Unit::pooled(format!("warm/{i}"), move |rec, scratch| {
+                    let sc = crate::scenario::Scenario::baseline(7);
+                    let dep = sc.deployment();
+                    let opts = sc.access_options();
+                    let site = Website::generate(SiteList::Tranco, i);
+                    let mut rng = sc.rng(&format!("warm/{i}"));
+                    let ch = transport_for(PtId::Vanilla).establish_with(
+                        &dep,
+                        &opts,
+                        site.server,
+                        &mut rng,
+                        &mut scratch.establish,
+                    );
+                    let _ = ptperf_web::load_page_pooled(
+                        &ch,
+                        &site,
+                        &mut rng,
+                        rec,
+                        &mut scratch.page,
+                    );
+                    (scratch.page.uses(), 1)
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn per_worker_scratch_stays_warm_across_pooled_units() {
+        // Sequential PerWorker: one scratch serves every unit, so the
+        // page-scratch use count climbs 1, 2, 3, 4.
+        let warm = run_units(&Parallelism::sequential(), page_units(4)).unwrap();
+        assert_eq!(warm.values, vec![1, 2, 3, 4]);
+        // PerUnit (the A/B reference lane): every unit sees a cold scratch.
+        let cold = run_units(
+            &Parallelism::sequential().with_scratch(ScratchMode::PerUnit),
+            page_units(4),
+        )
+        .unwrap();
+        assert_eq!(cold.values, vec![1, 1, 1, 1]);
+        // Parallel PerWorker: each worker's count climbs from 1, so at
+        // most one cold unit per worker (a racing worker may claim no
+        // units at all), and the rest saw warm scratch.
+        let par = run_units(&Parallelism::new(2), page_units(6)).unwrap();
+        assert!(par.values.iter().all(|&u| (1..=6).contains(&u)));
+        let cold_units = par.values.iter().filter(|&&u| u == 1).count();
+        assert!((1..=2).contains(&cold_units), "cold units: {cold_units}");
     }
 
     #[test]

@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use ptperf_stats::{ascii_boxplots, Summary};
-use ptperf_transports::{transport_for, EstablishScratch, PtId};
+use ptperf_transports::{transport_for, PtId};
 use ptperf_web::{filedl, Outcome, FILE_SIZES};
 
 use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
@@ -94,13 +94,12 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
         .into_iter()
         .map(|pt| {
             let scenario = Arc::clone(&scenario);
-            Unit::traced(format!("fig5/{pt}"), move |rec| {
+            Unit::pooled(format!("fig5/{pt}"), move |rec, scratch| {
                 let transport = transport_for(pt);
                 let dep = scenario.deployment();
                 let opts = scenario.access_options();
                 let file_server = scenario.server_region;
                 let mut rng = scenario.rng(&format!("fig5/{pt}"));
-                let mut scratch = EstablishScratch::new();
                 let mut list = Vec::with_capacity(cfg.sizes.len() * cfg.attempts);
                 let mut phases = ptperf_obs::PhaseAccum::new();
                 for &size in &cfg.sizes {
@@ -110,7 +109,7 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
                             &opts,
                             file_server,
                             &mut rng,
-                            &mut scratch,
+                            &mut scratch.establish,
                         );
                         let d = filedl::download(&ch, size, &mut rng);
                         if rec.enabled() {

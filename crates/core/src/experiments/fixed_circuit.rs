@@ -10,7 +10,7 @@
 use ptperf_sim::LoadProfile;
 use ptperf_stats::{ascii_boxplots, ascii_ecdf, Ecdf, PairedTTest, Summary};
 use ptperf_tor::{PathSelector, Relay, RelayFlags, RelayId};
-use ptperf_transports::{transport_for, PtId};
+use ptperf_transports::{transport_for, EstablishScratch, PtId};
 use ptperf_web::{curl, SiteList, Website};
 
 use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
@@ -55,8 +55,8 @@ pub struct Result {
 pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Result>> {
     let scenario = scenario.clone();
     let cfg = *cfg;
-    vec![Unit::traced("fig3", move |rec| {
-        let r = run_traced(&scenario, &cfg, rec);
+    vec![Unit::pooled("fig3", move |rec, scratch| {
+        let r = run_pooled(&scenario, &cfg, rec, &mut scratch.establish);
         let n: usize = r.times.iter().map(|(_, v)| v.len()).sum();
         (r, n)
     })]
@@ -89,6 +89,17 @@ pub fn run_traced(
     scenario: &Scenario,
     cfg: &Config,
     rec: &mut dyn ptperf_obs::Recorder,
+) -> Result {
+    run_pooled(scenario, cfg, rec, &mut EstablishScratch::new())
+}
+
+/// [`run_traced`] reusing caller-provided establish scratch. The scratch
+/// holds no RNG state, so warm and fresh scratch yield identical results.
+pub fn run_pooled(
+    scenario: &Scenario,
+    cfg: &Config,
+    rec: &mut dyn ptperf_obs::Recorder,
+    scratch: &mut EstablishScratch,
 ) -> Result {
     let mut dep = scenario.deployment_owned();
     let mut rng = scenario.rng("fig3");
@@ -131,7 +142,8 @@ pub fn run_traced(
             let mut per_config = Vec::with_capacity(CONFIGS.len());
             for (ci, &pt) in CONFIGS.iter().enumerate() {
                 let transport = transport_for(pt);
-                let ch = transport.establish(&dep, &opts, site.server, &mut rng);
+                let ch =
+                    transport.establish_with(&dep, &opts, site.server, &mut rng, scratch);
                 let fetch = curl::fetch(&ch, site, &mut rng);
                 if rec.enabled() {
                     crate::measure::record_fetch_phases(&mut phases, &ch, &fetch);

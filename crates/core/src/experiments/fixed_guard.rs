@@ -9,8 +9,8 @@
 use ptperf_sim::LoadProfile;
 use ptperf_stats::{ascii_boxplots, PairedTTest, Summary};
 use ptperf_tor::{Relay, RelayFlags, RelayId};
-use ptperf_transports::{transport_for, PtId};
-use ptperf_web::{curl, SiteList, Website};
+use ptperf_transports::{transport_for, EstablishScratch, PtId};
+use ptperf_web::{curl, SiteList};
 
 use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
 use crate::scenario::Scenario;
@@ -58,8 +58,8 @@ pub struct Result {
 pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Result>> {
     let scenario = scenario.clone();
     let cfg = *cfg;
-    vec![Unit::traced("fig4", move |rec| {
-        let r = run_traced(&scenario, &cfg, rec);
+    vec![Unit::pooled("fig4", move |rec, scratch| {
+        let r = run_pooled(&scenario, &cfg, rec, &mut scratch.establish);
         let n = r.tor.len() + r.obfs4.len();
         (r, n)
     })]
@@ -93,6 +93,17 @@ pub fn run_traced(
     cfg: &Config,
     rec: &mut dyn ptperf_obs::Recorder,
 ) -> Result {
+    run_pooled(scenario, cfg, rec, &mut EstablishScratch::new())
+}
+
+/// [`run_traced`] reusing caller-provided establish scratch. The scratch
+/// holds no RNG state, so warm and fresh scratch yield identical results.
+pub fn run_pooled(
+    scenario: &Scenario,
+    cfg: &Config,
+    rec: &mut dyn ptperf_obs::Recorder,
+    scratch: &mut EstablishScratch,
+) -> Result {
     let mut dep = scenario.deployment_owned();
     let mut rng = scenario.rng("fig4");
     let mut phases = ptperf_obs::PhaseAccum::new();
@@ -111,23 +122,23 @@ pub fn run_traced(
     let mut opts = scenario.access_options();
     opts.path.fixed_guard = Some(host);
 
-    let sites = Website::top(SiteList::Tranco, cfg.sites);
+    let sites = scenario.top_sites(SiteList::Tranco, cfg.sites);
     let mut tor = Vec::with_capacity(sites.len());
     let mut obfs4 = Vec::with_capacity(sites.len());
     let vt = transport_for(PtId::Vanilla);
     let ot = transport_for(PtId::Obfs4);
-    for site in &sites {
+    for site in sites.iter() {
         let mut t_sum = 0.0;
         let mut o_sum = 0.0;
         for _ in 0..cfg.repeats {
-            let ch = vt.establish(&dep, &opts, site.server, &mut rng);
+            let ch = vt.establish_with(&dep, &opts, site.server, &mut rng, scratch);
             let fetch = curl::fetch(&ch, site, &mut rng);
             if rec.enabled() {
                 crate::measure::record_fetch_phases(&mut phases, &ch, &fetch);
                 rec.add("events", 1);
             }
             t_sum += fetch.total.as_secs_f64();
-            let ch = ot.establish(&dep, &opts, site.server, &mut rng);
+            let ch = ot.establish_with(&dep, &opts, site.server, &mut rng, scratch);
             let fetch = curl::fetch(&ch, site, &mut rng);
             if rec.enabled() {
                 crate::measure::record_fetch_phases(&mut phases, &ch, &fetch);

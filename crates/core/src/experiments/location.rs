@@ -14,7 +14,7 @@ use ptperf_stats::{ascii_boxplots, Summary};
 use ptperf_transports::PtId;
 
 use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
-use crate::measure::{curl_site_averages_traced, target_sites};
+use crate::measure::curl_site_averages_pooled;
 use crate::scenario::Scenario;
 
 /// The showcased PTs of Figure 7.
@@ -72,7 +72,7 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
     } else {
         SHOWCASE.to_vec()
     };
-    let sites = Arc::new(target_sites(cfg.sites_per_list));
+    let sites = scenario.target_sites(cfg.sites_per_list);
     let cfg = *cfg;
     let mut units = Vec::new();
     for &client in &Location::CLIENTS {
@@ -83,12 +83,13 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
             for &pt in &pts {
                 let sc = sc.clone();
                 let sites = Arc::clone(&sites);
-                units.push(Unit::traced(
+                units.push(Unit::pooled(
                     format!("fig7/{client}/{server}/{pt}"),
-                    move |rec| {
+                    move |rec, scratch| {
                         let mut rng = sc.rng(&format!("fig7/{client}/{server}/{pt}"));
-                        let avgs = curl_site_averages_traced(
+                        let avgs = curl_site_averages_pooled(
                             &sc, pt, &sites, cfg.repeats, &mut rng, rec,
+                            &mut scratch.establish,
                         );
                         let n = avgs.len();
                         (((client, server, pt), avgs), n)

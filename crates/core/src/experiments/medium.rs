@@ -11,7 +11,7 @@ use ptperf_sim::Medium;
 use ptperf_transports::PtId;
 
 use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
-use crate::measure::{curl_site_averages_traced, target_sites};
+use crate::measure::curl_site_averages_pooled;
 use crate::scenario::Scenario;
 
 use super::figure_order;
@@ -76,7 +76,7 @@ pub type Shard = ((MediumKey, PtId), f64);
 /// `(medium, PT)` cell, each on its own `medium/{medium}/{pt}` RNG
 /// stream (see [`crate::executor`]).
 pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
-    let sites = Arc::new(target_sites(cfg.sites_per_list));
+    let sites = scenario.target_sites(cfg.sites_per_list);
     let cfg = *cfg;
     let mut units = Vec::new();
     for medium in [Medium::Wired, Medium::Wireless] {
@@ -85,10 +85,11 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
         for pt in figure_order() {
             let sc = sc.clone();
             let sites = Arc::clone(&sites);
-            units.push(Unit::traced(format!("medium/{medium:?}/{pt}"), move |rec| {
+            units.push(Unit::pooled(format!("medium/{medium:?}/{pt}"), move |rec, scratch| {
                 let mut rng = sc.rng(&format!("medium/{medium:?}/{pt}"));
-                let avgs =
-                    curl_site_averages_traced(&sc, pt, &sites, cfg.repeats, &mut rng, rec);
+                let avgs = curl_site_averages_pooled(
+                    &sc, pt, &sites, cfg.repeats, &mut rng, rec, &mut scratch.establish,
+                );
                 let n = avgs.len();
                 (
                     ((MediumKey::from(medium), pt), ptperf_stats::median(&avgs)),

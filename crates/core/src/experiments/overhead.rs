@@ -21,8 +21,8 @@ use std::collections::BTreeMap;
 use ptperf_sim::LoadProfile;
 use ptperf_stats::Summary;
 use ptperf_tor::{PathSelector, Relay, RelayFlags, RelayId};
-use ptperf_transports::{dnstt, transport_for, PluggableTransport, PtId};
-use ptperf_web::{curl, SiteList, Website};
+use ptperf_transports::{dnstt, transport_for, EstablishScratch, PluggableTransport, PtId};
+use ptperf_web::{curl, SiteList};
 
 use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
 use crate::scenario::Scenario;
@@ -84,8 +84,8 @@ fn overhead_transport(pt: PtId) -> Box<dyn PluggableTransport> {
 pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Result>> {
     let scenario = scenario.clone();
     let cfg = *cfg;
-    vec![Unit::traced("fig9", move |rec| {
-        let r = run_traced(&scenario, &cfg, rec);
+    vec![Unit::pooled("fig9", move |rec, scratch| {
+        let r = run_pooled(&scenario, &cfg, rec, &mut scratch.establish);
         let n: usize = r.diffs.values().map(|v| v.len()).sum();
         (r, n)
     })]
@@ -119,6 +119,17 @@ pub fn run_traced(
     cfg: &Config,
     rec: &mut dyn ptperf_obs::Recorder,
 ) -> Result {
+    run_pooled(scenario, cfg, rec, &mut EstablishScratch::new())
+}
+
+/// [`run_traced`] reusing caller-provided establish scratch. The scratch
+/// holds no RNG state, so warm and fresh scratch yield identical results.
+pub fn run_pooled(
+    scenario: &Scenario,
+    cfg: &Config,
+    rec: &mut dyn ptperf_obs::Recorder,
+    scratch: &mut EstablishScratch,
+) -> Result {
     // Co-locate PT servers with the client (§5.2: "we deployed the PT
     // client and server in the same cloud location").
     let mut scenario = scenario.clone();
@@ -147,13 +158,13 @@ pub fn run_traced(
         utilization: LoadProfile::Dedicated.sample_utilization(&mut rng),
     });
 
-    let sites = Website::top(SiteList::Tranco, cfg.sites);
+    let sites = scenario.top_sites(SiteList::Tranco, cfg.sites);
     let vanilla = transport_for(PtId::Vanilla);
     let mut diffs: BTreeMap<PtId, Vec<f64>> =
         EVALUATED.iter().map(|&pt| (pt, Vec::new())).collect();
     let mut phases = ptperf_obs::PhaseAccum::new();
 
-    for site in &sites {
+    for site in sites.iter() {
         // A fresh fixed circuit for this site, shared by every config.
         let mut selector = PathSelector::new();
         let fresh = selector
@@ -164,7 +175,7 @@ pub fn run_traced(
         opts.path.fixed_middle = Some(fresh.middle);
         opts.path.fixed_exit = Some(fresh.exit);
 
-        let ch = vanilla.establish(&dep, &opts, site.server, &mut rng);
+        let ch = vanilla.establish_with(&dep, &opts, site.server, &mut rng, scratch);
         let fetch = curl::fetch(&ch, site, &mut rng);
         if rec.enabled() {
             crate::measure::record_fetch_phases(&mut phases, &ch, &fetch);
@@ -173,7 +184,7 @@ pub fn run_traced(
         let tor_time = fetch.total.as_secs_f64();
         for &pt in &EVALUATED {
             let transport = overhead_transport(pt);
-            let ch = transport.establish(&dep, &opts, site.server, &mut rng);
+            let ch = transport.establish_with(&dep, &opts, site.server, &mut rng, scratch);
             let fetch = curl::fetch(&ch, site, &mut rng);
             if rec.enabled() {
                 crate::measure::record_fetch_phases(&mut phases, &ch, &fetch);

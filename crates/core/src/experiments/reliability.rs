@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use ptperf_stats::{ascii_ecdf, Ecdf};
-use ptperf_transports::{transport_for, EstablishScratch, PtId};
+use ptperf_transports::{transport_for, PtId};
 use ptperf_web::{filedl, ReliabilityCounts, FILE_SIZES};
 
 use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
@@ -81,13 +81,12 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
         .filter(|&pt| pt != PtId::Vanilla)
         .map(|pt| {
             let scenario = Arc::clone(&scenario);
-            Unit::traced(format!("fig8/{pt}"), move |rec| {
+            Unit::pooled(format!("fig8/{pt}"), move |rec, scratch| {
                 let transport = transport_for(pt);
                 let dep = scenario.deployment();
                 let opts = scenario.access_options();
                 let file_server = scenario.server_region;
                 let mut rng = scenario.rng(&format!("fig8/{pt}"));
-                let mut scratch = EstablishScratch::new();
                 let mut c = ReliabilityCounts::default();
                 let mut f = Vec::with_capacity(cfg.sizes.len() * cfg.attempts);
                 let mut phases = ptperf_obs::PhaseAccum::new();
@@ -98,7 +97,7 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
                             &opts,
                             file_server,
                             &mut rng,
-                            &mut scratch,
+                            &mut scratch.establish,
                         );
                         let d = filedl::download(&ch, size, &mut rng);
                         if rec.enabled() {

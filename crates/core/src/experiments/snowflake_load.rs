@@ -15,7 +15,7 @@ use ptperf_stats::{ascii_boxplots, PairedTTest, Summary};
 use ptperf_transports::PtId;
 
 use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
-use crate::measure::{curl_site_averages_traced, target_sites};
+use crate::measure::curl_site_averages_pooled;
 use crate::scenario::{Epoch, Scenario};
 
 /// Configuration.
@@ -108,8 +108,8 @@ pub type Shard = Vec<f64>;
 /// baseline, and 3.. the weekly monitoring series (see
 /// [`crate::executor`]).
 pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
-    let sites = Arc::new(target_sites(cfg.sites_per_list));
-    let monitor_sites = Arc::new(target_sites(cfg.monitor_sites / 2 + 1));
+    let sites = scenario.target_sites(cfg.sites_per_list);
+    let monitor_sites = scenario.target_sites(cfg.monitor_sites / 2 + 1);
     let cfg = *cfg;
     let mut units = Vec::new();
 
@@ -119,15 +119,16 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
     {
         let sc = pre_sc.clone();
         let sites = Arc::clone(&sites);
-        units.push(Unit::traced("fig10/pre", move |rec| {
+        units.push(Unit::pooled("fig10/pre", move |rec, scratch| {
             let mut rng = sc.rng("fig10/pre");
-            let v = curl_site_averages_traced(
+            let v = curl_site_averages_pooled(
                 &sc,
                 PtId::Snowflake,
                 &sites,
                 cfg.repeats,
                 &mut rng,
                 rec,
+                &mut scratch.establish,
             );
             let n = v.len();
             (v, n)
@@ -137,15 +138,16 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
         let mut sc = scenario.clone();
         sc.epoch = Epoch::Plateau;
         let sites = Arc::clone(&sites);
-        units.push(Unit::traced("fig10/post", move |rec| {
+        units.push(Unit::pooled("fig10/post", move |rec, scratch| {
             let mut rng = sc.rng("fig10/post");
-            let v = curl_site_averages_traced(
+            let v = curl_site_averages_pooled(
                 &sc,
                 PtId::Snowflake,
                 &sites,
                 cfg.repeats,
                 &mut rng,
                 rec,
+                &mut scratch.establish,
             );
             let n = v.len();
             (v, n)
@@ -154,15 +156,16 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
     {
         let sc = pre_sc;
         let monitor_sites = Arc::clone(&monitor_sites);
-        units.push(Unit::traced("fig12/pre", move |rec| {
+        units.push(Unit::pooled("fig12/pre", move |rec, scratch| {
             let mut rng = sc.rng("fig12/pre");
-            let v = curl_site_averages_traced(
+            let v = curl_site_averages_pooled(
                 &sc,
                 PtId::Snowflake,
                 &monitor_sites,
                 cfg.repeats,
                 &mut rng,
                 rec,
+                &mut scratch.establish,
             );
             let n = v.len();
             (v, n)
@@ -178,15 +181,16 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
         let wobble = 1.0 + 0.08 * ((week % 3) as f64);
         sc.epoch = Epoch::LoadMult(Epoch::Plateau.load_mult() * wobble);
         let monitor_sites = Arc::clone(&monitor_sites);
-        units.push(Unit::traced(format!("fig12/week{week}"), move |rec| {
+        units.push(Unit::pooled(format!("fig12/week{week}"), move |rec, scratch| {
             let mut rng = sc.rng(&format!("fig12/week{week}"));
-            let v = curl_site_averages_traced(
+            let v = curl_site_averages_pooled(
                 &sc,
                 PtId::Snowflake,
                 &monitor_sites,
                 cfg.repeats,
                 &mut rng,
                 rec,
+                &mut scratch.establish,
             );
             let n = v.len();
             (v, n)

@@ -8,11 +8,11 @@
 use std::sync::Arc;
 
 use ptperf_stats::{ascii_boxplots, Summary};
-use ptperf_transports::{transport_for, EstablishScratch, PtId};
+use ptperf_transports::{transport_for, PtId};
 use ptperf_web::browser;
 
 use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
-use crate::measure::{record_page_phases, target_sites, PairedSamples};
+use crate::measure::{record_page_phases, PairedSamples};
 use crate::scenario::{Epoch, Scenario};
 
 use super::figure_order;
@@ -62,18 +62,17 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
         scenario.epoch = Epoch::Plateau;
     }
     let scenario = Arc::new(scenario);
-    let sites = Arc::new(target_sites(cfg.sites_per_list));
+    let sites = scenario.target_sites(cfg.sites_per_list);
     figure_order()
         .into_iter()
         .map(|pt| {
             let scenario = Arc::clone(&scenario);
             let sites = Arc::clone(&sites);
-            Unit::traced(format!("fig11/{pt}"), move |rec| {
+            Unit::pooled(format!("fig11/{pt}"), move |rec, scratch| {
                 let transport = transport_for(pt);
                 let dep = scenario.deployment();
                 let opts = scenario.access_options();
                 let mut rng = scenario.rng(&format!("fig11/{pt}"));
-                let mut scratch = EstablishScratch::new();
                 let mut si = Vec::new();
                 let mut lt = Vec::new();
                 let mut phases = ptperf_obs::PhaseAccum::new();
@@ -83,9 +82,9 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
                         &opts,
                         site.server,
                         &mut rng,
-                        &mut scratch,
+                        &mut scratch.establish,
                     );
-                    match browser::load_page_traced(&ch, site, &mut rng, rec) {
+                    match browser::load_page_pooled(&ch, site, &mut rng, rec, &mut scratch.page) {
                         Ok(page) => {
                             if rec.enabled() {
                                 record_page_phases(&mut phases, &ch, &page);

@@ -95,13 +95,12 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
         .into_iter()
         .map(|pt| {
             let scenario = scenario.clone();
-            Unit::traced(format!("streaming/{pt}"), move |rec| {
+            Unit::pooled(format!("streaming/{pt}"), move |rec, unit_scratch| {
                 let dep = scenario.deployment();
                 let opts = scenario.access_options();
                 let media_server = scenario.server_region;
                 let transport = transport_for(pt);
                 let mut rng = scenario.rng(&format!("streaming/{pt}"));
-                let mut scratch = EstablishScratch::new();
                 let mut phases = ptperf_obs::PhaseAccum::new();
                 let run_medium =
                     |media: MediaStream, rng: &mut ptperf_sim::SimRng,
@@ -138,14 +137,14 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
                 let audio = run_medium(
                     MediaStream::audio(cfg.duration),
                     &mut rng,
-                    &mut scratch,
+                    &mut unit_scratch.establish,
                     rec,
                     &mut phases,
                 );
                 let video = run_medium(
                     MediaStream::video(cfg.duration),
                     &mut rng,
-                    &mut scratch,
+                    &mut unit_scratch.establish,
                     rec,
                     &mut phases,
                 );

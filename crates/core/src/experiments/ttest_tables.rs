@@ -23,7 +23,6 @@ pub struct TTestRow {
 pub fn pairwise(samples: &PairedSamples) -> Vec<TTestRow> {
     samples
         .pairs()
-        .into_iter()
         .map(|(a, b)| TTestRow {
             pair: format!("{}-{}", display_name(a), display_name(b)),
             test: samples.ttest(a, b),
@@ -50,7 +49,7 @@ pub fn category_pairwise(samples: &PairedSamples) -> Vec<TTestRow> {
         let members: Vec<PtId> = cat
             .members()
             .into_iter()
-            .filter(|pt| samples.pts().contains(pt))
+            .filter(|&pt| samples.pts().any(|p| p == pt))
             .collect();
         if members.is_empty() {
             continue;

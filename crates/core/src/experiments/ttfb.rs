@@ -6,11 +6,10 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use ptperf_stats::{ascii_ecdf, Ecdf};
-use ptperf_transports::{transport_for, EstablishScratch, PtId};
+use ptperf_transports::{transport_for, PtId};
 use ptperf_web::curl;
 
 use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
-use crate::measure::target_sites;
 use crate::scenario::Scenario;
 
 use super::figure_order;
@@ -49,18 +48,17 @@ pub type Shard = (PtId, Vec<f64>);
 /// Decomposes the experiment into one independent unit per PT, each on
 /// its own `fig6/{pt}` RNG stream (see [`crate::executor`]).
 pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
-    let sites = Arc::new(target_sites(cfg.sites_per_list));
+    let sites = scenario.target_sites(cfg.sites_per_list);
     figure_order()
         .into_iter()
         .map(|pt| {
             let scenario = scenario.clone();
             let sites = Arc::clone(&sites);
-            Unit::traced(format!("fig6/{pt}"), move |rec| {
+            Unit::pooled(format!("fig6/{pt}"), move |rec, scratch| {
                 let transport = transport_for(pt);
                 let dep = scenario.deployment();
                 let opts = scenario.access_options();
                 let mut rng = scenario.rng(&format!("fig6/{pt}"));
-                let mut scratch = EstablishScratch::new();
                 let mut v = Vec::new();
                 let mut phases = ptperf_obs::PhaseAccum::new();
                 for site in sites.iter() {
@@ -69,7 +67,7 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
                         &opts,
                         site.server,
                         &mut rng,
-                        &mut scratch,
+                        &mut scratch.establish,
                     );
                     let fetch = curl::fetch(&ch, site, &mut rng);
                     if rec.enabled() {

@@ -8,7 +8,7 @@ use ptperf_stats::{ascii_boxplots, Summary};
 use ptperf_transports::PtId;
 
 use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
-use crate::measure::{curl_site_averages_traced, target_sites, PairedSamples};
+use crate::measure::{curl_site_averages_pooled, PairedSamples};
 use crate::scenario::Scenario;
 
 use super::figure_order;
@@ -56,17 +56,23 @@ pub type Shard = (PtId, Vec<f64>);
 /// stream tag the sequential loop uses, so the merged result is
 /// bit-for-bit identical at any worker count.
 pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
-    let sites = Arc::new(target_sites(cfg.sites_per_list));
+    let sites = scenario.target_sites(cfg.sites_per_list);
     let cfg = *cfg;
     figure_order()
         .into_iter()
         .map(|pt| {
             let scenario = scenario.clone();
             let sites = Arc::clone(&sites);
-            Unit::traced(format!("fig2a/{pt}"), move |rec| {
+            Unit::pooled(format!("fig2a/{pt}"), move |rec, scratch| {
                 let mut rng = scenario.rng(&format!("fig2a/{pt}"));
-                let avgs = curl_site_averages_traced(
-                    &scenario, pt, &sites, cfg.repeats, &mut rng, rec,
+                let avgs = curl_site_averages_pooled(
+                    &scenario,
+                    pt,
+                    &sites,
+                    cfg.repeats,
+                    &mut rng,
+                    rec,
+                    &mut scratch.establish,
                 );
                 let n = avgs.len();
                 ((pt, avgs), n)

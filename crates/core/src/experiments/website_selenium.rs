@@ -8,11 +8,11 @@
 use std::sync::Arc;
 
 use ptperf_stats::{ascii_boxplots, Summary};
-use ptperf_transports::{transport_for, EstablishScratch, PtId};
+use ptperf_transports::{transport_for, PtId};
 use ptperf_web::browser;
 
 use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
-use crate::measure::{record_page_phases, target_sites, PairedSamples};
+use crate::measure::{record_page_phases, PairedSamples};
 use crate::scenario::{Epoch, Scenario};
 
 use super::figure_order;
@@ -66,19 +66,18 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
         scenario.epoch = Epoch::Plateau;
     }
     let scenario = Arc::new(scenario);
-    let sites = Arc::new(target_sites(cfg.sites_per_list));
+    let sites = scenario.target_sites(cfg.sites_per_list);
     let cfg = *cfg;
     figure_order()
         .into_iter()
         .map(|pt| {
             let scenario = Arc::clone(&scenario);
             let sites = Arc::clone(&sites);
-            Unit::traced(format!("fig2b/{pt}"), move |rec| {
+            Unit::pooled(format!("fig2b/{pt}"), move |rec, scratch| {
                 let transport = transport_for(pt);
                 let dep = scenario.deployment();
                 let opts = scenario.access_options();
                 let mut rng = scenario.rng(&format!("fig2b/{pt}"));
-                let mut scratch = EstablishScratch::new();
                 let mut per_site = Vec::with_capacity(sites.len());
                 let mut phases = ptperf_obs::PhaseAccum::new();
                 for site in sites.iter() {
@@ -89,9 +88,10 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
                             &opts,
                             site.server,
                             &mut rng,
-                            &mut scratch,
+                            &mut scratch.establish,
                         );
-                        match browser::load_page_traced(&ch, site, &mut rng, rec) {
+                        match browser::load_page_pooled(&ch, site, &mut rng, rec, &mut scratch.page)
+                        {
                             Ok(page) => {
                                 if rec.enabled() {
                                     record_page_phases(&mut phases, &ch, &page);
@@ -183,7 +183,7 @@ mod tests {
     fn camoufler_is_excluded() {
         let r = result();
         assert!(r.excluded.contains(&PtId::Camoufler));
-        assert!(!r.samples.pts().contains(&PtId::Camoufler));
+        assert!(!r.samples.pts().any(|p| p == PtId::Camoufler));
     }
 
     #[test]

@@ -2,8 +2,6 @@
 //! workload through a transport, aggregate per-site averages, and hold
 //! paired samples for the statistical tables.
 
-use std::collections::BTreeMap;
-
 use ptperf_obs::{NullRecorder, PhaseAccum, Recorder};
 use ptperf_sim::SimRng;
 use ptperf_stats::{PairedTTest, Summary};
@@ -14,9 +12,28 @@ use crate::scenario::Scenario;
 
 /// Per-PT samples aligned by target (site or file), the unit the paper's
 /// paired t-tests operate on.
-#[derive(Debug, Clone, Default)]
+///
+/// Stored columnar: a dense `PtId`-indexed matrix (one column of `f64`s
+/// per configuration, plus a presence row) instead of a
+/// `BTreeMap<PtId, Vec<f64>>`. The spine is a fixed `PtId::COUNT`-wide
+/// allocation made once at construction, pushes are amortized appends
+/// into preallocated columns, and [`PairedSamples::pts`] /
+/// [`PairedSamples::pairs`] iterate without allocating. Because
+/// `PtId::index` order equals `Ord` order, iteration visits PTs exactly
+/// as the old map did.
+#[derive(Debug, Clone)]
 pub struct PairedSamples {
-    per_pt: BTreeMap<PtId, Vec<f64>>,
+    columns: Vec<Vec<f64>>,
+    present: [bool; PtId::COUNT],
+}
+
+impl Default for PairedSamples {
+    fn default() -> PairedSamples {
+        PairedSamples {
+            columns: (0..PtId::COUNT).map(|_| Vec::new()).collect(),
+            present: [false; PtId::COUNT],
+        }
+    }
 }
 
 impl PairedSamples {
@@ -25,10 +42,23 @@ impl PairedSamples {
         PairedSamples::default()
     }
 
+    /// Creates an empty collection whose columns can each hold
+    /// `samples_per_pt` values before growing.
+    pub fn with_capacity(samples_per_pt: usize) -> PairedSamples {
+        PairedSamples {
+            columns: (0..PtId::COUNT)
+                .map(|_| Vec::with_capacity(samples_per_pt))
+                .collect(),
+            present: [false; PtId::COUNT],
+        }
+    }
+
     /// Appends one sample for `pt` (targets must be pushed in the same
     /// order for every PT).
     pub fn push(&mut self, pt: PtId, value: f64) {
-        self.per_pt.entry(pt).or_default().push(value);
+        let i = pt.index();
+        self.present[i] = true;
+        self.columns[i].push(value);
     }
 
     /// The sample vector for a PT.
@@ -36,14 +66,18 @@ impl PairedSamples {
     /// # Panics
     /// Panics if the PT was never measured.
     pub fn samples(&self, pt: PtId) -> &[f64] {
-        self.per_pt
-            .get(&pt)
-            .unwrap_or_else(|| panic!("no samples for {pt}"))
+        assert!(self.present[pt.index()], "no samples for {pt}");
+        &self.columns[pt.index()]
     }
 
-    /// All measured PTs, in stable order.
-    pub fn pts(&self) -> Vec<PtId> {
-        self.per_pt.keys().copied().collect()
+    /// All measured PTs, in stable (`Ord` = dense-index) order, without
+    /// allocating.
+    pub fn pts(&self) -> impl Iterator<Item = PtId> + '_ {
+        self.present
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p)
+            .map(|(i, _)| PtId::from_index(i).expect("presence row is PtId-indexed"))
     }
 
     /// Boxplot summary for a PT.
@@ -60,16 +94,10 @@ impl PairedSamples {
     }
 
     /// Every ordered PT pair `(a, b)` with `a < b` in enum order, as the
-    /// appendix tables enumerate them.
-    pub fn pairs(&self) -> Vec<(PtId, PtId)> {
-        let pts = self.pts();
-        let mut out = Vec::new();
-        for (i, &a) in pts.iter().enumerate() {
-            for &b in &pts[i + 1..] {
-                out.push((a, b));
-            }
-        }
-        out
+    /// appendix tables enumerate them — an allocation-free iterator.
+    pub fn pairs(&self) -> impl Iterator<Item = (PtId, PtId)> + '_ {
+        self.pts()
+            .flat_map(move |a| self.pts().filter(move |&b| a < b).map(move |b| (a, b)))
     }
 
     /// Mean across sites for a PT.
@@ -117,16 +145,33 @@ pub fn curl_site_averages_traced(
     rng: &mut SimRng,
     rec: &mut dyn Recorder,
 ) -> Vec<f64> {
+    curl_site_averages_pooled(scenario, pt, sites, repeats, rng, rec, &mut EstablishScratch::new())
+}
+
+/// [`curl_site_averages_traced`] against a caller-owned establishment
+/// scratch — the executor threads its per-worker
+/// [`crate::executor::UnitScratch::establish`] here so repeated curl
+/// units reuse the relay-selection buffers. Scratch warmth never
+/// changes results (the determinism suite proves it bit for bit); the
+/// other entry points delegate here with a cold scratch.
+pub fn curl_site_averages_pooled(
+    scenario: &Scenario,
+    pt: PtId,
+    sites: &[Website],
+    repeats: usize,
+    rng: &mut SimRng,
+    rec: &mut dyn Recorder,
+    scratch: &mut EstablishScratch,
+) -> Vec<f64> {
     let dep = scenario.deployment();
     let opts = scenario.access_options();
     let transport = transport_for(pt);
-    let mut scratch = EstablishScratch::new();
     let mut phases = PhaseAccum::new();
     let mut averages = Vec::with_capacity(sites.len());
     for site in sites {
         let mut total = 0.0;
         for _ in 0..repeats {
-            let ch = transport.establish_with(&dep, &opts, site.server, rng, &mut scratch);
+            let ch = transport.establish_with(&dep, &opts, site.server, rng, scratch);
             let fetch = curl::fetch(&ch, site, rng);
             total += fetch.total.as_secs_f64();
             if rec.enabled() {
@@ -189,7 +234,36 @@ mod tests {
         }
         let t = ps.ttest(PtId::Obfs4, PtId::Vanilla);
         assert!((t.mean_diff - 1.0).abs() < 1e-12);
-        assert_eq!(ps.pairs().len(), 1);
+        assert_eq!(ps.pairs().count(), 1);
+    }
+
+    #[test]
+    fn columnar_samples_iterate_in_ord_order() {
+        let mut ps = PairedSamples::with_capacity(4);
+        // Pushed out of order; iteration must still be Ord order.
+        for pt in [PtId::Marionette, PtId::Obfs4, PtId::Vanilla, PtId::Meek] {
+            for s in 0..4 {
+                ps.push(pt, s as f64);
+            }
+        }
+        let pts: Vec<PtId> = ps.pts().collect();
+        assert_eq!(
+            pts,
+            vec![PtId::Vanilla, PtId::Obfs4, PtId::Meek, PtId::Marionette]
+        );
+        let pairs: Vec<(PtId, PtId)> = ps.pairs().collect();
+        assert_eq!(pairs.len(), 6);
+        assert_eq!(pairs[0], (PtId::Vanilla, PtId::Obfs4));
+        assert!(pairs.iter().all(|&(a, b)| a < b));
+        assert_eq!(ps.samples(PtId::Meek).len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples for snowflake")]
+    fn unmeasured_pt_panics() {
+        let mut ps = PairedSamples::new();
+        ps.push(PtId::Vanilla, 1.0);
+        let _ = ps.samples(PtId::Snowflake);
     }
 
     #[test]

@@ -7,6 +7,7 @@ use std::sync::{Arc, Mutex};
 
 use ptperf_sim::{Location, Medium, SimRng};
 use ptperf_transports::{AccessOptions, Deployment};
+use ptperf_web::{SiteList, Website};
 
 /// Memoized deployments, shared by every clone of a [`Scenario`].
 ///
@@ -23,6 +24,22 @@ type CacheKey = (u64, Location);
 struct DeploymentCache {
     bypass: AtomicBool,
     entries: Mutex<Vec<(CacheKey, Arc<Deployment>)>>,
+}
+
+/// Key for a memoized site workload: `None` is the paper's standard
+/// mixed Tranco + CBL list, `Some(list)` a single-list top-`n` slice.
+type SiteKey = (Option<SiteList>, usize);
+
+/// Memoized site workloads, shared by every clone of a [`Scenario`].
+///
+/// Website generation is a pure function of `(list, n)` — no seed input
+/// at all — so every family asking for the same workload can share one
+/// immutable `Arc<[Website]>` instead of regenerating the corpus per
+/// unit. Same linear-scan-vec shape as [`DeploymentCache`].
+#[derive(Debug, Default)]
+struct SiteCache {
+    bypass: AtomicBool,
+    entries: Mutex<Vec<(SiteKey, Arc<[Website]>)>>,
 }
 
 /// The snowflake load epoch (§5.3): before the September-2022 Iran
@@ -66,6 +83,7 @@ pub struct Scenario {
     /// Snowflake load epoch.
     pub epoch: Epoch,
     dep_cache: Arc<DeploymentCache>,
+    site_cache: Arc<SiteCache>,
 }
 
 impl Scenario {
@@ -79,6 +97,7 @@ impl Scenario {
             medium: Medium::Wired,
             epoch: Epoch::PreSurge,
             dep_cache: Arc::new(DeploymentCache::default()),
+            site_cache: Arc::new(SiteCache::default()),
         }
     }
 
@@ -117,6 +136,42 @@ impl Scenario {
         self.dep_cache.bypass.store(!enabled, Ordering::Relaxed);
     }
 
+    /// The paper's standard mixed workload — `n` sites from each of
+    /// Tranco and CBL — built once per `n` and shared by reference
+    /// across all families and executor shards, exactly like
+    /// [`Scenario::deployment`]. Site generation is `(list, n)`-pure,
+    /// so sharing is observationally identical to rebuilding.
+    pub fn target_sites(&self, n_per_list: usize) -> Arc<[Website]> {
+        self.sites_for((None, n_per_list))
+    }
+
+    /// The top `n` sites of a single list, memoized like
+    /// [`Scenario::target_sites`].
+    pub fn top_sites(&self, list: SiteList, n: usize) -> Arc<[Website]> {
+        self.sites_for((Some(list), n))
+    }
+
+    fn sites_for(&self, key: SiteKey) -> Arc<[Website]> {
+        if self.site_cache.bypass.load(Ordering::Relaxed) {
+            return build_sites(key);
+        }
+        let mut entries = self.site_cache.entries.lock().unwrap();
+        if let Some((_, sites)) = entries.iter().find(|(k, _)| *k == key) {
+            ptperf_obs::perf::incr_site_rebuilds_saved();
+            return Arc::clone(sites);
+        }
+        let sites = build_sites(key);
+        entries.push((key, Arc::clone(&sites)));
+        sites
+    }
+
+    /// Toggles site-workload memoization (on by default). The off
+    /// position is the A/B lane for the determinism suite: every
+    /// `target_sites`/`top_sites` call regenerates the corpus.
+    pub fn set_site_caching(&self, enabled: bool) {
+        self.site_cache.bypass.store(!enabled, Ordering::Relaxed);
+    }
+
     /// Per-measurement access options.
     pub fn access_options(&self) -> AccessOptions {
         let mut opts = AccessOptions::new(self.client);
@@ -134,6 +189,13 @@ impl Scenario {
             h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
         }
         SimRng::new(h)
+    }
+}
+
+fn build_sites(key: SiteKey) -> Arc<[Website]> {
+    match key {
+        (None, n) => crate::measure::target_sites(n).into(),
+        (Some(list), n) => Website::top(list, n).into(),
     }
 }
 
@@ -211,6 +273,43 @@ mod tests {
         assert_eq!(*warm, *cold, "rebuild diverged from the cached build");
         s.set_deployment_caching(true);
         assert!(Arc::ptr_eq(&warm, &s.deployment()));
+    }
+
+    #[test]
+    fn site_workloads_are_shared_across_calls_and_clones() {
+        let s = Scenario::baseline(21);
+        let a = s.target_sites(7);
+        assert_eq!(a.len(), 14, "7 Tranco + 7 CBL");
+        let b = s.target_sites(7);
+        assert!(Arc::ptr_eq(&a, &b), "repeat call regenerated the sites");
+        let c = s.clone().target_sites(7);
+        assert!(Arc::ptr_eq(&a, &c), "scenario clone regenerated the sites");
+        // Different keys coexist.
+        let top = s.top_sites(SiteList::Tranco, 7);
+        assert_eq!(top.len(), 7);
+        assert!(Arc::ptr_eq(&top, &s.top_sites(SiteList::Tranco, 7)));
+        assert!(Arc::ptr_eq(&a, &s.target_sites(7)));
+    }
+
+    #[test]
+    fn cached_sites_match_fresh_builds() {
+        let s = Scenario::baseline(22);
+        let cached = s.target_sites(4);
+        assert_eq!(&cached[..], &crate::measure::target_sites(4)[..]);
+        let top = s.top_sites(SiteList::Cbl, 5);
+        assert_eq!(&top[..], &Website::top(SiteList::Cbl, 5)[..]);
+    }
+
+    #[test]
+    fn site_caching_can_be_bypassed_for_ab_runs() {
+        let s = Scenario::baseline(23);
+        let warm = s.target_sites(3);
+        s.set_site_caching(false);
+        let cold = s.target_sites(3);
+        assert!(!Arc::ptr_eq(&warm, &cold), "bypass still hit the cache");
+        assert_eq!(&warm[..], &cold[..], "regeneration diverged");
+        s.set_site_caching(true);
+        assert!(Arc::ptr_eq(&warm, &s.target_sites(3)));
     }
 
     #[test]

@@ -27,8 +27,10 @@
 //!
 //! A fourth facility is the process-wide performance counter set in
 //! [`perf`] — monotone relaxed atomics (`path/index_pick`,
-//! `path/scan_fallback`, `deployment/rebuilds_saved`) for hot paths
-//! that have no recorder handle. They are write-only from simulation
+//! `path/scan_fallback`, `deployment/rebuilds_saved`,
+//! `flow/inline_nodes`, `browser/scratch_hits`, `site/rebuilds_saved`)
+//! for hot paths that have no recorder handle or whose tallies depend
+//! on warmup state and therefore must not enter the trace stream. They are write-only from simulation
 //! code and excluded from the deterministic trace stream.
 //!
 //! The crate is intentionally dependency-free (it sits *below*

@@ -75,6 +75,13 @@ impl FairNetwork {
         self.capacity.len()
     }
 
+    /// Removes every node, keeping the allocated capacity so a reused
+    /// network (e.g. inside a per-worker scratch) can be rebuilt
+    /// without reallocating.
+    pub fn clear(&mut self) {
+        self.capacity.clear();
+    }
+
     /// True if the network has no nodes.
     pub fn is_empty(&self) -> bool {
         self.capacity.is_empty()
@@ -138,25 +145,191 @@ pub fn maxmin_rates_recorded(
     MAXMIN_STATE.with(|state| match state.try_borrow_mut() {
         Ok(mut state) => state.rates(net, flows, rec),
         // Re-entrant call (possible only if a recorder implementation
-        // itself allocates rates): fall back to fresh state.
-        Err(_) => sched::MaxMinState::new().rates(net, flows, rec),
+        // itself allocates rates): fall back to fresh state, and make
+        // the fallback visible — a silent per-call scratch rebuild
+        // would defeat the allocation-free contract undetected.
+        Err(_) => {
+            rec.add("maxmin/state_fallback", 1);
+            sched::MaxMinState::new().rates(net, flows, rec)
+        }
     })
 }
 
-/// A flow submitted to the fluid scheduler.
-#[derive(Debug, Clone)]
+/// The node list of one flow inside a [`FlowBatch`]: up to two ids
+/// stored inline in the flow record itself, longer paths spilled to the
+/// batch's shared arena. Real measurement flows overwhelmingly cross a
+/// single tunnel node (the browser submits ~64 one-node flows per
+/// page), so the inline form makes the common case allocation-free —
+/// previously every flow owned a heap-allocated `Vec<NodeId>`.
+///
+/// Ids are stored *raw*, exactly as submitted: both schedulers sort and
+/// deduplicate on entry, so an inline `[n, n]` path and a spilled
+/// `[n, n, n]` path schedule identically (property-tested).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowNodes {
+    /// `ids[..len]` holds the path (0, 1 or 2 nodes).
+    Inline {
+        /// Number of valid entries in `ids`.
+        len: u8,
+        /// Inline node storage.
+        ids: [NodeId; 2],
+    },
+    /// The path lives at `arena[start..start + len]` in the owning
+    /// [`FlowBatch`].
+    Spilled {
+        /// Arena offset of the first node id.
+        start: u32,
+        /// Path length.
+        len: u32,
+    },
+}
+
+/// A flow submitted to the fluid scheduler as part of a [`FlowBatch`].
+#[derive(Debug, Clone, Copy)]
 pub struct FluidFlow {
     /// When the flow's first byte becomes available to send.
     pub start: SimTime,
     /// Payload size in bytes.
     pub bytes: f64,
-    /// Nodes traversed (see [`FlowDemand::nodes`]).
-    pub nodes: Vec<NodeId>,
+    /// Nodes traversed (see [`FlowDemand::nodes`]); resolve against the
+    /// owning batch with [`FlowBatch::path`].
+    pub nodes: FlowNodes,
     /// Optional per-flow rate cap (see [`FlowDemand::cap`]).
     pub cap: Option<f64>,
     /// Fixed latency added to the flow's completion (propagation, slow
     /// start excess, protocol chatter).
     pub extra_latency: SimDuration,
+}
+
+/// A reusable batch of fluid flows: the flow records plus one shared
+/// node-id arena for paths longer than the inline limit. This is the
+/// submission unit of the fluid-scheduling API — callers build a batch
+/// (reusing its capacity across measurements via [`FlowBatch::clear`])
+/// and hand the whole thing to [`fluid_schedule`].
+#[derive(Debug, Clone, Default)]
+pub struct FlowBatch {
+    flows: Vec<FluidFlow>,
+    arena: Vec<NodeId>,
+    grow_events: u64,
+}
+
+impl FlowBatch {
+    /// An empty batch.
+    pub fn new() -> FlowBatch {
+        FlowBatch::default()
+    }
+
+    /// Removes every flow, keeping the flow and arena capacity so a
+    /// warm batch never reallocates.
+    pub fn clear(&mut self) {
+        self.flows.clear();
+        self.arena.clear();
+    }
+
+    /// Number of flows in the batch.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True if the batch holds no flows.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// The flow records, in submission order.
+    pub fn flows(&self) -> &[FluidFlow] {
+        &self.flows
+    }
+
+    /// Flow `i`'s node path, exactly as submitted (raw: duplicates are
+    /// preserved; the schedulers deduplicate on entry).
+    pub fn path(&self, i: usize) -> &[NodeId] {
+        match self.flows[i].nodes {
+            FlowNodes::Inline { len, ref ids } => &ids[..len as usize],
+            FlowNodes::Spilled { start, len } => {
+                &self.arena[start as usize..(start + len) as usize]
+            }
+        }
+    }
+
+    /// Times the flow vec or the arena had to grow (the same
+    /// allocation proxy as [`FluidScheduler::scratch_grows`]). Zero
+    /// across a warm rebuild means pushing was allocation-free.
+    pub fn grow_events(&self) -> u64 {
+        self.grow_events
+    }
+
+    /// Appends a flow. Paths of up to two nodes are stored inline
+    /// (counted process-wide as `flow/inline_nodes`); longer ones spill
+    /// to the shared arena.
+    pub fn push(
+        &mut self,
+        start: SimTime,
+        bytes: f64,
+        nodes: &[NodeId],
+        cap: Option<f64>,
+        extra_latency: SimDuration,
+    ) {
+        let repr = if nodes.len() <= 2 {
+            ptperf_obs::perf::incr_flow_inline_nodes(1);
+            let mut ids = [0usize; 2];
+            ids[..nodes.len()].copy_from_slice(nodes);
+            FlowNodes::Inline { len: nodes.len() as u8, ids }
+        } else {
+            self.spill(nodes)
+        };
+        self.push_flow(start, bytes, repr, cap, extra_latency);
+    }
+
+    /// Appends a flow whose path is forced into the spilled
+    /// representation regardless of length. Exists so the equivalence
+    /// property tests can prove inline and spilled forms of the same
+    /// path schedule identically; production callers want [`push`].
+    ///
+    /// [`push`]: FlowBatch::push
+    pub fn push_spilled(
+        &mut self,
+        start: SimTime,
+        bytes: f64,
+        nodes: &[NodeId],
+        cap: Option<f64>,
+        extra_latency: SimDuration,
+    ) {
+        let repr = self.spill(nodes);
+        self.push_flow(start, bytes, repr, cap, extra_latency);
+    }
+
+    fn spill(&mut self, nodes: &[NodeId]) -> FlowNodes {
+        let start = self.arena.len();
+        if start + nodes.len() > self.arena.capacity() {
+            self.grow_events += 1;
+        }
+        self.arena.extend_from_slice(nodes);
+        FlowNodes::Spilled {
+            start: start as u32,
+            len: nodes.len() as u32,
+        }
+    }
+
+    fn push_flow(
+        &mut self,
+        start: SimTime,
+        bytes: f64,
+        nodes: FlowNodes,
+        cap: Option<f64>,
+        extra_latency: SimDuration,
+    ) {
+        if self.flows.len() == self.flows.capacity() {
+            self.grow_events += 1;
+        }
+        self.flows.push(FluidFlow {
+            start,
+            bytes,
+            nodes,
+            cap,
+            extra_latency,
+        });
+    }
 }
 
 /// Completion report for one fluid flow.
@@ -176,8 +349,8 @@ pub struct FluidCompletion {
 /// the hot path is allocation-free after warmup and each step costs
 /// O(log E) heap work plus one allocation pass only when the active set
 /// actually changed.
-pub fn fluid_schedule(net: &FairNetwork, flows: &[FluidFlow]) -> Vec<FluidCompletion> {
-    fluid_schedule_recorded(net, flows, &mut NullRecorder)
+pub fn fluid_schedule(net: &FairNetwork, batch: &FlowBatch) -> Vec<FluidCompletion> {
+    fluid_schedule_recorded(net, batch, &mut NullRecorder)
 }
 
 /// [`fluid_schedule`] with observation: counts scheduler steps
@@ -187,14 +360,23 @@ pub fn fluid_schedule(net: &FairNetwork, flows: &[FluidFlow]) -> Vec<FluidComple
 /// so per-step work (`maxmin/recomputations`, `maxmin/fast_path`) is
 /// visible too. Delegation works the same way as for `maxmin_rates`:
 /// one body, observations only.
+///
+/// A re-entrant call (a recorder implementation that itself schedules
+/// flows) cannot borrow the thread-local scheduler a second time; it
+/// runs on throwaway fresh state and counts the event as
+/// `fluid/state_fallback`. Hold a [`FluidScheduler`] (or a per-worker
+/// scratch embedding one) directly to avoid the thread-local entirely.
 pub fn fluid_schedule_recorded(
     net: &FairNetwork,
-    flows: &[FluidFlow],
+    batch: &FlowBatch,
     rec: &mut dyn Recorder,
 ) -> Vec<FluidCompletion> {
     FLUID_STATE.with(|state| match state.try_borrow_mut() {
-        Ok(mut s) => s.run_recorded(net, flows, rec),
-        Err(_) => FluidScheduler::new().run_recorded(net, flows, rec),
+        Ok(mut s) => s.run_recorded(net, batch, rec),
+        Err(_) => {
+            rec.add("fluid/state_fallback", 1);
+            FluidScheduler::new().run_recorded(net, batch, rec)
+        }
     })
 }
 
@@ -202,7 +384,7 @@ pub fn fluid_schedule_recorded(
 /// instances (used by `ptperf-bench` and the equivalence tests; kept
 /// here so instance generation is versioned with the allocator).
 pub mod maxmin_demo {
-    use super::{maxmin_rates, FairNetwork, FlowDemand, FluidFlow};
+    use super::{maxmin_rates, FairNetwork, FlowBatch, FlowDemand};
     use crate::rng::SimRng;
     use crate::time::{SimDuration, SimTime};
 
@@ -285,8 +467,8 @@ pub mod maxmin_demo {
     pub struct FluidInstance {
         /// The node set.
         pub net: FairNetwork,
-        /// The flows, with start times, sizes and optional caps.
-        pub flows: Vec<FluidFlow>,
+        /// The flow batch, with start times, sizes and optional caps.
+        pub batch: FlowBatch,
     }
 
     /// Generates a random fluid workload over `n_nodes` nodes: zero-byte
@@ -299,32 +481,29 @@ pub mod maxmin_demo {
         n_flows: usize,
     ) -> FluidInstance {
         let raw = random_instance_raw(rng, n_nodes, n_flows);
-        let flows = raw
-            .flows
-            .into_iter()
-            .map(|d| {
-                let bytes = if rng.chance(0.15) {
-                    0.0
-                } else {
-                    rng.range_f64(1.0, 5.0e6)
-                };
-                let start = if rng.chance(0.3) {
-                    SimTime::ZERO
-                } else {
-                    SimTime::from_nanos(rng.below(200) * 10_000_000)
-                };
-                FluidFlow {
-                    start,
-                    bytes,
-                    nodes: d.nodes,
-                    cap: d.cap,
-                    extra_latency: SimDuration::from_nanos(rng.below(50_000_000)),
-                }
-            })
-            .collect();
+        let mut batch = FlowBatch::new();
+        for d in raw.flows {
+            let bytes = if rng.chance(0.15) {
+                0.0
+            } else {
+                rng.range_f64(1.0, 5.0e6)
+            };
+            let start = if rng.chance(0.3) {
+                SimTime::ZERO
+            } else {
+                SimTime::from_nanos(rng.below(200) * 10_000_000)
+            };
+            batch.push(
+                start,
+                bytes,
+                &d.nodes,
+                d.cap,
+                SimDuration::from_nanos(rng.below(50_000_000)),
+            );
+        }
         FluidInstance {
             net: raw.net,
-            flows,
+            batch,
         }
     }
 
@@ -337,19 +516,18 @@ pub mod maxmin_demo {
         let mut net = FairNetwork::new();
         let tunnel = net.add_node(rate_bps);
         let per_req = SimDuration::from_millis(180);
-        let flows = (0..n_flows)
-            .map(|i| {
-                let wave = (i / 6) as u64;
-                FluidFlow {
-                    start: SimTime::ZERO + per_req * wave.min(20),
-                    bytes: rng.range_f64(500.0, 400_000.0),
-                    nodes: vec![tunnel],
-                    cap: None,
-                    extra_latency: per_req,
-                }
-            })
-            .collect();
-        FluidInstance { net, flows }
+        let mut batch = FlowBatch::new();
+        for i in 0..n_flows {
+            let wave = (i / 6) as u64;
+            batch.push(
+                SimTime::ZERO + per_req * wave.min(20),
+                rng.range_f64(500.0, 400_000.0),
+                &[tunnel],
+                None,
+                per_req,
+            );
+        }
+        FluidInstance { net, batch }
     }
 
     /// Solves an instance.
@@ -508,16 +686,9 @@ mod tests {
     #[test]
     fn fluid_single_flow_duration() {
         let n = net(&[10.0]); // 10 bytes/s
-        let done = fluid_schedule(
-            &n,
-            &[FluidFlow {
-                start: SimTime::ZERO,
-                bytes: 100.0,
-                nodes: vec![0],
-                cap: None,
-                extra_latency: SimDuration::ZERO,
-            }],
-        );
+        let mut b = FlowBatch::new();
+        b.push(SimTime::ZERO, 100.0, &[0], None, SimDuration::ZERO);
+        let done = fluid_schedule(&n, &b);
         assert!((done[0].finish.as_secs_f64() - 10.0).abs() < 1e-6);
     }
 
@@ -526,14 +697,10 @@ mod tests {
         // Two equal flows share 10 B/s: each runs at 5 until the first
         // finishes... they finish together at t=20 (100 bytes each).
         let n = net(&[10.0]);
-        let f = FluidFlow {
-            start: SimTime::ZERO,
-            bytes: 100.0,
-            nodes: vec![0],
-            cap: None,
-            extra_latency: SimDuration::ZERO,
-        };
-        let done = fluid_schedule(&n, &[f.clone(), f]);
+        let mut b = FlowBatch::new();
+        b.push(SimTime::ZERO, 100.0, &[0], None, SimDuration::ZERO);
+        b.push(SimTime::ZERO, 100.0, &[0], None, SimDuration::ZERO);
+        let done = fluid_schedule(&n, &b);
         assert!((done[0].finish.as_secs_f64() - 20.0).abs() < 1e-6);
         assert!((done[1].finish.as_secs_f64() - 20.0).abs() < 1e-6);
     }
@@ -545,25 +712,16 @@ mod tests {
         // 10–20: both at 5 B/s → B done at t=20 (50 B), A has 50 left.
         // 20–25: A alone at 10 B/s → done at t=25.
         let n = net(&[10.0]);
-        let done = fluid_schedule(
-            &n,
-            &[
-                FluidFlow {
-                    start: SimTime::ZERO,
-                    bytes: 200.0,
-                    nodes: vec![0],
-                    cap: None,
-                    extra_latency: SimDuration::ZERO,
-                },
-                FluidFlow {
-                    start: SimTime::from_nanos(10_000_000_000),
-                    bytes: 50.0,
-                    nodes: vec![0],
-                    cap: None,
-                    extra_latency: SimDuration::ZERO,
-                },
-            ],
+        let mut b = FlowBatch::new();
+        b.push(SimTime::ZERO, 200.0, &[0], None, SimDuration::ZERO);
+        b.push(
+            SimTime::from_nanos(10_000_000_000),
+            50.0,
+            &[0],
+            None,
+            SimDuration::ZERO,
         );
+        let done = fluid_schedule(&n, &b);
         assert!((done[1].finish.as_secs_f64() - 20.0).abs() < 1e-6, "{done:?}");
         assert!((done[0].finish.as_secs_f64() - 25.0).abs() < 1e-6, "{done:?}");
     }
@@ -571,16 +729,9 @@ mod tests {
     #[test]
     fn fluid_extra_latency_added() {
         let n = net(&[10.0]);
-        let done = fluid_schedule(
-            &n,
-            &[FluidFlow {
-                start: SimTime::ZERO,
-                bytes: 10.0,
-                nodes: vec![0],
-                cap: None,
-                extra_latency: SimDuration::from_secs(2),
-            }],
-        );
+        let mut b = FlowBatch::new();
+        b.push(SimTime::ZERO, 10.0, &[0], None, SimDuration::from_secs(2));
+        let done = fluid_schedule(&n, &b);
         assert!((done[0].finish.as_secs_f64() - 3.0).abs() < 1e-6);
     }
 
@@ -680,44 +831,32 @@ mod tests {
         // three constant-rate segments → three fluid steps, each with one
         // max-min recomputation (the active set changes at every event).
         let n = net(&[10.0]);
-        let flows = [
-            FluidFlow {
-                start: SimTime::ZERO,
-                bytes: 200.0,
-                nodes: vec![0],
-                cap: None,
-                extra_latency: SimDuration::ZERO,
-            },
-            FluidFlow {
-                start: SimTime::from_nanos(10_000_000_000),
-                bytes: 50.0,
-                nodes: vec![0],
-                cap: None,
-                extra_latency: SimDuration::ZERO,
-            },
-        ];
+        let mut b = FlowBatch::new();
+        b.push(SimTime::ZERO, 200.0, &[0], None, SimDuration::ZERO);
+        b.push(
+            SimTime::from_nanos(10_000_000_000),
+            50.0,
+            &[0],
+            None,
+            SimDuration::ZERO,
+        );
         let mut rec = ptperf_obs::MemoryRecorder::new();
-        let recorded = fluid_schedule_recorded(&n, &flows, &mut rec);
-        let plain = fluid_schedule(&n, &flows);
+        let recorded = fluid_schedule_recorded(&n, &b, &mut rec);
+        let plain = fluid_schedule(&n, &b);
         assert_eq!(recorded, plain);
         let data = rec.into_data();
         assert_eq!(data.counter("fluid/steps"), Some(3));
         assert_eq!(data.counter("maxmin/recomputations"), Some(3));
+        // The happy path never touches the re-entrancy fallback.
+        assert_eq!(data.counter("fluid/state_fallback"), None);
     }
 
     #[test]
     fn fluid_zero_byte_flow_completes_at_start() {
         let n = net(&[10.0]);
-        let done = fluid_schedule(
-            &n,
-            &[FluidFlow {
-                start: SimTime::from_nanos(5),
-                bytes: 0.0,
-                nodes: vec![0],
-                cap: None,
-                extra_latency: SimDuration::ZERO,
-            }],
-        );
+        let mut b = FlowBatch::new();
+        b.push(SimTime::from_nanos(5), 0.0, &[0], None, SimDuration::ZERO);
+        let done = fluid_schedule(&n, &b);
         assert_eq!(done[0].finish.as_nanos(), 5);
     }
 
@@ -727,24 +866,17 @@ mod tests {
         // leaves the active set unchanged, so the scheduler reuses the
         // previous rates instead of re-running the allocator.
         let n = net(&[10.0]);
-        let flows = [
-            FluidFlow {
-                start: SimTime::ZERO,
-                bytes: 100.0,
-                nodes: vec![0],
-                cap: None,
-                extra_latency: SimDuration::ZERO,
-            },
-            FluidFlow {
-                start: SimTime::from_nanos(5_000_000_000),
-                bytes: 0.0,
-                nodes: vec![0],
-                cap: None,
-                extra_latency: SimDuration::ZERO,
-            },
-        ];
+        let mut b = FlowBatch::new();
+        b.push(SimTime::ZERO, 100.0, &[0], None, SimDuration::ZERO);
+        b.push(
+            SimTime::from_nanos(5_000_000_000),
+            0.0,
+            &[0],
+            None,
+            SimDuration::ZERO,
+        );
         let mut rec = ptperf_obs::MemoryRecorder::new();
-        let done = fluid_schedule_recorded(&n, &flows, &mut rec);
+        let done = fluid_schedule_recorded(&n, &b, &mut rec);
         assert_eq!(done[1].finish.as_nanos(), 5_000_000_000);
         assert!((done[0].finish.as_secs_f64() - 10.0).abs() < 1e-6);
         let data = rec.into_data();
@@ -753,6 +885,114 @@ mod tests {
         assert_eq!(data.counter("maxmin/recomputations"), Some(1));
         // The reference recomputes unconditionally yet lands on the
         // exact same completion times.
-        assert_eq!(done, reference::fluid_schedule(&n, &flows));
+        assert_eq!(done, reference::fluid_schedule(&n, &b));
+    }
+
+    #[test]
+    fn flow_batch_stores_inline_and_spilled_paths() {
+        let before = ptperf_obs::perf::snapshot();
+        let mut b = FlowBatch::new();
+        b.push(SimTime::ZERO, 1.0, &[], Some(1.0), SimDuration::ZERO);
+        b.push(SimTime::ZERO, 1.0, &[3], None, SimDuration::ZERO);
+        b.push(SimTime::ZERO, 1.0, &[4, 2], None, SimDuration::ZERO);
+        b.push(SimTime::ZERO, 1.0, &[5, 1, 5], None, SimDuration::ZERO);
+        b.push_spilled(SimTime::ZERO, 1.0, &[7], None, SimDuration::ZERO);
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.path(0), &[] as &[NodeId]);
+        assert_eq!(b.path(1), &[3]);
+        assert_eq!(b.path(2), &[4, 2]);
+        assert_eq!(b.path(3), &[5, 1, 5], "raw path order and duplicates kept");
+        assert_eq!(b.path(4), &[7]);
+        assert!(matches!(b.flows()[1].nodes, FlowNodes::Inline { len: 1, .. }));
+        assert!(matches!(b.flows()[3].nodes, FlowNodes::Spilled { .. }));
+        assert!(matches!(b.flows()[4].nodes, FlowNodes::Spilled { .. }));
+        let d = ptperf_obs::perf::snapshot().delta_since(&before);
+        assert!(d.flow_inline_nodes >= 3, "three pushes fit inline");
+    }
+
+    #[test]
+    fn warm_flow_batch_rebuild_is_allocation_free() {
+        let mut b = FlowBatch::new();
+        for round in 0..3u64 {
+            b.clear();
+            for i in 0..32usize {
+                b.push(
+                    SimTime::from_nanos(round * 7 + i as u64),
+                    64.0,
+                    &[i % 3, 5, 9, i % 2],
+                    None,
+                    SimDuration::ZERO,
+                );
+            }
+            if round == 0 {
+                assert!(b.grow_events() > 0, "cold build must allocate");
+            }
+        }
+        let warm = b.grow_events();
+        b.clear();
+        for i in 0..32usize {
+            b.push(
+                SimTime::from_nanos(i as u64),
+                64.0,
+                &[i % 3, 5, 9, i % 2],
+                None,
+                SimDuration::ZERO,
+            );
+        }
+        assert_eq!(b.grow_events(), warm, "warm rebuild grew a buffer");
+    }
+
+    /// A recorder that re-enters `fluid_schedule_recorded` from inside
+    /// a run: the thread-local scheduler is already borrowed, so the
+    /// inner call must take the counted fresh-state fallback and still
+    /// produce oracle-exact results.
+    struct ReentrantRecorder {
+        net: FairNetwork,
+        batch: FlowBatch,
+        inner: ptperf_obs::MemoryRecorder,
+        fired: bool,
+    }
+
+    impl Recorder for ReentrantRecorder {
+        fn enabled(&self) -> bool {
+            true
+        }
+
+        fn add(&mut self, key: &'static str, _n: u64) {
+            if key == "fluid/steps" && !self.fired {
+                self.fired = true;
+                let done = fluid_schedule_recorded(&self.net, &self.batch, &mut self.inner);
+                assert_eq!(
+                    done,
+                    reference::fluid_schedule(&self.net, &self.batch),
+                    "re-entrant schedule diverged from the oracle"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reentrant_fluid_call_counts_state_fallback() {
+        let mut inner_batch = FlowBatch::new();
+        inner_batch.push(SimTime::ZERO, 100.0, &[0], None, SimDuration::ZERO);
+        let mut rec = ReentrantRecorder {
+            net: net(&[10.0]),
+            batch: inner_batch,
+            inner: ptperf_obs::MemoryRecorder::new(),
+            fired: false,
+        };
+        let n = net(&[10.0]);
+        let mut outer = FlowBatch::new();
+        outer.push(SimTime::ZERO, 50.0, &[0], None, SimDuration::ZERO);
+        let done = fluid_schedule_recorded(&n, &outer, &mut rec);
+        assert!(rec.fired, "recorder never re-entered the scheduler");
+        assert!((done[0].finish.as_secs_f64() - 5.0).abs() < 1e-6);
+        let data = rec.inner.into_data();
+        assert_eq!(
+            data.counter("fluid/state_fallback"),
+            Some(1),
+            "re-entrant call must be counted, not silent"
+        );
+        assert_eq!(data.counter("fluid/steps"), Some(1));
     }
 }

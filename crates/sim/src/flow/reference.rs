@@ -21,7 +21,7 @@
 
 use ptperf_obs::{NullRecorder, Recorder};
 
-use super::{FairNetwork, FlowDemand, FluidCompletion, FluidFlow, NodeId};
+use super::{FairNetwork, FlowBatch, FlowDemand, FluidCompletion, NodeId};
 use crate::time::{SimDuration, SimTime};
 
 /// Reference [`super::maxmin_rates`]: progressive filling recomputed
@@ -164,18 +164,21 @@ pub fn maxmin_rates_recorded(
 
 /// Reference [`super::fluid_schedule`]: rescans every flow and rebuilds
 /// the demand `Vec` at every constant-rate segment.
-pub fn fluid_schedule(net: &FairNetwork, flows: &[FluidFlow]) -> Vec<FluidCompletion> {
-    fluid_schedule_recorded(net, flows, &mut NullRecorder)
+pub fn fluid_schedule(net: &FairNetwork, batch: &FlowBatch) -> Vec<FluidCompletion> {
+    fluid_schedule_recorded(net, batch, &mut NullRecorder)
 }
 
 /// Reference [`super::fluid_schedule_recorded`]. Recomputes the
-/// allocation unconditionally at every step, so it never emits
-/// `fluid/realloc_skipped`.
+/// allocation unconditionally at every step (so it never emits
+/// `fluid/realloc_skipped`), and clones each active flow's node path
+/// out of the batch into a per-step demand `Vec` — the retained
+/// allocating path the unit benchmark measures against.
 pub fn fluid_schedule_recorded(
     net: &FairNetwork,
-    flows: &[FluidFlow],
+    batch: &FlowBatch,
     rec: &mut dyn Recorder,
 ) -> Vec<FluidCompletion> {
+    let flows = batch.flows();
     #[derive(Clone)]
     struct Live {
         remaining: f64,
@@ -230,7 +233,7 @@ pub fn fluid_schedule_recorded(
         let demands: Vec<FlowDemand> = active_idx
             .iter()
             .map(|&i| FlowDemand {
-                nodes: flows[i].nodes.clone(),
+                nodes: batch.path(i).to_vec(),
                 cap: flows[i].cap,
             })
             .collect();

@@ -7,7 +7,9 @@
 //! borrowed by slice instead of cloned per step, and a min-heap of
 //! pending arrivals so advancing virtual time is O(log E). After
 //! warmup a `fluid_schedule` run performs no heap allocation beyond
-//! the returned completion `Vec`.
+//! the returned completion `Vec` — and even that disappears for
+//! callers of [`FluidScheduler::run_recorded_into`], which writes into
+//! a caller-owned buffer.
 //!
 //! Bit-for-bit equivalence with [`super::reference`] is load-bearing
 //! (proven in `crates/sim/tests/equivalence.rs`): the order of every
@@ -22,7 +24,7 @@ use std::collections::BinaryHeap;
 
 use ptperf_obs::{NullRecorder, Recorder};
 
-use super::{FairNetwork, FlowDemand, FluidCompletion, FluidFlow, NodeId};
+use super::{FairNetwork, FlowBatch, FlowDemand, FluidCompletion, NodeId};
 use crate::time::{SimDuration, SimTime};
 
 /// Borrowed CSR view of a batch of flow demands: flow `f`'s
@@ -419,8 +421,8 @@ impl FluidScheduler {
     }
 
     /// Runs the fluid schedule (see [`super::fluid_schedule`]).
-    pub fn run(&mut self, net: &FairNetwork, flows: &[FluidFlow]) -> Vec<FluidCompletion> {
-        self.run_recorded(net, flows, &mut NullRecorder)
+    pub fn run(&mut self, net: &FairNetwork, batch: &FlowBatch) -> Vec<FluidCompletion> {
+        self.run_recorded(net, batch, &mut NullRecorder)
     }
 
     /// Times a scratch buffer has had to grow over this scheduler's
@@ -440,9 +442,28 @@ impl FluidScheduler {
     pub fn run_recorded(
         &mut self,
         net: &FairNetwork,
-        flows: &[FluidFlow],
+        batch: &FlowBatch,
         rec: &mut dyn Recorder,
     ) -> Vec<FluidCompletion> {
+        let mut out = Vec::new();
+        self.run_recorded_into(net, batch, &mut out, rec);
+        out
+    }
+
+    /// [`run_recorded`](FluidScheduler::run_recorded) writing the
+    /// completions into a caller-owned buffer, so a warm caller (e.g. a
+    /// per-worker page-load scratch) performs *zero* allocations per
+    /// run — the returned-`Vec` exemption in the scheduler's contract
+    /// disappears. `out` is cleared first; completions land in flow
+    /// submission order.
+    pub fn run_recorded_into(
+        &mut self,
+        net: &FairNetwork,
+        batch: &FlowBatch,
+        out: &mut Vec<FluidCompletion>,
+        rec: &mut dyn Recorder,
+    ) {
+        let flows = batch.flows();
         let caps_before = [
             self.heap.capacity(),
             self.active.capacity(),
@@ -465,14 +486,14 @@ impl FluidScheduler {
         for (i, f) in flows.iter().enumerate() {
             if f.bytes > 0.0 {
                 assert!(
-                    !f.nodes.is_empty() || f.cap.is_some(),
+                    !batch.path(i).is_empty() || f.cap.is_some(),
                     "flow {i} has no node constraint and no cap: demand is unbounded"
                 );
                 if let Some(c) = f.cap {
                     assert!(c > 0.0 && c.is_finite(), "flow {i} has invalid cap {c}");
                 }
                 let start = self.nodes.len();
-                for &n in &f.nodes {
+                for &n in batch.path(i) {
                     assert!(n < net.len(), "flow {i} references unknown node {n}");
                     self.nodes.push(n);
                 }
@@ -495,7 +516,10 @@ impl FluidScheduler {
 
         let mut now = match self.heap.peek() {
             Some(&Reverse((t, _))) => t,
-            None => return Vec::new(),
+            None => {
+                out.clear();
+                return;
+            }
         };
         let mut set_changed = true;
         loop {
@@ -599,9 +623,7 @@ impl FluidScheduler {
             .filter(|(b, a)| a > b)
             .count() as u64;
 
-        self.finish
-            .iter()
-            .map(|&finish| FluidCompletion { finish })
-            .collect()
+        out.clear();
+        out.extend(self.finish.iter().map(|&finish| FluidCompletion { finish }));
     }
 }

@@ -39,7 +39,7 @@ pub mod topology;
 pub mod xfer;
 
 pub use event::{Engine, EngineStats};
-pub use flow::{fluid_schedule, fluid_schedule_recorded, maxmin_demo, maxmin_rates, maxmin_rates_recorded, FairNetwork, FlowDemand, FluidCompletion, FluidFlow, FluidScheduler, NodeId};
+pub use flow::{fluid_schedule, fluid_schedule_recorded, maxmin_demo, maxmin_rates, maxmin_rates_recorded, FairNetwork, FlowBatch, FlowDemand, FlowNodes, FluidCompletion, FluidFlow, FluidScheduler, NodeId};
 pub use load::{effective_capacity, LoadProfile, LoadTimeline};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

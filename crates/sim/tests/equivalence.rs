@@ -62,8 +62,8 @@ fn fluid_matches_reference_on_random_workloads() {
         let n_nodes = 1 + (seed % 7) as usize;
         let n_flows = 1 + (seed % 29) as usize;
         let inst = maxmin_demo::random_fluid_instance(&mut rng, n_nodes, n_flows);
-        let got = fluid_schedule(&inst.net, &inst.flows);
-        let want = reference::fluid_schedule(&inst.net, &inst.flows);
+        let got = fluid_schedule(&inst.net, &inst.batch);
+        let want = reference::fluid_schedule(&inst.net, &inst.batch);
         assert_eq!(got.len(), want.len(), "seed {seed}");
         for (i, (g, w)) in got.iter().zip(&want).enumerate() {
             assert_eq!(
@@ -85,8 +85,8 @@ fn fluid_matches_reference_on_browser_workloads() {
         let mut rng = SimRng::new(40_000 + seed);
         let n_flows = 1 + (seed % 96) as usize;
         let inst = maxmin_demo::browser_style_instance(&mut rng, n_flows, 2.0e6);
-        let got = fluid_schedule(&inst.net, &inst.flows);
-        let want = reference::fluid_schedule(&inst.net, &inst.flows);
+        let got = fluid_schedule(&inst.net, &inst.batch);
+        let want = reference::fluid_schedule(&inst.net, &inst.batch);
         for (i, (g, w)) in got.iter().zip(&want).enumerate() {
             assert_eq!(g.finish.as_nanos(), w.finish.as_nanos(), "seed {seed}, flow {i}");
         }
@@ -110,8 +110,8 @@ fn warm_scheduler_state_never_leaks_between_workloads() {
                 1 + (seed % 21) as usize,
             )
         };
-        let got = sched.run(&inst.net, &inst.flows);
-        let want = reference::fluid_schedule(&inst.net, &inst.flows);
+        let got = sched.run(&inst.net, &inst.batch);
+        let want = reference::fluid_schedule(&inst.net, &inst.batch);
         assert_eq!(got.len(), want.len(), "seed {seed}");
         for (i, (g, w)) in got.iter().zip(&want).enumerate() {
             assert_eq!(

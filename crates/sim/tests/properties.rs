@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 
-use ptperf_sim::flow::{fluid_schedule, maxmin_rates, reference, FairNetwork, FlowDemand, FluidFlow};
-use ptperf_sim::{SimDuration, SimRng, SimTime, TransferModel};
+use ptperf_sim::flow::{fluid_schedule, maxmin_rates, reference, FairNetwork, FlowDemand};
+use ptperf_sim::{FlowBatch, SimDuration, SimRng, SimTime, TransferModel};
 
 type FlowSpecs = Vec<(Vec<usize>, Option<f64>)>;
 
@@ -76,17 +76,34 @@ fn arb_fluid_workload() -> impl Strategy<Value = (Vec<f64>, FluidSpecs)> {
     })
 }
 
-fn build_fluid_flows(specs: &FluidSpecs) -> Vec<FluidFlow> {
-    specs
-        .iter()
-        .map(|(nodes, cap, zero, bytes, slot, extra_ms)| FluidFlow {
-            start: SimTime::ZERO + SimDuration::from_millis(slot * 10),
-            bytes: if *zero { 0.0 } else { *bytes },
-            nodes: nodes.clone(),
-            cap: if nodes.is_empty() { cap.or(Some(1.0)) } else { *cap },
-            extra_latency: SimDuration::from_millis(*extra_ms),
-        })
-        .collect()
+fn build_fluid_batch(specs: &FluidSpecs) -> FlowBatch {
+    let mut batch = FlowBatch::new();
+    for (nodes, cap, zero, bytes, slot, extra_ms) in specs {
+        batch.push(
+            SimTime::ZERO + SimDuration::from_millis(slot * 10),
+            if *zero { 0.0 } else { *bytes },
+            nodes,
+            if nodes.is_empty() { cap.or(Some(1.0)) } else { *cap },
+            SimDuration::from_millis(*extra_ms),
+        );
+    }
+    batch
+}
+
+/// The same workload with every path forced into the spilled
+/// representation (the inline/spill equivalence oracle's subject).
+fn build_fluid_batch_spilled(specs: &FluidSpecs) -> FlowBatch {
+    let mut batch = FlowBatch::new();
+    for (nodes, cap, zero, bytes, slot, extra_ms) in specs {
+        batch.push_spilled(
+            SimTime::ZERO + SimDuration::from_millis(slot * 10),
+            if *zero { 0.0 } else { *bytes },
+            nodes,
+            if nodes.is_empty() { cap.or(Some(1.0)) } else { *cap },
+            SimDuration::from_millis(*extra_ms),
+        );
+    }
+    batch
 }
 
 proptest! {
@@ -206,9 +223,9 @@ proptest! {
         for &c in &caps {
             net.add_node(c);
         }
-        let flows = build_fluid_flows(&specs);
-        let got = fluid_schedule(&net, &flows);
-        let want = reference::fluid_schedule(&net, &flows);
+        let batch = build_fluid_batch(&specs);
+        let got = fluid_schedule(&net, &batch);
+        let want = reference::fluid_schedule(&net, &batch);
         prop_assert_eq!(got.len(), want.len());
         for (i, (g, w)) in got.iter().zip(&want).enumerate() {
             prop_assert_eq!(
@@ -219,8 +236,36 @@ proptest! {
             );
         }
         // Sanity: no flow finishes before it starts + its extra latency.
-        for (f, d) in flows.iter().zip(&got) {
+        for (f, d) in batch.flows().iter().zip(&got) {
             prop_assert!(d.finish >= f.start + f.extra_latency);
+        }
+    }
+
+    /// A path stored inline and the same path forced into the arena
+    /// must schedule identically — the representation is invisible to
+    /// the scheduler (1-, 2- and >2-node paths all appear here: the
+    /// generator draws path lengths 0..5, and empty paths get a cap).
+    #[test]
+    fn inline_and_spilled_paths_schedule_identically((caps, specs) in arb_fluid_workload()) {
+        let mut net = FairNetwork::new();
+        for &c in &caps {
+            net.add_node(c);
+        }
+        let inline = build_fluid_batch(&specs);
+        let spilled = build_fluid_batch_spilled(&specs);
+        for i in 0..inline.len() {
+            prop_assert_eq!(inline.path(i), spilled.path(i), "path {} differs", i);
+        }
+        let got = fluid_schedule(&net, &inline);
+        let want = fluid_schedule(&net, &spilled);
+        prop_assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            prop_assert_eq!(
+                g.finish.as_nanos(),
+                w.finish.as_nanos(),
+                "flow {}: inline and spilled representations diverged",
+                i
+            );
         }
     }
 
@@ -234,20 +279,14 @@ proptest! {
     ) {
         let mut net = FairNetwork::new();
         let node_ids: Vec<usize> = caps.iter().map(|&c| net.add_node(c)).collect();
-        let flows: Vec<FluidFlow> = sizes
-            .iter()
-            .map(|&bytes| FluidFlow {
-                start: SimTime::ZERO,
-                bytes,
-                nodes: node_ids.clone(),
-                cap: None,
-                extra_latency: SimDuration::ZERO,
-            })
-            .collect();
-        let done = fluid_schedule(&net, &flows);
+        let mut batch = FlowBatch::new();
+        for &bytes in &sizes {
+            batch.push(SimTime::ZERO, bytes, &node_ids, None, SimDuration::ZERO);
+        }
+        let done = fluid_schedule(&net, &batch);
         let tightest = caps.iter().cloned().fold(f64::INFINITY, f64::min);
         let total_bytes: f64 = sizes.iter().sum();
-        for (f, d) in flows.iter().zip(&done) {
+        for (f, d) in batch.flows().iter().zip(&done) {
             let lower = f.bytes / tightest;
             let upper = total_bytes / tightest + 1e-6;
             let t = d.finish.as_secs_f64();

@@ -67,6 +67,37 @@ impl PtId {
         PtId::Shadowsocks,
     ];
 
+    /// Number of configurations (the twelve PTs plus vanilla Tor) — the
+    /// width of dense per-PT tables.
+    pub const COUNT: usize = 13;
+
+    /// A dense index in declaration order, which is also `Ord` order —
+    /// so a `[T; PtId::COUNT]` table iterated by index visits PTs in the
+    /// same order a `BTreeMap<PtId, T>` would.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`PtId::index`].
+    pub fn from_index(i: usize) -> Option<PtId> {
+        const ORDERED: [PtId; PtId::COUNT] = [
+            PtId::Vanilla,
+            PtId::Obfs4,
+            PtId::Shadowsocks,
+            PtId::Meek,
+            PtId::Psiphon,
+            PtId::Conjure,
+            PtId::Snowflake,
+            PtId::Dnstt,
+            PtId::Camoufler,
+            PtId::WebTunnel,
+            PtId::Cloak,
+            PtId::Stegotorus,
+            PtId::Marionette,
+        ];
+        ORDERED.get(i).copied()
+    }
+
     /// The lowercase name the paper uses.
     pub fn name(self) -> &'static str {
         match self {
@@ -234,6 +265,24 @@ mod tests {
         assert_eq!(PtId::Psiphon.hop_set(), HopSet::ServerBeforeGuard);
         assert_eq!(PtId::Marionette.hop_set(), HopSet::TorClientOnServer);
         assert_eq!(PtId::Cloak.hop_set(), HopSet::TorClientOnServer);
+    }
+
+    #[test]
+    fn dense_index_round_trips_in_ord_order() {
+        let mut seen = [false; PtId::COUNT];
+        for pt in PtId::ALL_WITH_VANILLA {
+            let i = pt.index();
+            assert!(i < PtId::COUNT);
+            assert_eq!(PtId::from_index(i), Some(pt));
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "index space must be dense");
+        assert_eq!(PtId::from_index(PtId::COUNT), None);
+        // Index order must equal Ord order, so columnar tables iterate
+        // like a BTreeMap keyed by PtId.
+        for i in 1..PtId::COUNT {
+            assert!(PtId::from_index(i - 1).unwrap() < PtId::from_index(i).unwrap());
+        }
     }
 
     #[test]

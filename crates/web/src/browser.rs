@@ -9,8 +9,11 @@
 //! resource contributes visual weight when it finishes, so the index sits
 //! *below* the full load time — the paper's §5.4 observation.
 
+use std::cell::RefCell;
+
 use ptperf_obs::{obs_debug, NullRecorder, Recorder};
-use ptperf_sim::{fluid_schedule_recorded, FairNetwork, FluidFlow, SimDuration, SimRng, SimTime};
+use ptperf_sim::flow::reference;
+use ptperf_sim::{FairNetwork, FlowBatch, FluidCompletion, FluidScheduler, SimDuration, SimRng, SimTime};
 
 use crate::channel::{Channel, Outcome};
 use crate::curl::PAGE_TIMEOUT;
@@ -19,6 +22,48 @@ use crate::website::Website;
 /// How many parallel connections the browser opens per origin (Chrome's
 /// per-host default).
 pub const BROWSER_PARALLELISM: usize = 6;
+
+/// Reusable page-load scratch: the fair network, the flow batch, the
+/// completion buffer and a private [`FluidScheduler`], all owned
+/// together so one warm `PageScratch` makes an entire page load
+/// allocation-free. A per-worker copy lives inside the executor's
+/// `UnitScratch`; the legacy entry points fall back to a thread-local
+/// instance so every caller shares the same model body.
+#[derive(Debug, Default)]
+pub struct PageScratch {
+    net: FairNetwork,
+    batch: FlowBatch,
+    completions: Vec<FluidCompletion>,
+    sched: FluidScheduler,
+    grow_events: u64,
+    uses: u64,
+}
+
+impl PageScratch {
+    /// An empty (cold) scratch.
+    pub fn new() -> PageScratch {
+        PageScratch::default()
+    }
+
+    /// Times any buffer in this scratch had to grow — the same
+    /// allocation proxy as [`FluidScheduler::scratch_grows`]. Zero
+    /// growth across a warm page load means the load performed no heap
+    /// allocation in the flow pipeline.
+    pub fn grows(&self) -> u64 {
+        self.grow_events + self.batch.grow_events() + self.sched.scratch_grows()
+    }
+
+    /// Pages served by this scratch so far.
+    pub fn uses(&self) -> u64 {
+        self.uses
+    }
+}
+
+thread_local! {
+    /// Scratch behind the legacy (non-pooled) entry points, so code
+    /// without an executor-provided `UnitScratch` still reuses buffers.
+    static PAGE_STATE: RefCell<PageScratch> = RefCell::new(PageScratch::new());
+}
 
 /// Result of one browser page load.
 #[derive(Debug, Clone, Copy)]
@@ -94,13 +139,77 @@ pub fn load_page_with_timeout(
     load_page_traced_with_timeout(channel, site, timeout, rng, &mut NullRecorder)
 }
 
-/// [`load_page_traced`] with an explicit timeout.
+/// [`load_page_traced`] with an explicit timeout. Delegates to the
+/// pooled core through a thread-local [`PageScratch`]; re-entrant calls
+/// (a recorder that loads a page from inside `add`) fall back to a
+/// fresh scratch, counted as `browser/state_fallback`.
 pub fn load_page_traced_with_timeout(
     channel: &Channel,
     site: &Website,
     timeout: SimDuration,
     rng: &mut SimRng,
     rec: &mut dyn Recorder,
+) -> Result<PageLoad, BrowserError> {
+    PAGE_STATE.with(|state| match state.try_borrow_mut() {
+        Ok(mut scratch) => load_page_model(channel, site, timeout, rng, rec, &mut scratch, false),
+        Err(_) => {
+            rec.add("browser/state_fallback", 1);
+            load_page_model(channel, site, timeout, rng, rec, &mut PageScratch::new(), false)
+        }
+    })
+}
+
+/// [`load_page_traced`] against a caller-owned [`PageScratch`] — the
+/// executor threads one per worker so every page load after the first
+/// reuses the same network, batch, completion and scheduler buffers.
+pub fn load_page_pooled(
+    channel: &Channel,
+    site: &Website,
+    rng: &mut SimRng,
+    rec: &mut dyn Recorder,
+    scratch: &mut PageScratch,
+) -> Result<PageLoad, BrowserError> {
+    load_page_model(channel, site, PAGE_TIMEOUT, rng, rec, scratch, false)
+}
+
+/// [`load_page_pooled`] with an explicit timeout.
+pub fn load_page_pooled_with_timeout(
+    channel: &Channel,
+    site: &Website,
+    timeout: SimDuration,
+    rng: &mut SimRng,
+    rec: &mut dyn Recorder,
+    scratch: &mut PageScratch,
+) -> Result<PageLoad, BrowserError> {
+    load_page_model(channel, site, timeout, rng, rec, scratch, false)
+}
+
+/// The retained allocating lane: same model body, but every call builds
+/// a cold scratch and the sub-resource waves run through the reference
+/// fluid scheduler ([`reference::fluid_schedule_recorded`]), which
+/// clones node paths into per-step demand `Vec`s. This is the baseline
+/// the unit benchmark measures the pooled path against; results are bit
+/// for bit identical to [`load_page_pooled`].
+pub fn load_page_reference(
+    channel: &Channel,
+    site: &Website,
+    rng: &mut SimRng,
+    rec: &mut dyn Recorder,
+) -> Result<PageLoad, BrowserError> {
+    load_page_model(channel, site, PAGE_TIMEOUT, rng, rec, &mut PageScratch::new(), true)
+}
+
+/// The single model body behind every entry point: one timing model, one
+/// RNG draw order, two scheduling lanes (pooled incremental vs reference
+/// from-scratch) proven equivalent by the oracle suite.
+fn load_page_model(
+    channel: &Channel,
+    site: &Website,
+    timeout: SimDuration,
+    rng: &mut SimRng,
+    rec: &mut dyn Recorder,
+    scratch: &mut PageScratch,
+    use_reference: bool,
 ) -> Result<PageLoad, BrowserError> {
     if channel.max_parallel_streams < 2 {
         obs_debug!(
@@ -114,6 +223,10 @@ pub fn load_page_traced_with_timeout(
     }
     rec.add("browser/pages", 1);
     rec.add("browser/resources", site.resources.len() as u64);
+    if scratch.uses > 0 {
+        ptperf_obs::perf::incr_browser_scratch_hits();
+    }
+    scratch.uses += 1;
     let parallelism = BROWSER_PARALLELISM.min(channel.max_parallel_streams);
 
     if rng.chance(channel.connect_failure_p) {
@@ -146,37 +259,40 @@ pub fn load_page_traced_with_timeout(
     // per-request latency (stream open + request round trip + extras).
     // Requests beyond the parallelism window start as slots free up —
     // approximated by staggering start times in waves.
-    let mut net = FairNetwork::new();
-    let tunnel = net.add_node(channel.effective_rate());
+    scratch.net.clear();
+    let tunnel = scratch.net.add_node(channel.effective_rate());
     let per_req = channel.stream_open + channel.per_request_extra + channel.request_rtt;
-    let flows: Vec<FluidFlow> = site
-        .resources
-        .iter()
-        .enumerate()
-        .map(|(i, &bytes)| {
-            let wave = (i / parallelism) as u64;
-            // Later waves queue behind earlier ones; one request round
-            // trip of stagger per wave approximates connection reuse.
-            let start = SimTime::ZERO + per_req * wave.min(20);
-            FluidFlow {
-                start,
-                bytes: bytes as f64,
-                nodes: vec![tunnel],
-                cap: None,
-                extra_latency: per_req,
-            }
-        })
-        .collect();
-    let completions = fluid_schedule_recorded(&net, &flows, rec);
-    let resources_done: Vec<SimDuration> = completions
-        .iter()
-        .map(|c| c.finish.duration_since(SimTime::ZERO))
-        .collect();
-    let last_resource = resources_done
-        .iter()
-        .copied()
-        .max()
-        .unwrap_or(SimDuration::ZERO);
+    scratch.batch.clear();
+    for (i, &bytes) in site.resources.iter().enumerate() {
+        let wave = (i / parallelism) as u64;
+        // Later waves queue behind earlier ones; one request round
+        // trip of stagger per wave approximates connection reuse.
+        let start = SimTime::ZERO + per_req * wave.min(20);
+        scratch
+            .batch
+            .push(start, bytes as f64, &[tunnel], None, per_req);
+    }
+    if use_reference {
+        scratch.completions = reference::fluid_schedule_recorded(&scratch.net, &scratch.batch, rec);
+    } else {
+        let before = scratch.completions.capacity();
+        scratch
+            .sched
+            .run_recorded_into(&scratch.net, &scratch.batch, &mut scratch.completions, rec);
+        if scratch.completions.capacity() > before {
+            scratch.grow_events += 1;
+        }
+    }
+    // Single pass over the completions for the last-resource time; the
+    // speed index below indexes the buffer directly instead of copying
+    // the finish times out.
+    let mut last_resource = SimDuration::ZERO;
+    for c in &scratch.completions {
+        let done = c.finish.duration_since(SimTime::ZERO);
+        if done > last_resource {
+            last_resource = done;
+        }
+    }
     let mut total = main_done + last_resource;
 
     // Connection death: browsers retry sub-resources, so a death shows up
@@ -213,7 +329,8 @@ pub fn load_page_traced_with_timeout(
     if res_total > 0.0 {
         for (i, &bytes) in site.resources.iter().enumerate() {
             let w = 0.65 * bytes as f64 / res_total;
-            si += w * (main_done + resources_done[i]).as_secs_f64();
+            let done = scratch.completions[i].finish.duration_since(SimTime::ZERO);
+            si += w * (main_done + done).as_secs_f64();
         }
     } else {
         si += 0.65 * main_done.as_secs_f64();
@@ -329,6 +446,49 @@ mod tests {
         assert_eq!(
             data.counter("maxmin/fast_path"),
             data.counter("maxmin/recomputations"),
+        );
+    }
+
+    #[test]
+    fn pooled_and_reference_lanes_match_legacy_bitwise() {
+        let ch = channel(1.2e6);
+        let s = site();
+        let mut scratch = PageScratch::new();
+        for round in 0..3 {
+            let mut rng_a = SimRng::new(40 + round);
+            let mut rng_b = SimRng::new(40 + round);
+            let mut rng_c = SimRng::new(40 + round);
+            let legacy = load_page(&ch, &s, &mut rng_a).unwrap();
+            let pooled =
+                load_page_pooled(&ch, &s, &mut rng_b, &mut NullRecorder, &mut scratch).unwrap();
+            let refr = load_page_reference(&ch, &s, &mut rng_c, &mut NullRecorder).unwrap();
+            for other in [pooled, refr] {
+                assert_eq!(legacy.main_done, other.main_done);
+                assert_eq!(legacy.total, other.total);
+                assert_eq!(legacy.speed_index, other.speed_index);
+                assert_eq!(legacy.outcome, other.outcome);
+            }
+        }
+        assert_eq!(scratch.uses(), 3);
+    }
+
+    #[test]
+    fn warm_page_scratch_is_allocation_free() {
+        let ch = channel(1.2e6);
+        let s = site();
+        let mut scratch = PageScratch::new();
+        let mut rng = SimRng::new(50);
+        // Cold call pays the allocations once.
+        load_page_pooled(&ch, &s, &mut rng, &mut NullRecorder, &mut scratch).unwrap();
+        let warm = scratch.grows();
+        for round in 0..4 {
+            let mut rng = SimRng::new(60 + round);
+            load_page_pooled(&ch, &s, &mut rng, &mut NullRecorder, &mut scratch).unwrap();
+        }
+        assert_eq!(
+            scratch.grows(),
+            warm,
+            "warm page loads must not grow any scratch buffer"
         );
     }
 

@@ -27,7 +27,10 @@ pub mod http;
 pub mod streaming;
 pub mod website;
 
-pub use browser::{load_page, load_page_traced, BrowserError, PageLoad, BROWSER_PARALLELISM};
+pub use browser::{
+    load_page, load_page_pooled, load_page_reference, load_page_traced, BrowserError, PageLoad,
+    PageScratch, BROWSER_PARALLELISM,
+};
 pub use channel::{Channel, Outcome};
 pub use curl::{fetch, FetchResult, PAGE_TIMEOUT};
 pub use http::{Request as HttpRequest, Response as HttpResponse};

@@ -88,7 +88,7 @@ impl SiteCategory {
 }
 
 /// A synthetic website.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Website {
     /// Which list it came from.
     pub list: SiteList,

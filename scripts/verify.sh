@@ -10,6 +10,13 @@
 #   6. establish smoke: quick establish benches + repro --bench-establish
 #      emitting BENCH_establish.json (same failure policy: panics and
 #      non-finite values only, never thresholds)
+#   7. unit smoke: quick unit benches + repro --bench-unit emitting
+#      BENCH_unit.json; additionally asserts every warm class shows
+#      allocs_per_unit == 0 — the one structural property the pooled
+#      pipeline promises
+#   8. drift check (warn-only): compares fresh bench output against the
+#      committed BENCH_*.json baselines and prints any p50 that moved
+#      more than 2x either way; never fails the gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -53,5 +60,38 @@ if grep -qi "nan\|inf" "$obs_dir/BENCH_establish.json"; then
   echo "BENCH_establish.json contains non-finite values" >&2
   exit 1
 fi
+
+echo "== perf smoke (unit benches, quick mode) =="
+cargo bench -q -p ptperf-bench --bench unit > "$obs_dir/bench_unit.txt"
+grep -q "unit/browser_obfs4_16_pooled" "$obs_dir/bench_unit.txt"
+PTPERF_UNITBENCH_RUNS=20 cargo run --release -q -p ptperf-bench --bin repro -- \
+  --bench-unit --bench-out "$obs_dir/BENCH_unit.json" > "$obs_dir/unit_out.txt"
+test -s "$obs_dir/BENCH_unit.json"
+if grep -qi "nan\|inf" "$obs_dir/BENCH_unit.json"; then
+  echo "BENCH_unit.json contains non-finite values" >&2
+  exit 1
+fi
+# The one structural promise the pooled pipeline makes: warm units never
+# grow their scratch. Any non-zero allocs_per_unit is a regression.
+while read -r allocs; do
+  if [ "$allocs" != "0" ]; then
+    echo "warm unit pipeline allocates: allocs_per_unit=$allocs" >&2
+    exit 1
+  fi
+done < <(grep -o '"allocs_per_unit": [0-9.eE+-]*' "$obs_dir/BENCH_unit.json" | awk '{print $2}')
+
+echo "== bench drift vs committed baselines (warn-only) =="
+for name in flow establish unit; do
+  fresh="$obs_dir/BENCH_$name.json"
+  baseline="BENCH_$name.json"
+  [ -s "$fresh" ] && [ -s "$baseline" ] || continue
+  # Pair up every p50_us in document order; machines differ, so only
+  # shout when a p50 moved more than 2x either way — and never fail.
+  paste <(grep -o '"p50_us": [0-9.eE+-]*' "$baseline" | awk '{print $2}') \
+        <(grep -o '"p50_us": [0-9.eE+-]*' "$fresh" | awk '{print $2}') |
+    awk -v name="$name" '$1 > 0 && $2 > 0 && ($2 / $1 > 2 || $1 / $2 > 2) {
+      printf "warning: %s p50 #%d drifted: baseline %s µs, fresh %s µs\n", name, NR, $1, $2
+    }'
+done
 
 echo "== verify: all gates passed =="

@@ -166,6 +166,72 @@ fn shared_deployment_matches_per_unit_rebuild_bit_for_bit() {
 }
 
 #[test]
+fn warm_scratch_matches_cold_scratch_bit_for_bit() {
+    // PerWorker (one warm UnitScratch reused across every unit on a
+    // worker) vs PerUnit (a cold scratch per unit) must be bit-identical
+    // at 1 and 4 workers — the scratch holds buffers, never state that
+    // feeds the measurement.
+    use ptperf::executor::{Parallelism, ScratchMode};
+    let cfg = website_selenium::Config {
+        sites_per_list: 8,
+        repeats: 1,
+    };
+    let scenario = Scenario::baseline(53);
+    for workers in [1usize, 4] {
+        let warm = Parallelism::new(workers);
+        let cold = Parallelism::new(workers).with_scratch(ScratchMode::PerUnit);
+        let (a, _) = website_selenium::run_with(&scenario, &cfg, &warm).unwrap();
+        let (b, _) = website_selenium::run_with(&scenario, &cfg, &cold).unwrap();
+        for pt in a.samples.pts() {
+            let xs = a.samples.samples(pt);
+            let ys = b.samples.samples(pt);
+            assert_eq!(xs.len(), ys.len(), "{pt} at {workers} workers");
+            for (x, y) in xs.iter().zip(ys) {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{pt} at {workers} workers: warm vs cold scratch diverged"
+                );
+            }
+        }
+        assert_eq!(a.excluded, b.excluded, "at {workers} workers");
+    }
+}
+
+#[test]
+fn cached_sites_match_per_unit_rebuilds_bit_for_bit() {
+    // The scenario's site-workload memo shares one Arc<[Website]> build
+    // across every unit; with caching bypassed each call regenerates the
+    // corpus. Samples must be bit-identical either way at 1 and 4
+    // workers.
+    use ptperf::executor::Parallelism;
+    let cfg = website_curl::Config {
+        sites_per_list: 10,
+        repeats: 1,
+    };
+    let shared = Scenario::baseline(37);
+    let rebuilt = Scenario::baseline(37);
+    rebuilt.set_site_caching(false);
+    for workers in [1usize, 4] {
+        let par = Parallelism::new(workers);
+        let (a, _) = website_curl::run_with(&shared, &cfg, &par).unwrap();
+        let (b, _) = website_curl::run_with(&rebuilt, &cfg, &par).unwrap();
+        for pt in PtId::ALL_WITH_VANILLA {
+            let xs = a.samples.samples(pt);
+            let ys = b.samples.samples(pt);
+            assert_eq!(xs.len(), ys.len(), "{pt} at {workers} workers");
+            for (x, y) in xs.iter().zip(ys) {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{pt} at {workers} workers: cached vs rebuilt sites diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn cached_deployment_equals_a_fresh_standard_build() {
     use ptperf_transports::Deployment;
     let s = Scenario::baseline(31);

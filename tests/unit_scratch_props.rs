@@ -1,0 +1,119 @@
+//! Property tests for [`ptperf::executor::UnitScratch`]: a warm scratch
+//! carried across *heterogeneous* measurement units (curl fetches,
+//! browser page loads, file downloads, interleaved in any order) yields
+//! bit-identical results to a cold scratch per unit. The scratch holds
+//! buffers only — never state that feeds a measurement.
+
+use proptest::prelude::*;
+
+use ptperf::executor::UnitScratch;
+use ptperf::scenario::Scenario;
+use ptperf_transports::{transport_for, PtId};
+use ptperf_web::{curl, filedl, load_page_pooled, SiteList, Website};
+
+/// The unit kinds the interleaving draws from.
+#[derive(Debug, Clone, Copy)]
+enum Kind {
+    Curl,
+    Browser,
+    Filedl,
+}
+
+const PTS: [PtId; 4] = [PtId::Vanilla, PtId::Obfs4, PtId::Meek, PtId::Snowflake];
+
+/// Runs one measurement unit against `scratch` and returns its outcome
+/// as raw bits (so comparisons are exact, not approximate).
+fn run_unit(
+    scenario: &Scenario,
+    kind: Kind,
+    index: usize,
+    rank: usize,
+    scratch: &mut UnitScratch,
+) -> Vec<u64> {
+    let dep = scenario.deployment();
+    let opts = scenario.access_options();
+    let site = Website::generate(SiteList::Tranco, rank);
+    let pt = PTS[(rank + index) % PTS.len()];
+    let mut rng = scenario.rng(&format!("hetero/{index}/{rank}"));
+    let ch = transport_for(pt).establish_with(
+        &dep,
+        &opts,
+        site.server,
+        &mut rng,
+        &mut scratch.establish,
+    );
+    match kind {
+        Kind::Curl => {
+            let f = curl::fetch(&ch, &site, &mut rng);
+            vec![
+                f.ttfb.as_secs_f64().to_bits(),
+                f.total.as_secs_f64().to_bits(),
+                f.fraction.to_bits(),
+            ]
+        }
+        Kind::Browser => {
+            match load_page_pooled(
+                &ch,
+                &site,
+                &mut rng,
+                &mut ptperf_obs::NullRecorder,
+                &mut scratch.page,
+            ) {
+                Ok(p) => vec![
+                    1,
+                    p.main_done.as_secs_f64().to_bits(),
+                    p.total.as_secs_f64().to_bits(),
+                    p.speed_index.as_secs_f64().to_bits(),
+                ],
+                Err(e) => {
+                    let tag = format!("{e:?}")
+                        .bytes()
+                        .fold(0u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64));
+                    vec![0, tag]
+                }
+            }
+        }
+        Kind::Filedl => {
+            let d = filedl::download(&ch, 2_000_000, &mut rng);
+            vec![
+                d.elapsed.as_secs_f64().to_bits(),
+                d.fraction.to_bits(),
+                d.outcome as u64,
+            ]
+        }
+    }
+}
+
+proptest! {
+    /// Any interleaving of curl / browser / filedl units sees identical
+    /// results whether the scratch is reused across all of them (warm)
+    /// or rebuilt per unit (cold).
+    #[test]
+    fn warm_scratch_is_invisible_across_heterogeneous_units(
+        seed in 0u64..1_000,
+        plan in proptest::collection::vec((0u8..3, 0usize..30), 1..8),
+    ) {
+        let scenario = Scenario::baseline(seed);
+        let mut warm = UnitScratch::new();
+        let mut warm_out = Vec::with_capacity(plan.len());
+        for (index, &(k, rank)) in plan.iter().enumerate() {
+            let kind = match k {
+                0 => Kind::Curl,
+                1 => Kind::Browser,
+                _ => Kind::Filedl,
+            };
+            warm_out.push(run_unit(&scenario, kind, index, rank, &mut warm));
+        }
+        let mut cold_out = Vec::with_capacity(plan.len());
+        for (index, &(k, rank)) in plan.iter().enumerate() {
+            let kind = match k {
+                0 => Kind::Curl,
+                1 => Kind::Browser,
+                _ => Kind::Filedl,
+            };
+            let mut cold = UnitScratch::new();
+            cold_out.push(run_unit(&scenario, kind, index, rank, &mut cold));
+        }
+        prop_assert_eq!(warm_out, cold_out);
+    }
+}
