@@ -18,7 +18,7 @@
 //! ```
 
 use ptperf::executor::{Parallelism, Record};
-use ptperf::scenario::Scenario;
+use ptperf::scenario::{FaultConfig, FaultProfile, Scenario};
 use ptperf_bench::{
     available_targets, obs_export, run_target_obs, targets::export_csv_with, RunScale, TargetRun,
 };
@@ -36,6 +36,7 @@ fn main() {
     let mut bench_establish = false;
     let mut bench_unit = false;
     let mut bench_out: Option<String> = None;
+    let mut faults = false;
     let mut par = Parallelism::sequential();
 
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -62,6 +63,10 @@ fn main() {
     }
     if let Some(pos) = args.iter().position(|a| a == "--profile") {
         profile = true;
+        args.remove(pos);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--faults") {
+        faults = true;
         args.remove(pos);
     }
     if let Some(pos) = args.iter().position(|a| a == "--bench-flow") {
@@ -183,10 +188,17 @@ fn main() {
         }
     }
 
-    let scenario = Scenario::baseline(seed);
+    let mut scenario = Scenario::baseline(seed);
+    if faults {
+        scenario = scenario.with_faults(FaultConfig::Plan(FaultProfile::paper()));
+    }
     println!(
-        "# PTPerf reproduction — scale: {:?}, seed: {seed}, workers: {}, scenario: client {} / servers {}\n",
-        scale, par.workers, scenario.client, scenario.server_region
+        "# PTPerf reproduction — scale: {:?}, seed: {seed}, workers: {}, scenario: client {} / servers {}, faults: {}\n",
+        scale,
+        par.workers,
+        scenario.client,
+        scenario.server_region,
+        if faults { "paper plan" } else { "off" }
     );
     let run_started = std::time::Instant::now();
     let mut runs: Vec<TargetRun> = Vec::new();
@@ -226,12 +238,16 @@ fn print_help() {
     println!(
         "repro — regenerate PTPerf tables and figures\n\n\
          usage: repro [--paper] [--seed N] [--workers N|auto] [--csv DIR]\n\
-         \x20            [--trace FILE] [--metrics FILE] [--profile]\n\
+         \x20            [--trace FILE] [--metrics FILE] [--profile] [--faults]\n\
          \x20            [--bench-flow] [--bench-establish] [--bench-unit]\n\
          \x20            [--bench-out FILE]\n\
          \x20            [--quiet] [-v|--verbose] [--list] [TARGET ...]\n\n\
          --workers only changes wall-clock time: output is bit-for-bit\n\
          identical at any worker count.\n\
+         --faults turns on the deterministic fault-injection lane (the\n\
+         paper profile): connect refusals, mid-transfer aborts, stalls,\n\
+         churn, and surge degradation, replayed identically per seed at\n\
+         any worker count; traces gain fault/* counters.\n\
          --trace writes the deterministic sim-time trace (JSON Lines: one\n\
          span or counter record per line, identical at any worker count);\n\
          --metrics writes the wall-clock metrics registry (JSON; per-family\n\

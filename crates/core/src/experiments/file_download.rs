@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use ptperf_stats::{ascii_boxplots, Summary};
-use ptperf_transports::{transport_for, PtId};
+use ptperf_transports::{fault_bias, transport_for, PtId};
 use ptperf_web::{filedl, Outcome, FILE_SIZES};
 
 use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
@@ -100,6 +100,7 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
                 let opts = scenario.access_options();
                 let file_server = scenario.server_region;
                 let mut rng = scenario.rng(&format!("fig5/{pt}"));
+                let mut faults = scenario.fault_session(&format!("fig5/{pt}"), fault_bias(pt));
                 let mut list = Vec::with_capacity(cfg.sizes.len() * cfg.attempts);
                 let mut phases = ptperf_obs::PhaseAccum::new();
                 for &size in &cfg.sizes {
@@ -111,7 +112,7 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
                             &mut rng,
                             &mut scratch.establish,
                         );
-                        let d = filedl::download(&ch, size, &mut rng);
+                        let d = filedl::download_faulted(&ch, size, &mut rng, &mut faults);
                         if rec.enabled() {
                             let handshake = (ch.setup + ch.stream_open).min(d.elapsed);
                             phases.add_ns("handshake", handshake.as_nanos());
@@ -130,6 +131,9 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
                     }
                 }
                 phases.emit(rec);
+                if faults.is_active() {
+                    faults.emit(rec);
+                }
                 let n = list.len();
                 ((pt, list), n)
             })

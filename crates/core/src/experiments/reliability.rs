@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use ptperf_stats::{ascii_ecdf, Ecdf};
-use ptperf_transports::{transport_for, PtId};
+use ptperf_transports::{fault_bias, transport_for, PtId};
 use ptperf_web::{filedl, ReliabilityCounts, FILE_SIZES};
 
 use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
@@ -87,6 +87,7 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
                 let opts = scenario.access_options();
                 let file_server = scenario.server_region;
                 let mut rng = scenario.rng(&format!("fig8/{pt}"));
+                let mut faults = scenario.fault_session(&format!("fig8/{pt}"), fault_bias(pt));
                 let mut c = ReliabilityCounts::default();
                 let mut f = Vec::with_capacity(cfg.sizes.len() * cfg.attempts);
                 let mut phases = ptperf_obs::PhaseAccum::new();
@@ -99,7 +100,7 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
                             &mut rng,
                             &mut scratch.establish,
                         );
-                        let d = filedl::download(&ch, size, &mut rng);
+                        let d = filedl::download_faulted(&ch, size, &mut rng, &mut faults);
                         if rec.enabled() {
                             let handshake = (ch.setup + ch.stream_open).min(d.elapsed);
                             phases.add_ns("handshake", handshake.as_nanos());
@@ -114,6 +115,9 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
                     }
                 }
                 phases.emit(rec);
+                if faults.is_active() {
+                    faults.emit(rec);
+                }
                 let n = f.len();
                 ((pt, c, f), n)
             })

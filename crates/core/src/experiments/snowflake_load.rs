@@ -12,10 +12,10 @@
 use std::sync::Arc;
 
 use ptperf_stats::{ascii_boxplots, PairedTTest, Summary};
-use ptperf_transports::PtId;
+use ptperf_transports::{fault_bias, PtId};
 
 use crate::executor::{ExecError, Parallelism, ShardReport, Unit};
-use crate::measure::curl_site_averages_pooled;
+use crate::measure::curl_site_averages_faulted;
 use crate::scenario::{Epoch, Scenario};
 
 /// Configuration.
@@ -121,7 +121,8 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
         let sites = Arc::clone(&sites);
         units.push(Unit::pooled("fig10/pre", move |rec, scratch| {
             let mut rng = sc.rng("fig10/pre");
-            let v = curl_site_averages_pooled(
+            let mut faults = sc.fault_session("fig10/pre", fault_bias(PtId::Snowflake));
+            let v = curl_site_averages_faulted(
                 &sc,
                 PtId::Snowflake,
                 &sites,
@@ -129,7 +130,11 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
                 &mut rng,
                 rec,
                 &mut scratch.establish,
+                &mut faults,
             );
+            if faults.is_active() {
+                faults.emit(rec);
+            }
             let n = v.len();
             (v, n)
         }));
@@ -140,7 +145,8 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
         let sites = Arc::clone(&sites);
         units.push(Unit::pooled("fig10/post", move |rec, scratch| {
             let mut rng = sc.rng("fig10/post");
-            let v = curl_site_averages_pooled(
+            let mut faults = sc.fault_session("fig10/post", fault_bias(PtId::Snowflake));
+            let v = curl_site_averages_faulted(
                 &sc,
                 PtId::Snowflake,
                 &sites,
@@ -148,7 +154,11 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
                 &mut rng,
                 rec,
                 &mut scratch.establish,
+                &mut faults,
             );
+            if faults.is_active() {
+                faults.emit(rec);
+            }
             let n = v.len();
             (v, n)
         }));
@@ -158,7 +168,8 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
         let monitor_sites = Arc::clone(&monitor_sites);
         units.push(Unit::pooled("fig12/pre", move |rec, scratch| {
             let mut rng = sc.rng("fig12/pre");
-            let v = curl_site_averages_pooled(
+            let mut faults = sc.fault_session("fig12/pre", fault_bias(PtId::Snowflake));
+            let v = curl_site_averages_faulted(
                 &sc,
                 PtId::Snowflake,
                 &monitor_sites,
@@ -166,7 +177,11 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
                 &mut rng,
                 rec,
                 &mut scratch.establish,
+                &mut faults,
             );
+            if faults.is_active() {
+                faults.emit(rec);
+            }
             let n = v.len();
             (v, n)
         }));
@@ -183,7 +198,9 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
         let monitor_sites = Arc::clone(&monitor_sites);
         units.push(Unit::pooled(format!("fig12/week{week}"), move |rec, scratch| {
             let mut rng = sc.rng(&format!("fig12/week{week}"));
-            let v = curl_site_averages_pooled(
+            let mut faults =
+                sc.fault_session(&format!("fig12/week{week}"), fault_bias(PtId::Snowflake));
+            let v = curl_site_averages_faulted(
                 &sc,
                 PtId::Snowflake,
                 &monitor_sites,
@@ -191,7 +208,11 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
                 &mut rng,
                 rec,
                 &mut scratch.establish,
+                &mut faults,
             );
+            if faults.is_active() {
+                faults.emit(rec);
+            }
             let n = v.len();
             (v, n)
         }));

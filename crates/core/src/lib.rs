@@ -46,7 +46,7 @@ pub mod schedule;
 
 pub use executor::Parallelism;
 pub use measure::PairedSamples;
-pub use scenario::{Epoch, Scenario};
+pub use scenario::{Epoch, FaultConfig, FaultProfile, Scenario};
 
 // Re-export the lower layers so downstream users need only `ptperf`.
 pub use ptperf_obs as obs;

@@ -6,7 +6,7 @@ use ptperf_obs::{NullRecorder, PhaseAccum, Recorder};
 use ptperf_sim::SimRng;
 use ptperf_stats::{PairedTTest, Summary};
 use ptperf_transports::{transport_for, EstablishScratch, PtId};
-use ptperf_web::{curl, SiteList, Website};
+use ptperf_web::{curl, FaultSession, SiteList, Website};
 
 use crate::scenario::Scenario;
 
@@ -163,6 +163,35 @@ pub fn curl_site_averages_pooled(
     rec: &mut dyn Recorder,
     scratch: &mut EstablishScratch,
 ) -> Vec<f64> {
+    curl_site_averages_faulted(
+        scenario,
+        pt,
+        sites,
+        repeats,
+        rng,
+        rec,
+        scratch,
+        &mut FaultSession::off(),
+    )
+}
+
+/// [`curl_site_averages_pooled`] through a [`FaultSession`] — the
+/// single model body behind every curl entry point. An off session
+/// routes each fetch through [`curl::fetch_faulted`]'s delegating arm,
+/// which is the plain [`curl::fetch`] with zero extra RNG draws, so
+/// the fault-free lanes stay bit-for-bit identical; an active session
+/// injects per the session's plan and accumulates disposition stats.
+#[allow(clippy::too_many_arguments)]
+pub fn curl_site_averages_faulted(
+    scenario: &Scenario,
+    pt: PtId,
+    sites: &[Website],
+    repeats: usize,
+    rng: &mut SimRng,
+    rec: &mut dyn Recorder,
+    scratch: &mut EstablishScratch,
+    faults: &mut FaultSession,
+) -> Vec<f64> {
     let dep = scenario.deployment();
     let opts = scenario.access_options();
     let transport = transport_for(pt);
@@ -172,7 +201,7 @@ pub fn curl_site_averages_pooled(
         let mut total = 0.0;
         for _ in 0..repeats {
             let ch = transport.establish_with(&dep, &opts, site.server, rng, scratch);
-            let fetch = curl::fetch(&ch, site, rng);
+            let fetch = curl::fetch_faulted(&ch, site, rng, faults);
             total += fetch.total.as_secs_f64();
             if rec.enabled() {
                 record_fetch_phases(&mut phases, &ch, &fetch);

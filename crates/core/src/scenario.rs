@@ -5,9 +5,12 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
+use ptperf_sim::fault::FaultBias;
 use ptperf_sim::{Location, Medium, SimRng};
 use ptperf_transports::{AccessOptions, Deployment};
-use ptperf_web::{SiteList, Website};
+use ptperf_web::{FaultSession, SiteList, Website};
+
+pub use ptperf_sim::fault::{FaultConfig, FaultProfile};
 
 /// Memoized deployments, shared by every clone of a [`Scenario`].
 ///
@@ -82,6 +85,11 @@ pub struct Scenario {
     pub medium: Medium,
     /// Snowflake load epoch.
     pub epoch: Epoch,
+    /// The fault-injection lane. `Off` (the default) is proven
+    /// bit-for-bit neutral in `tests/fault_neutrality.rs`; a `Plan`
+    /// routes every family's transfers through the retry/timeout
+    /// driver with plan-generated fault schedules.
+    pub faults: FaultConfig,
     dep_cache: Arc<DeploymentCache>,
     site_cache: Arc<SiteCache>,
 }
@@ -96,8 +104,37 @@ impl Scenario {
             server_region: Location::Frankfurt,
             medium: Medium::Wired,
             epoch: Epoch::PreSurge,
+            faults: FaultConfig::Off,
             dep_cache: Arc::new(DeploymentCache::default()),
             site_cache: Arc::new(SiteCache::default()),
+        }
+    }
+
+    /// This scenario with the fault lane set to `faults`.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Scenario {
+        self.faults = faults;
+        self
+    }
+
+    /// The fault session for one measurement unit tagged `tag` (e.g.
+    /// `"fig8/meek"`), with the transport's event-mix `bias`.
+    ///
+    /// With the lane `Off` this returns the neutral session without
+    /// touching any RNG stream — the `Off` scenario draws exactly the
+    /// sequences the pre-fault-layer code drew. With a `Plan`, the
+    /// profile is scaled to the scenario's epoch
+    /// ([`FaultProfile::for_load`]) and the session gets its own
+    /// decorrelated stream (`"{tag}/faults"`), so fault draws never
+    /// perturb measurement draws and identical seeds replay identical
+    /// schedules at any worker count.
+    pub fn fault_session(&self, tag: &str, bias: FaultBias) -> FaultSession {
+        match &self.faults {
+            FaultConfig::Off => FaultSession::off(),
+            FaultConfig::Plan(profile) => FaultSession::active(
+                profile.for_load(self.epoch.load_mult()),
+                bias,
+                self.rng(&format!("{tag}/faults")),
+            ),
         }
     }
 

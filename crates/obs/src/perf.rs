@@ -25,6 +25,10 @@ static DEPLOYMENT_REBUILDS_SAVED: AtomicU64 = AtomicU64::new(0);
 static FLOW_INLINE_NODES: AtomicU64 = AtomicU64::new(0);
 static BROWSER_SCRATCH_HITS: AtomicU64 = AtomicU64::new(0);
 static SITE_REBUILDS_SAVED: AtomicU64 = AtomicU64::new(0);
+static FAULT_INJECTED: AtomicU64 = AtomicU64::new(0);
+static FAULT_RETRIED: AtomicU64 = AtomicU64::new(0);
+static FAULT_RECOVERED: AtomicU64 = AtomicU64::new(0);
+static FAULT_GAVE_UP: AtomicU64 = AtomicU64::new(0);
 
 /// Counts one `path/index_pick`: a bandwidth-weighted relay pick
 /// resolved by binary search over the consensus index.
@@ -67,6 +71,30 @@ pub fn incr_site_rebuilds_saved() {
     SITE_REBUILDS_SAVED.fetch_add(1, Ordering::Relaxed);
 }
 
+/// Counts `n` `fault/injected`: fault events that fired in a faulted
+/// workload. Process-wide totals only; the deterministic per-unit
+/// counts live in the recorder stream.
+pub fn incr_fault_injected(n: u64) {
+    FAULT_INJECTED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Counts `n` `fault/retried`: injected events answered with a retry.
+pub fn incr_fault_retried(n: u64) {
+    FAULT_RETRIED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Counts `n` `fault/recovered`: injected events absorbed without a
+/// retry (stalls, degradation ramps).
+pub fn incr_fault_recovered(n: u64) {
+    FAULT_RECOVERED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Counts `n` `fault/gave_up`: injected events that were terminal
+/// (retry budget exhausted).
+pub fn incr_fault_gave_up(n: u64) {
+    FAULT_GAVE_UP.fetch_add(n, Ordering::Relaxed);
+}
+
 /// A point-in-time reading of every perf counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PerfSnapshot {
@@ -82,6 +110,14 @@ pub struct PerfSnapshot {
     pub browser_scratch_hits: u64,
     /// `site/rebuilds_saved` total.
     pub site_rebuilds_saved: u64,
+    /// `fault/injected` total.
+    pub fault_injected: u64,
+    /// `fault/retried` total.
+    pub fault_retried: u64,
+    /// `fault/recovered` total.
+    pub fault_recovered: u64,
+    /// `fault/gave_up` total.
+    pub fault_gave_up: u64,
 }
 
 impl PerfSnapshot {
@@ -103,6 +139,10 @@ impl PerfSnapshot {
             site_rebuilds_saved: self
                 .site_rebuilds_saved
                 .saturating_sub(earlier.site_rebuilds_saved),
+            fault_injected: self.fault_injected.saturating_sub(earlier.fault_injected),
+            fault_retried: self.fault_retried.saturating_sub(earlier.fault_retried),
+            fault_recovered: self.fault_recovered.saturating_sub(earlier.fault_recovered),
+            fault_gave_up: self.fault_gave_up.saturating_sub(earlier.fault_gave_up),
         }
     }
 }
@@ -116,6 +156,10 @@ pub fn snapshot() -> PerfSnapshot {
         flow_inline_nodes: FLOW_INLINE_NODES.load(Ordering::Relaxed),
         browser_scratch_hits: BROWSER_SCRATCH_HITS.load(Ordering::Relaxed),
         site_rebuilds_saved: SITE_REBUILDS_SAVED.load(Ordering::Relaxed),
+        fault_injected: FAULT_INJECTED.load(Ordering::Relaxed),
+        fault_retried: FAULT_RETRIED.load(Ordering::Relaxed),
+        fault_recovered: FAULT_RECOVERED.load(Ordering::Relaxed),
+        fault_gave_up: FAULT_GAVE_UP.load(Ordering::Relaxed),
     }
 }
 
@@ -149,6 +193,20 @@ mod tests {
         assert!(d.flow_inline_nodes >= 64);
         assert!(d.browser_scratch_hits >= 1);
         assert!(d.site_rebuilds_saved >= 1);
+    }
+
+    #[test]
+    fn fault_counters_accumulate() {
+        let before = snapshot();
+        incr_fault_injected(5);
+        incr_fault_retried(2);
+        incr_fault_recovered(2);
+        incr_fault_gave_up(1);
+        let d = snapshot().delta_since(&before);
+        assert!(d.fault_injected >= 5);
+        assert!(d.fault_retried >= 2);
+        assert!(d.fault_recovered >= 2);
+        assert!(d.fault_gave_up >= 1);
     }
 
     #[test]

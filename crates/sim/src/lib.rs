@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fault;
 pub mod flow;
 pub mod load;
 pub mod rng;
@@ -39,6 +40,10 @@ pub mod topology;
 pub mod xfer;
 
 pub use event::{Engine, EngineStats};
+pub use fault::{
+    run_transfer, FaultBias, FaultClock, FaultConfig, FaultEvent, FaultKind, FaultKnobs,
+    FaultPlan, FaultProfile, FaultRun, RetryPolicy, TransferSpec,
+};
 pub use flow::{fluid_schedule, fluid_schedule_recorded, maxmin_demo, maxmin_rates, maxmin_rates_recorded, FairNetwork, FlowBatch, FlowDemand, FlowNodes, FluidCompletion, FluidFlow, FluidScheduler, NodeId};
 pub use load::{effective_capacity, LoadProfile, LoadTimeline};
 pub use rng::SimRng;

@@ -1,0 +1,182 @@
+//! Per-transport fault biases: how each PT's failure modes map onto
+//! the fault-injection subsystem's event mix.
+//!
+//! The paper's reliability data (§5.2, Figure 8) shows the *shape* of
+//! failure differs by transport, not just the rate: meek's CDN polling
+//! stalls (requests park at the front until the next poll window),
+//! snowflake loses volunteer proxies mid-transfer (churn forcing full
+//! re-establishment through the broker), camoufler trips IM API quota
+//! resets (hard aborts), dnstt's 512-byte response channel collapses
+//! under resolver failures (aborts). [`fault_bias`] encodes those
+//! shapes as [`FaultBias`] weights consumed by
+//! [`FaultPlan::generate`](ptperf_sim::fault::FaultPlan::generate):
+//! each transport keeps its *existing* channel failure knobs
+//! (`connect_failure_p`, `hazard_per_sec`) as the event **rate**; the
+//! bias only decides which *kind* of mid-transfer event each hazard
+//! arrival becomes.
+
+use ptperf_sim::fault::FaultBias;
+
+use crate::ids::{Category, PtId};
+
+/// The fault-kind mix for `pt`'s mid-transfer hazard events.
+///
+/// Named transports with documented failure shapes get bespoke mixes;
+/// the rest inherit a category default (volunteer/broker proxy layers
+/// lean churn-heavy, tunnels abort when their carrier revokes quota,
+/// mimicry and fully-encrypted PTs fail like plain TCP: balanced).
+pub fn fault_bias(pt: PtId) -> FaultBias {
+    match pt {
+        // Volunteer WebRTC proxies vanish: re-establishment via broker.
+        PtId::Snowflake => FaultBias {
+            abort: 0.2,
+            stall: 0.1,
+            churn: 0.75,
+        },
+        // The rate-limited public bridge resets sustained flows (§4.6):
+        // most deaths are aborts, with CDN-edge parking stalls behind
+        // them; the bridge itself is stable, so churn is rare.
+        PtId::Meek => FaultBias {
+            abort: 0.55,
+            stall: 0.35,
+            churn: 0.1,
+        },
+        // IM API quota resets kill the session outright.
+        PtId::Camoufler => FaultBias {
+            abort: 0.5,
+            stall: 0.4,
+            churn: 0.1,
+        },
+        // Resolver failures drop the DNS tunnel mid-stream.
+        PtId::Dnstt => FaultBias {
+            abort: 0.6,
+            stall: 0.3,
+            churn: 0.1,
+        },
+        _ => match pt.category() {
+            Some(Category::ProxyLayer) => FaultBias {
+                abort: 0.3,
+                stall: 0.3,
+                churn: 0.4,
+            },
+            Some(Category::Tunneling) => FaultBias {
+                abort: 0.4,
+                stall: 0.4,
+                churn: 0.2,
+            },
+            // Mimicry, fully encrypted, and vanilla Tor fail like the
+            // underlying TCP stream: no dominant mode.
+            Some(Category::Mimicry) | Some(Category::FullyEncrypted) | None => {
+                FaultBias::balanced()
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{AccessOptions, Deployment};
+    use crate::transport_for;
+    use ptperf_sim::fault::{FaultKind, FaultKnobs, FaultPlan, FaultProfile};
+    use ptperf_sim::{Location, SimRng};
+    use ptperf_web::faults::FaultSession;
+    use ptperf_web::website::{SiteList, Website};
+    use ptperf_web::Outcome;
+
+    #[test]
+    fn every_pt_has_usable_bias_weights() {
+        // Weights are relative (the generator normalizes): they only
+        // need to be non-negative with a positive total.
+        for pt in PtId::ALL_WITH_VANILLA {
+            let b = fault_bias(pt);
+            assert!(b.abort >= 0.0 && b.stall >= 0.0 && b.churn >= 0.0, "{pt}");
+            assert!(b.abort + b.stall + b.churn > 0.0, "{pt}: all-zero bias");
+        }
+    }
+
+    #[test]
+    fn bias_shapes_the_generated_event_mix() {
+        // Over many plans, snowflake must produce more churn than meek,
+        // and meek more stalls than snowflake — the Figure 8 shapes.
+        let knobs = FaultKnobs {
+            connect_failure_p: 0.0,
+            hazard_per_sec: 0.5,
+            transfer_secs: 30.0,
+        };
+        let profile = FaultProfile::paper();
+        let count = |pt: PtId| {
+            let bias = fault_bias(pt);
+            let mut rng = SimRng::new(2024);
+            let (mut churn, mut stall) = (0u32, 0u32);
+            for _ in 0..200 {
+                let plan = FaultPlan::generate(&knobs, &profile, &bias, &mut rng);
+                for e in plan.mid_events() {
+                    match e.kind {
+                        FaultKind::Churn => churn += 1,
+                        FaultKind::Stall(_) => stall += 1,
+                        _ => {}
+                    }
+                }
+            }
+            (churn, stall)
+        };
+        let (snow_churn, snow_stall) = count(PtId::Snowflake);
+        let (meek_churn, meek_stall) = count(PtId::Meek);
+        assert!(
+            snow_churn > meek_churn,
+            "snowflake churn {snow_churn} vs meek {meek_churn}"
+        );
+        assert!(
+            meek_stall > snow_stall,
+            "meek stalls {meek_stall} vs snowflake {snow_stall}"
+        );
+    }
+
+    /// Regression for the `connect_failure_p` contract: the channel
+    /// invariant admits the inclusive upper bound `1.0` (a dead
+    /// channel), which the web helpers use and which the old exclusive
+    /// assert rejected. A dead channel must classify as Failed through
+    /// both the plain and the fault paths — never panic.
+    #[test]
+    fn dead_channel_boundary_is_in_contract_and_classifies() {
+        let dep = Deployment::standard(1, Location::Frankfurt);
+        let opts = AccessOptions::new(Location::London);
+        let mut rng = SimRng::new(5);
+        let t = transport_for(PtId::Obfs4);
+        let mut ch = t.establish(&dep, &opts, Location::NewYork, &mut rng);
+        ch.connect_failure_p = 1.0;
+        assert!(
+            (0.0..=1.0).contains(&ch.connect_failure_p),
+            "p = 1.0 must satisfy the channel contract"
+        );
+        let site = Website::generate(SiteList::Tranco, 0);
+        let plain = ptperf_web::curl::fetch(&ch, &site, &mut rng);
+        assert_eq!(plain.outcome, Outcome::Failed);
+        let mut session = FaultSession::active(
+            FaultProfile::paper(),
+            fault_bias(PtId::Obfs4),
+            SimRng::new(55),
+        );
+        let faulted = ptperf_web::curl::fetch_faulted(&ch, &site, &mut rng, &mut session);
+        assert_eq!(faulted.outcome, Outcome::Failed);
+        assert!(
+            session.stats().gave_up >= 1,
+            "a dead channel must exhaust the retry budget"
+        );
+        assert!(session.stats().consistent());
+        // The refusal loop is bounded even at p = 1.0 (no draw, always
+        // true): the plan carries at most MAX_REFUSALS refusals.
+        let plan = FaultPlan::generate(
+            &FaultKnobs {
+                connect_failure_p: 1.0,
+                hazard_per_sec: 0.0,
+                transfer_secs: 10.0,
+            },
+            &FaultProfile::paper(),
+            &fault_bias(PtId::Obfs4),
+            &mut SimRng::new(9),
+        );
+        assert_eq!(plan.refusals(), ptperf_sim::fault::MAX_REFUSALS);
+    }
+}

@@ -35,6 +35,7 @@ pub mod cloak;
 pub mod common;
 pub mod conjure;
 pub mod dnstt;
+pub mod faults;
 pub mod ids;
 pub mod marionette;
 pub mod meek;
@@ -48,6 +49,7 @@ pub mod vanilla;
 pub mod webtunnel;
 
 pub use common::EstablishScratch;
+pub use faults::fault_bias;
 pub use ids::{Category, HopSet, PtId};
 pub use transport::{AccessOptions, Deployment, PluggableTransport, PtServer};
 
@@ -111,7 +113,7 @@ mod tests {
                 ch.response.bottleneck_bps
             );
             assert!(
-                (0.0..1.0).contains(&ch.connect_failure_p),
+                (0.0..=1.0).contains(&ch.connect_failure_p),
                 "{}: bad failure p",
                 t.id()
             );

@@ -2,9 +2,11 @@
 //! website through a SOCKS-fronted tunnel, the paper's primary website
 //! workload (§4.2, Figure 2a).
 
+use ptperf_sim::fault::{run_transfer, TransferSpec};
 use ptperf_sim::{SimDuration, SimRng};
 
 use crate::channel::{Channel, Outcome};
+use crate::faults::FaultSession;
 use crate::website::Website;
 
 /// Result of one curl fetch.
@@ -103,6 +105,81 @@ pub fn fetch_with_timeout(
     }
 }
 
+/// [`fetch`] through a [`FaultSession`]: when the session is off this
+/// delegates to [`fetch`] with zero extra RNG draws (proven bit-for-bit
+/// in `tests/fault_neutrality.rs`); when active, the channel's failure
+/// knobs feed a generated [`FaultPlan`](ptperf_sim::fault::FaultPlan)
+/// and the transfer runs through the retry/timeout driver instead of
+/// the single upfront coin flip.
+pub fn fetch_faulted(
+    channel: &Channel,
+    site: &Website,
+    rng: &mut SimRng,
+    faults: &mut FaultSession,
+) -> FetchResult {
+    fetch_faulted_with_timeout(channel, site, PAGE_TIMEOUT, rng, faults)
+}
+
+/// [`fetch_faulted`] with an explicit timeout.
+pub fn fetch_faulted_with_timeout(
+    channel: &Channel,
+    site: &Website,
+    timeout: SimDuration,
+    rng: &mut SimRng,
+    faults: &mut FaultSession,
+) -> FetchResult {
+    if !faults.is_active() {
+        return fetch_with_timeout(channel, site, timeout, rng);
+    }
+
+    let body_time = channel.transfer_time(site.main_size);
+    let spec = TransferSpec {
+        head: channel.setup
+            + channel.stream_open
+            + channel.per_request_extra
+            + channel.request_rtt
+            + site.server_processing,
+        body: body_time,
+        resume_head: channel.stream_open + channel.request_rtt,
+        reconnect_head: channel.setup + channel.stream_open + channel.request_rtt,
+        timeout,
+    };
+    let plan = faults.plan(&FaultSession::knobs(channel, body_time.as_secs_f64()));
+    let run = run_transfer(&spec, &plan, &faults.policy());
+    faults.absorb(&run);
+
+    if run.completed {
+        return FetchResult {
+            ttfb: run.first_byte.unwrap_or(run.elapsed),
+            total: run.elapsed.min(timeout),
+            outcome: Outcome::Complete,
+            fraction: 1.0,
+        };
+    }
+    match run.first_byte {
+        // Nothing of the body ever arrived: refused connects or a head
+        // slower than the timeout — a failed fetch, like the old model.
+        None => FetchResult {
+            ttfb: timeout,
+            total: timeout,
+            outcome: Outcome::Failed,
+            fraction: 0.0,
+        },
+        Some(ttfb) if run.fraction > 0.0 => FetchResult {
+            ttfb,
+            total: run.elapsed.min(timeout),
+            outcome: Outcome::Partial,
+            fraction: run.fraction.clamp(0.0, 1.0),
+        },
+        Some(_) => FetchResult {
+            ttfb: timeout,
+            total: timeout,
+            outcome: Outcome::Failed,
+            fraction: 0.0,
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,5 +266,54 @@ mod tests {
         ch.setup = SimDuration::from_secs(200);
         let r = fetch(&ch, &site(), &mut rng);
         assert_eq!(r.outcome, Outcome::Failed);
+    }
+
+    #[test]
+    fn off_session_is_bit_identical_to_plain_fetch() {
+        let mut ch = channel(30_000.0);
+        ch.connect_failure_p = 0.2;
+        ch.hazard_per_sec = 0.5;
+        let mut a = SimRng::new(99);
+        let mut b = SimRng::new(99);
+        let mut off = FaultSession::off();
+        for _ in 0..100 {
+            let plain = fetch(&ch, &site(), &mut a);
+            let faulted = fetch_faulted(&ch, &site(), &mut b, &mut off);
+            assert_eq!(plain.ttfb, faulted.ttfb);
+            assert_eq!(plain.total, faulted.total);
+            assert_eq!(plain.outcome, faulted.outcome);
+            assert_eq!(plain.fraction.to_bits(), faulted.fraction.to_bits());
+        }
+        assert_eq!(off.stats(), crate::faults::FaultStats::default());
+    }
+
+    #[test]
+    fn active_session_retries_through_faults() {
+        use ptperf_sim::fault::{FaultBias, FaultProfile};
+        // Aggressive multiplies these 4× / 8×; keep the effective rates
+        // hostile but survivable so retries can actually save fetches.
+        let mut ch = channel(1.0e6);
+        ch.connect_failure_p = 0.1;
+        ch.hazard_per_sec = 0.05;
+        let mut rng = SimRng::new(12);
+        let mut s = FaultSession::active(
+            FaultProfile::aggressive(),
+            FaultBias::balanced(),
+            SimRng::new(12_000),
+        );
+        let mut complete = 0;
+        for _ in 0..60 {
+            let r = fetch_faulted(&ch, &site(), &mut rng, &mut s);
+            assert!(r.total <= PAGE_TIMEOUT);
+            assert!((0.0..=1.0).contains(&r.fraction));
+            if r.outcome == Outcome::Complete {
+                assert_eq!(r.fraction, 1.0);
+                complete += 1;
+            }
+        }
+        assert!(s.stats().injected > 0, "aggressive profile injected nothing");
+        assert!(s.stats().retried > 0, "no event was ever retried");
+        assert!(complete > 0, "retries should save some fetches");
+        assert!(s.stats().consistent());
     }
 }

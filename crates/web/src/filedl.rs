@@ -5,9 +5,11 @@
 //! downloaded each through every PT, recording complete/partial/failed
 //! outcomes and the fraction of the file that arrived.
 
+use ptperf_sim::fault::{run_transfer, TransferSpec};
 use ptperf_sim::{SimDuration, SimRng};
 
 use crate::channel::{Channel, Outcome};
+use crate::faults::FaultSession;
 
 /// The file sizes used throughout the paper, in bytes.
 pub const FILE_SIZES: [u64; 5] = [
@@ -98,6 +100,73 @@ pub fn download_with_timeout(
         elapsed: ideal_total,
         fraction: 1.0,
         outcome: Outcome::Complete,
+    }
+}
+
+/// [`download`] through a [`FaultSession`]: off sessions delegate to
+/// [`download`] bit-for-bit; active sessions replace the upfront coin
+/// flip and inline hazard draw with a generated fault plan driven
+/// through the retry/timeout state machine — aborts resume from the
+/// delivered prefix, churn pays full re-establishment, stalls extend
+/// the clock, and the 1200 s timeout still bounds everything.
+pub fn download_faulted(
+    channel: &Channel,
+    bytes: u64,
+    rng: &mut SimRng,
+    faults: &mut FaultSession,
+) -> Download {
+    download_faulted_with_timeout(channel, bytes, FILE_TIMEOUT, rng, faults)
+}
+
+/// [`download_faulted`] with an explicit timeout.
+pub fn download_faulted_with_timeout(
+    channel: &Channel,
+    bytes: u64,
+    timeout: SimDuration,
+    rng: &mut SimRng,
+    faults: &mut FaultSession,
+) -> Download {
+    if !faults.is_active() {
+        return download_with_timeout(channel, bytes, timeout, rng);
+    }
+
+    let body_time = channel.transfer_time(bytes);
+    let spec = TransferSpec {
+        head: channel.setup + channel.stream_open + channel.per_request_extra + channel.request_rtt,
+        body: body_time,
+        resume_head: channel.stream_open + channel.request_rtt,
+        reconnect_head: channel.setup + channel.stream_open + channel.request_rtt,
+        timeout,
+    };
+    let plan = faults.plan(&FaultSession::knobs(channel, body_time.as_secs_f64()));
+    let run = run_transfer(&spec, &plan, &faults.policy());
+    faults.absorb(&run);
+
+    if run.completed {
+        return Download {
+            elapsed: run.elapsed.min(timeout),
+            fraction: 1.0,
+            outcome: Outcome::Complete,
+        };
+    }
+    if run.first_byte.is_none() {
+        // Refused connects or a head past the timeout: nothing arrived.
+        return Download {
+            elapsed: timeout,
+            fraction: 0.0,
+            outcome: Outcome::Failed,
+        };
+    }
+    let fraction = run.fraction.clamp(0.0, 1.0);
+    Download {
+        elapsed: run.elapsed.min(timeout),
+        fraction,
+        // The same near-zero corner rule the plain model uses.
+        outcome: if fraction <= 0.001 {
+            Outcome::Failed
+        } else {
+            Outcome::Partial
+        },
     }
 }
 
@@ -237,5 +306,79 @@ mod tests {
     #[test]
     fn empty_counts_fractions_are_zero() {
         assert_eq!(ReliabilityCounts::default().fractions(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn off_session_is_bit_identical_to_plain_download() {
+        let mut ch = channel(200_000.0, 0.02);
+        ch.connect_failure_p = 0.15;
+        let mut a = SimRng::new(31);
+        let mut b = SimRng::new(31);
+        let mut off = FaultSession::off();
+        for &size in &FILE_SIZES {
+            for _ in 0..20 {
+                let plain = download(&ch, size, &mut a);
+                let faulted = download_faulted(&ch, size, &mut b, &mut off);
+                assert_eq!(plain.elapsed, faulted.elapsed);
+                assert_eq!(plain.outcome, faulted.outcome);
+                assert_eq!(plain.fraction.to_bits(), faulted.fraction.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn retries_recover_transfers_the_plain_model_loses() {
+        use crate::faults::FaultSession;
+        use ptperf_sim::fault::{FaultBias, FaultProfile, RetryPolicy};
+        // A channel fragile enough that the plain model almost never
+        // completes a 100 MB transfer (death every ~20 s of a ~100 s
+        // body), but whose faults are mostly recoverable under retry —
+        // the paper profile is deliberately one-shot, so graft the
+        // standard recovery policy onto it.
+        let ch = channel(1.0e6, 0.05);
+        let mut rng = SimRng::new(8);
+        let mut s = FaultSession::active(
+            FaultProfile {
+                policy: RetryPolicy::standard(),
+                ..FaultProfile::paper()
+            },
+            FaultBias {
+                abort: 1.0,
+                stall: 1.0,
+                churn: 0.2,
+            },
+            SimRng::new(800),
+        );
+        let mut counts = ReliabilityCounts::default();
+        for _ in 0..60 {
+            let d = download_faulted(&ch, FILE_SIZES[4], &mut rng, &mut s);
+            assert!(d.elapsed <= FILE_TIMEOUT);
+            counts.record(d.outcome);
+        }
+        let (complete, _, _) = counts.fractions();
+        assert!(
+            complete > 0.2,
+            "retry layer recovered almost nothing: complete {complete}"
+        );
+        assert!(s.stats().consistent());
+        assert!(s.stats().retried > 0);
+    }
+
+    #[test]
+    fn dead_channel_fails_through_the_fault_layer_too() {
+        use crate::faults::FaultSession;
+        use ptperf_sim::fault::{FaultBias, FaultProfile};
+        let mut ch = channel(1.0e6, 0.0);
+        ch.connect_failure_p = 1.0;
+        let mut rng = SimRng::new(9);
+        let mut s = FaultSession::active(
+            FaultProfile::paper(),
+            FaultBias::balanced(),
+            SimRng::new(900),
+        );
+        let d = download_faulted(&ch, FILE_SIZES[0], &mut rng, &mut s);
+        assert_eq!(d.outcome, Outcome::Failed);
+        assert_eq!(d.fraction, 0.0);
+        assert!(s.stats().gave_up >= 1);
     }
 }

@@ -22,18 +22,20 @@
 pub mod browser;
 pub mod channel;
 pub mod curl;
+pub mod faults;
 pub mod filedl;
 pub mod http;
 pub mod streaming;
 pub mod website;
 
 pub use browser::{
-    load_page, load_page_pooled, load_page_reference, load_page_traced, BrowserError, PageLoad,
-    PageScratch, BROWSER_PARALLELISM,
+    load_page, load_page_faulted, load_page_pooled, load_page_reference, load_page_traced,
+    BrowserError, PageLoad, PageScratch, BROWSER_PARALLELISM,
 };
 pub use channel::{Channel, Outcome};
-pub use curl::{fetch, FetchResult, PAGE_TIMEOUT};
+pub use curl::{fetch, fetch_faulted, FetchResult, PAGE_TIMEOUT};
+pub use faults::{FaultSession, FaultStats};
 pub use http::{Request as HttpRequest, Response as HttpResponse};
-pub use filedl::{download, Download, ReliabilityCounts, FILE_SIZES, FILE_TIMEOUT};
-pub use streaming::{play, MediaStream, StreamingSession};
+pub use filedl::{download, download_faulted, Download, ReliabilityCounts, FILE_SIZES, FILE_TIMEOUT};
+pub use streaming::{play, play_faulted, MediaStream, StreamingSession};
 pub use website::{SiteCategory, SiteList, Website};

@@ -4,6 +4,9 @@
 #   2. full workspace test suite
 #   3. clippy with warnings promoted to errors
 #   4. repro observability smoke run (--profile/--trace/--metrics)
+#   4b. fault smoke: the fault-neutrality suite plus a seeded
+#      `repro --faults` run whose trace must carry consistent fault
+#      counters (injected == retried + recovered + gave_up)
 #   5. perf smoke: quick flow benches + repro --bench-flow emitting
 #      BENCH_flow.json (fails on panic or non-finite output, never on
 #      speed thresholds)
@@ -38,6 +41,26 @@ cargo run --release -q -p ptperf-bench --bin repro -- \
 grep -q "Profile —" "$obs_dir/out.txt"
 test -s "$obs_dir/trace.jsonl"
 test -s "$obs_dir/metrics.json"
+
+echo "== fault smoke (neutrality + seeded plan counters) =="
+cargo test --release -q --test fault_neutrality > /dev/null
+cargo run --release -q -p ptperf-bench --bin repro -- \
+  --faults --trace "$obs_dir/fault_trace.jsonl" fig8a > "$obs_dir/fault_out.txt"
+grep -q '"key":"fault/injected"' "$obs_dir/fault_trace.jsonl"
+# The disposition identity: every injected fault is retried, recovered,
+# or given up on — nothing is dropped on the floor.
+awk -F'"value":' '
+  /"key":"fault\/injected"/  { split($2, v, /[,}]/); injected  += v[1] }
+  /"key":"fault\/retried"/   { split($2, v, /[,}]/); retried   += v[1] }
+  /"key":"fault\/recovered"/ { split($2, v, /[,}]/); recovered += v[1] }
+  /"key":"fault\/gave_up"/   { split($2, v, /[,}]/); gave_up   += v[1] }
+  END {
+    if (injected == 0 || injected != retried + recovered + gave_up) {
+      printf "fault counters inconsistent: injected=%d retried=%d recovered=%d gave_up=%d\n", \
+        injected, retried, recovered, gave_up > "/dev/stderr"
+      exit 1
+    }
+  }' "$obs_dir/fault_trace.jsonl"
 
 echo "== perf smoke (flow benches, quick mode) =="
 cargo bench -q -p ptperf-bench --bench flow > "$obs_dir/bench_flow.txt"

@@ -6,7 +6,7 @@ use ptperf::experiments::{
     file_download, fixed_circuit, location, reliability, snowflake_load, ttest_tables, ttfb,
     website_curl, website_selenium,
 };
-use ptperf::scenario::Scenario;
+use ptperf::scenario::{FaultConfig, FaultProfile, Scenario};
 use ptperf_sim::Location;
 use ptperf_transports::PtId;
 
@@ -117,6 +117,53 @@ fn fig5_fig8_bulk_reliability_split() {
             rel.incomplete_fraction(pt)
         );
     }
+}
+
+/// §4.6 / Fig. 8 through the fault layer: with the paper fault profile
+/// switched on (connect refusals, aborts, stalls, churn, surge
+/// degradation — all from the deterministic plan, fixed seed), the
+/// reliability split still lands where the paper put it: the worst trio
+/// ends >80% of attempts incomplete, meek's attempts are dominated by
+/// partials, camoufler fails outright around 10% of the time — and the
+/// whole picture replays bit-for-bit, seed in, fractions out.
+#[test]
+fn fig8_fault_plan_reproduces_reliability_fractions() {
+    let sc = scenario().with_faults(FaultConfig::Plan(FaultProfile::paper()));
+    let cfg = reliability::Config { attempts: 10, sizes: ptperf_web::FILE_SIZES };
+    let rel = reliability::run(&sc, &cfg);
+
+    // Fig. 8a, worst trio: >80% of attempts incomplete even with
+    // retry/backoff trying to save them (the surge epoch's degradation
+    // pushes retried transfers past the timeout anyway).
+    for pt in reliability::WORST {
+        assert!(
+            rel.incomplete_fraction(pt) > 0.8,
+            "{pt} incomplete {:.2} under faults",
+            rel.incomplete_fraction(pt)
+        );
+    }
+    // Meek's signature: attempts die mid-transfer, not at connect — the
+    // bar is mostly partial.
+    let (_, meek_partial, _) = rel.counts[&PtId::Meek].fractions();
+    assert!(meek_partial > 0.8, "meek partial {meek_partial:.2}");
+    // Camoufler's signature: ~10% of attempts fail outright (refusals
+    // and churn exhausting the retry budget), the rest mostly complete.
+    let (_, _, camoufler_failed) = rel.counts[&PtId::Camoufler].fractions();
+    assert!(
+        (0.03..=0.3).contains(&camoufler_failed),
+        "camoufler failed {camoufler_failed:.2}, paper says ~10%"
+    );
+    // The reliable set survives the fault lane.
+    for pt in [PtId::Obfs4, PtId::Cloak, PtId::WebTunnel] {
+        let (complete, _, _) = rel.counts[&pt].fractions();
+        assert!(complete > 0.6, "{pt} complete {complete:.2} under faults");
+    }
+
+    // Golden replay: the same seed reproduces the exact same outcome
+    // counts and per-attempt fractions.
+    let again = reliability::run(&sc, &cfg);
+    assert_eq!(rel.counts, again.counts, "fault-laden fig8 counts not replayable");
+    assert_eq!(rel.fractions, again.fractions, "fault-laden fig8 fractions not replayable");
 }
 
 /// §4.4 / Fig. 6: TTFB below 5 s for >80% of sites for all PTs except
