@@ -8,8 +8,12 @@
 //! repro --workers 8 fig7     # parallel run (same output, any count)
 //! repro --workers auto fig7  # one worker per hardware thread
 //! repro --trace t.jsonl fig6 # deterministic sim-time trace (JSONL)
-//! repro --metrics m.json fig6# wall-clock metrics registry (JSON)
+//! repro --trace-chrome c.json fig6 # span-tree trace for chrome://tracing / Perfetto
+//! repro --hist h.json fig6   # per-(PT, phase) latency histograms (JSON)
+//! repro --metrics m.json fig6 # wall-clock metrics registry (JSON)
 //! repro --profile fig6       # per-family profile table
+//! repro --check-bench DIR    # gate fresh BENCH_*.json in DIR against committed baselines
+//! repro --json-check FILE    # validate a JSON document (exit status only)
 //! repro --bench-flow         # fluid-scheduler benchmark → BENCH_flow.json
 //! repro --bench-establish    # establishment benchmark → BENCH_establish.json
 //! repro --bench-unit         # measurement-unit benchmark → BENCH_unit.json
@@ -30,6 +34,8 @@ fn main() {
     let mut seed = 42u64;
     let mut csv_dir: Option<String> = None;
     let mut trace_path: Option<String> = None;
+    let mut trace_chrome_path: Option<String> = None;
+    let mut hist_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
     let mut profile = false;
     let mut bench_flow = false;
@@ -46,6 +52,41 @@ fn main() {
     if args.iter().any(|a| a == "--list") {
         for t in available_targets() {
             println!("{t}");
+        }
+        return;
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--json-check") {
+        if pos + 1 >= args.len() {
+            obs_error!("--json-check requires a path");
+            std::process::exit(2);
+        }
+        let path = &args[pos + 1];
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                obs_error!("--json-check: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = ptperf_obs::json::parse(&text) {
+            obs_error!("--json-check: {path} is not valid JSON: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--check-bench") {
+        if pos + 1 >= args.len() {
+            obs_error!("--check-bench requires a directory of fresh BENCH_*.json files");
+            std::process::exit(2);
+        }
+        let fresh_dir = std::path::PathBuf::from(&args[pos + 1]);
+        let baseline_dir = std::path::PathBuf::from(".");
+        let cfg = ptperf_bench::regress::RegressConfig::from_env();
+        let (report, ok) = ptperf_bench::regress::check_dirs(&baseline_dir, &fresh_dir, &cfg);
+        print!("{report}");
+        if !ok {
+            obs_error!("bench regression gate failed (tolerance {}x)", cfg.tolerance);
+            std::process::exit(1);
         }
         return;
     }
@@ -124,8 +165,13 @@ fn main() {
         };
         args.drain(pos..=pos + 1);
     }
-    for (flag, slot) in [("--csv", &mut csv_dir), ("--trace", &mut trace_path), ("--metrics", &mut metrics_path)]
-    {
+    for (flag, slot) in [
+        ("--csv", &mut csv_dir),
+        ("--trace", &mut trace_path),
+        ("--trace-chrome", &mut trace_chrome_path),
+        ("--hist", &mut hist_path),
+        ("--metrics", &mut metrics_path),
+    ] {
         if let Some(pos) = args.iter().position(|a| a == flag) {
             if pos + 1 >= args.len() {
                 obs_error!("{flag} requires a path");
@@ -135,7 +181,12 @@ fn main() {
             args.drain(pos..=pos + 1);
         }
     }
-    if trace_path.is_some() || metrics_path.is_some() || profile {
+    if trace_path.is_some()
+        || trace_chrome_path.is_some()
+        || hist_path.is_some()
+        || metrics_path.is_some()
+        || profile
+    {
         par = par.with_recording(Record::Trace);
     }
 
@@ -224,6 +275,14 @@ fn main() {
         std::fs::write(path, obs_export::trace_jsonl(&runs)).expect("write trace");
         obs_info!("wrote sim-time trace to {path}");
     }
+    if let Some(path) = &trace_chrome_path {
+        std::fs::write(path, obs_export::trace_chrome(&runs)).expect("write chrome trace");
+        obs_info!("wrote Chrome trace-event export to {path}");
+    }
+    if let Some(path) = &hist_path {
+        std::fs::write(path, obs_export::hist_json(&runs)).expect("write hist report");
+        obs_info!("wrote latency-histogram report to {path}");
+    }
     if let Some(path) = &metrics_path {
         let registry = obs_export::build_metrics(&runs, par.workers, elapsed);
         std::fs::write(path, registry.to_json()).expect("write metrics");
@@ -238,9 +297,10 @@ fn print_help() {
     println!(
         "repro — regenerate PTPerf tables and figures\n\n\
          usage: repro [--paper] [--seed N] [--workers N|auto] [--csv DIR]\n\
-         \x20            [--trace FILE] [--metrics FILE] [--profile] [--faults]\n\
+         \x20            [--trace FILE] [--trace-chrome FILE] [--hist FILE]\n\
+         \x20            [--metrics FILE] [--profile] [--faults]\n\
          \x20            [--bench-flow] [--bench-establish] [--bench-unit]\n\
-         \x20            [--bench-out FILE]\n\
+         \x20            [--bench-out FILE] [--check-bench DIR] [--json-check FILE]\n\
          \x20            [--quiet] [-v|--verbose] [--list] [TARGET ...]\n\n\
          --workers only changes wall-clock time: output is bit-for-bit\n\
          identical at any worker count.\n\
@@ -249,10 +309,26 @@ fn print_help() {
          churn, and surge degradation, replayed identically per seed at\n\
          any worker count; traces gain fault/* counters.\n\
          --trace writes the deterministic sim-time trace (JSON Lines: one\n\
-         span or counter record per line, identical at any worker count);\n\
+         span or counter record per line with stable span ids and parent\n\
+         links, identical at any worker count);\n\
+         --trace-chrome writes the same span trees in the Chrome\n\
+         trace-event format (open in chrome://tracing or Perfetto:\n\
+         per-family lanes, counter tracks; byte-identical at any worker\n\
+         count); --hist writes the per-(PT, phase) latency-histogram\n\
+         report (deterministic log-linear buckets, exact shard merge,\n\
+         integer p50/p90/p99/p99.9 in ns; byte-identical at any worker\n\
+         count);\n\
          --metrics writes the wall-clock metrics registry (JSON; per-family\n\
          p50/p95 shard times, worker utilization); --profile prints a\n\
          per-family table of events, simulated seconds, and throughput.\n\
+         --check-bench DIR compares fresh BENCH_*.json files in DIR\n\
+         against the committed baselines in the current directory and\n\
+         exits non-zero on a p50 regression past the tolerance\n\
+         (PTPERF_BENCH_TOL, default 2.5x; PTPERF_BENCH_MIN_RUNS minimum\n\
+         fresh run count, default 10; PTPERF_BENCH_ABS absolute floor in\n\
+         us, default 1.0; PTPERF_BENCH_DRIFT=warn reports without\n\
+         failing), emitting a machine-readable verdict JSON on stdout.\n\
+         --json-check FILE validates that FILE parses as JSON and exits.\n\
          --bench-flow benchmarks the fluid scheduler (optimized vs the\n\
          reference oracle, p50/p95 per workload class, steps/s, fast-path\n\
          hits, allocations-per-step proxy) and writes BENCH_flow.json\n\

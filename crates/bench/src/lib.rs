@@ -12,6 +12,7 @@
 pub mod establishbench;
 pub mod flowbench;
 pub mod obs_export;
+pub mod regress;
 pub mod targets;
 pub mod unitbench;
 

@@ -120,6 +120,7 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
                                 "transfer",
                                 d.elapsed.saturating_sub(handshake).as_nanos(),
                             );
+                            phases.hist_ns("total", d.elapsed.as_nanos());
                             rec.add("events", 1);
                         }
                         list.push(Attempt {

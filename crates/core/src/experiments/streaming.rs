@@ -127,6 +127,12 @@ pub fn units(scenario: &Scenario, cfg: &Config) -> Vec<Unit<Shard>> {
                                         "stall",
                                         session.rebuffer_time.as_nanos(),
                                     );
+                                    phases.hist_ns(
+                                        "total",
+                                        session.startup_delay.as_nanos()
+                                            + cfg.duration.as_nanos()
+                                            + session.rebuffer_time.as_nanos(),
+                                    );
                                     rec.add("events", 1);
                                 }
                                 session

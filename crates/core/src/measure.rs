@@ -227,6 +227,9 @@ pub(crate) fn record_page_phases(
     phases.add_ns("handshake", handshake.as_nanos());
     phases.add_ns("main_document", main_document.as_nanos());
     phases.add_ns("subresources", subresources.as_nanos());
+    // Distribution-only observation: the whole page load as one sample
+    // (it overlaps the timeline phases, so no span contribution).
+    phases.hist_ns("total", page.total.as_nanos());
 }
 
 /// Splits one fetch into handshake / request / transfer phase time.
@@ -247,6 +250,11 @@ pub(crate) fn record_fetch_phases(
     phases.add_ns("handshake", handshake.as_nanos());
     phases.add_ns("request", request.as_nanos());
     phases.add_ns("transfer", transfer.as_nanos());
+    // Distribution-only observations: whole-fetch and time-to-first-byte
+    // latencies overlap the timeline phases, so they get histogram
+    // samples but no span contribution.
+    phases.hist_ns("ttfb", fetch.ttfb.as_nanos());
+    phases.hist_ns("total", fetch.total.as_nanos());
 }
 
 #[cfg(test)]
@@ -336,10 +344,22 @@ mod tests {
         let data = rec.into_data();
         // 6 sites × 2 repeats.
         assert_eq!(data.counter("events"), Some(12));
-        // Three phases laid out consecutively, summing to sim_ns.
+        // A `total` root span with the three phases as its children,
+        // laid out consecutively; leaves sum to sim_ns.
         let phases: Vec<&str> = data.spans.iter().map(|s| s.phase).collect();
-        assert_eq!(phases, vec!["handshake", "request", "transfer"]);
-        assert_eq!(data.counter("sim_ns"), Some(data.span_ns()));
+        assert_eq!(phases, vec!["total", "handshake", "request", "transfer"]);
+        let root = data.spans[0].id;
+        assert!(data.spans[1..].iter().all(|s| s.parent == root));
+        assert_eq!(data.counter("sim_ns"), Some(data.leaf_span_ns()));
+        // Each fetch contributed one sample to every phase histogram,
+        // including the distribution-only ttfb/total observations.
+        for key in ["handshake", "request", "transfer", "ttfb", "total"] {
+            assert_eq!(
+                data.hist(key).map(ptperf_obs::Hist::count),
+                Some(12),
+                "missing or short histogram for {key}"
+            );
+        }
     }
 
     #[test]

@@ -25,6 +25,17 @@
 //! atomic level so binaries can offer `--quiet`/`-v` without threading
 //! a logger handle everywhere.
 //!
+//! Sim-time instrumentation includes a distributional layer: the
+//! [`hist`] module's fixed-layout log-linear [`Hist`] records per-event
+//! phase latencies without retaining samples, merges exactly across
+//! shards in any order, and reads out p50/p90/p99/p99.9 — so the same
+//! determinism guarantee (byte-identical at any worker count) extends
+//! to latency distributions. Spans form parent-linked trees with
+//! stable ids ([`Recorder::span_in`]), which the Chrome-trace exporter
+//! in `ptperf-bench` renders for real trace viewers. The [`registry`]
+//! module is the documented census of every counter key the workspace
+//! emits, enforced by a grep-based coverage test.
+//!
 //! A fourth facility is the process-wide performance counter set in
 //! [`perf`] — monotone relaxed atomics (`path/index_pick`,
 //! `path/scan_fallback`, `deployment/rebuilds_saved`,
@@ -41,12 +52,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod hist;
 pub mod json;
 pub mod log;
 pub mod metrics;
 pub mod perf;
 pub mod recorder;
+pub mod registry;
 
+pub use hist::Hist;
 pub use log::{set_level, Level};
 pub use metrics::{FamilyMetrics, MetricsRegistry};
 pub use recorder::{MemoryRecorder, NullRecorder, PhaseAccum, Recorder, ShardObsData, SpanRecord};

@@ -3,7 +3,10 @@
 #   1. release build of the whole workspace (all targets)
 #   2. full workspace test suite
 #   3. clippy with warnings promoted to errors
-#   4. repro observability smoke run (--profile/--trace/--metrics)
+#   4. repro observability smoke run (--profile/--trace/--metrics),
+#      plus the hist-report smoke (--hist: valid JSON, non-empty
+#      per-PT phase histograms, finite quantiles) and the Chrome-trace
+#      smoke (--trace-chrome: parses, first event is process metadata)
 #   4b. fault smoke: the fault-neutrality suite plus a seeded
 #      `repro --faults` run whose trace must carry consistent fault
 #      counters (injected == retried + recovered + gave_up)
@@ -17,11 +20,23 @@
 #      BENCH_unit.json; additionally asserts every warm class shows
 #      allocs_per_unit == 0 — the one structural property the pooled
 #      pipeline promises
-#   8. drift check (warn-only): compares fresh bench output against the
-#      committed BENCH_*.json baselines and prints any p50 that moved
-#      more than 2x either way; never fails the gate
+#   8. bench regression gate: `repro --check-bench` compares the fresh
+#      bench output against the committed BENCH_*.json baselines with a
+#      relative-tolerance + minimum-run-count rule (PTPERF_BENCH_TOL,
+#      default 2.5x; PTPERF_BENCH_DRIFT=warn to report without failing)
+#      and fails the gate on a regression verdict
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# A bench JSON must never carry NaN/Infinity — the emitter renders
+# non-finite numbers as null and a null in a p50 means the bench broke.
+check_finite() {
+  test -s "$1"
+  if grep -qi "nan\|inf" "$1"; then
+    echo "$(basename "$1") contains non-finite values" >&2
+    exit 1
+  fi
+}
 
 echo "== build (release, all targets) =="
 cargo build --release --workspace --all-targets
@@ -37,10 +52,31 @@ obs_dir="$(mktemp -d)"
 trap 'rm -rf "$obs_dir"' EXIT
 cargo run --release -q -p ptperf-bench --bin repro -- \
   --profile --trace "$obs_dir/trace.jsonl" --metrics "$obs_dir/metrics.json" \
+  --hist "$obs_dir/hist.json" --trace-chrome "$obs_dir/chrome.json" \
   fig6 > "$obs_dir/out.txt"
 grep -q "Profile —" "$obs_dir/out.txt"
 test -s "$obs_dir/trace.jsonl"
 test -s "$obs_dir/metrics.json"
+repro() { cargo run --release -q -p ptperf-bench --bin repro -- "$@"; }
+
+echo "== hist report smoke (valid JSON, per-PT phase hists, finite quantiles) =="
+repro --json-check "$obs_dir/hist.json"
+grep -q '"schema":"ptperf-hist/v1"' "$obs_dir/hist.json"
+grep -q '"pt":"' "$obs_dir/hist.json"
+grep -q '"phase":"handshake"' "$obs_dir/hist.json"
+# Quantiles are integer nanoseconds; a null would mean a non-finite
+# value leaked into the report, and a zero count an empty histogram.
+if grep -q 'null' "$obs_dir/hist.json" || grep -q '"count":0[,}]' "$obs_dir/hist.json"; then
+  echo "hist report carries empty histograms or non-finite values" >&2
+  exit 1
+fi
+
+echo "== chrome trace smoke (parses; first event is process metadata) =="
+repro --json-check "$obs_dir/chrome.json"
+# One event per line, process-name metadata record first.
+sed -n '2p' "$obs_dir/chrome.json" | grep -q '"name":"process_name".*"ph":"M"'
+grep -q '"ph":"X"' "$obs_dir/chrome.json"
+grep -q '"ph":"C"' "$obs_dir/chrome.json"
 
 echo "== fault smoke (neutrality + seeded plan counters) =="
 cargo test --release -q --test fault_neutrality > /dev/null
@@ -67,33 +103,21 @@ cargo bench -q -p ptperf-bench --bench flow > "$obs_dir/bench_flow.txt"
 grep -q "fluid_scheduler/browser_64_optimized" "$obs_dir/bench_flow.txt"
 PTPERF_FLOWBENCH_RUNS=40 cargo run --release -q -p ptperf-bench --bin repro -- \
   --bench-flow --bench-out "$obs_dir/BENCH_flow.json" > "$obs_dir/bench_out.txt"
-test -s "$obs_dir/BENCH_flow.json"
-if grep -qi "nan\|inf" "$obs_dir/BENCH_flow.json"; then
-  echo "BENCH_flow.json contains non-finite values" >&2
-  exit 1
-fi
+check_finite "$obs_dir/BENCH_flow.json"
 
 echo "== perf smoke (establish benches, quick mode) =="
 cargo bench -q -p ptperf-bench --bench establish > "$obs_dir/bench_establish.txt"
 grep -q "establish/vanilla_600_indexed" "$obs_dir/bench_establish.txt"
 PTPERF_ESTABLISHBENCH_RUNS=20 cargo run --release -q -p ptperf-bench --bin repro -- \
   --bench-establish --bench-out "$obs_dir/BENCH_establish.json" > "$obs_dir/establish_out.txt"
-test -s "$obs_dir/BENCH_establish.json"
-if grep -qi "nan\|inf" "$obs_dir/BENCH_establish.json"; then
-  echo "BENCH_establish.json contains non-finite values" >&2
-  exit 1
-fi
+check_finite "$obs_dir/BENCH_establish.json"
 
 echo "== perf smoke (unit benches, quick mode) =="
 cargo bench -q -p ptperf-bench --bench unit > "$obs_dir/bench_unit.txt"
 grep -q "unit/browser_obfs4_16_pooled" "$obs_dir/bench_unit.txt"
 PTPERF_UNITBENCH_RUNS=20 cargo run --release -q -p ptperf-bench --bin repro -- \
   --bench-unit --bench-out "$obs_dir/BENCH_unit.json" > "$obs_dir/unit_out.txt"
-test -s "$obs_dir/BENCH_unit.json"
-if grep -qi "nan\|inf" "$obs_dir/BENCH_unit.json"; then
-  echo "BENCH_unit.json contains non-finite values" >&2
-  exit 1
-fi
+check_finite "$obs_dir/BENCH_unit.json"
 # The one structural promise the pooled pipeline makes: warm units never
 # grow their scratch. Any non-zero allocs_per_unit is a regression.
 while read -r allocs; do
@@ -103,18 +127,14 @@ while read -r allocs; do
   fi
 done < <(grep -o '"allocs_per_unit": [0-9.eE+-]*' "$obs_dir/BENCH_unit.json" | awk '{print $2}')
 
-echo "== bench drift vs committed baselines (warn-only) =="
-for name in flow establish unit; do
-  fresh="$obs_dir/BENCH_$name.json"
-  baseline="BENCH_$name.json"
-  [ -s "$fresh" ] && [ -s "$baseline" ] || continue
-  # Pair up every p50_us in document order; machines differ, so only
-  # shout when a p50 moved more than 2x either way — and never fail.
-  paste <(grep -o '"p50_us": [0-9.eE+-]*' "$baseline" | awk '{print $2}') \
-        <(grep -o '"p50_us": [0-9.eE+-]*' "$fresh" | awk '{print $2}') |
-    awk -v name="$name" '$1 > 0 && $2 > 0 && ($2 / $1 > 2 || $1 / $2 > 2) {
-      printf "warning: %s p50 #%d drifted: baseline %s µs, fresh %s µs\n", name, NR, $1, $2
-    }'
-done
+echo "== bench regression gate vs committed baselines =="
+# The statistically-gated replacement for the old warn-only awk 2x
+# heuristic: pairs every *p50_us by structural path, skips fresh docs
+# with too few runs, ignores sub-microsecond jitter, and fails on a
+# slowdown past the tolerance. PTPERF_BENCH_DRIFT=warn downgrades the
+# gate to a report for cross-machine baseline refreshes.
+repro --check-bench "$obs_dir" | tee "$obs_dir/bench_verdict.json"
+repro --json-check "$obs_dir/bench_verdict.json"
+grep -q '"verdict":"pass"\|"verdict":"warn"' "$obs_dir/bench_verdict.json"
 
 echo "== verify: all gates passed =="

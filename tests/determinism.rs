@@ -244,3 +244,59 @@ fn cached_deployment_equals_a_fresh_standard_build() {
         "memoized deployment drifted from a fresh build"
     );
 }
+
+#[test]
+fn phase_histograms_are_deterministic_and_merge_order_independent() {
+    use ptperf::executor::{Parallelism, Record};
+    use ptperf_bench::{run_target_obs, RunScale};
+    use ptperf_obs::Hist;
+    let scenario = Scenario::baseline(29);
+    let seq = run_target_obs(
+        "fig5",
+        &scenario,
+        RunScale::Quick,
+        &Parallelism::sequential().with_recording(Record::Trace),
+    );
+    let par = run_target_obs(
+        "fig5",
+        &scenario,
+        RunScale::Quick,
+        &Parallelism::new(4).with_recording(Record::Trace),
+    );
+    // Per-shard histograms are identical field for field across worker
+    // counts — the distributional layer inherits the determinism of the
+    // values it observes.
+    assert_eq!(seq.reports.len(), par.reports.len());
+    for (a, b) in seq.reports.iter().zip(&par.reports) {
+        assert_eq!(a.label, b.label);
+        assert!(!a.obs.hists.is_empty(), "{}: no histograms recorded", a.label);
+        assert_eq!(
+            a.obs.hists, b.obs.hists,
+            "{}: histograms diverged across worker counts",
+            a.label
+        );
+    }
+    // Merging the per-shard `total` histograms forward and in reverse
+    // yields the same histogram: exact merge, any shard order.
+    let totals: Vec<&Hist> = seq
+        .reports
+        .iter()
+        .filter_map(|r| r.obs.hist("total"))
+        .collect();
+    assert!(totals.len() > 1, "fig5 shards should each carry a total hist");
+    let mut forward = Hist::new();
+    for h in &totals {
+        forward.merge(h);
+    }
+    let mut reverse = Hist::new();
+    for h in totals.iter().rev() {
+        reverse.merge(h);
+    }
+    assert_eq!(forward, reverse, "merge must be shard-order-independent");
+    assert_eq!(
+        forward.count(),
+        totals.iter().map(|h| h.count()).sum::<u64>()
+    );
+    assert!(forward.p50() <= forward.p90() && forward.p90() <= forward.p99());
+    assert!(forward.p99() <= forward.max_ns());
+}

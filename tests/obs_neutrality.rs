@@ -12,7 +12,7 @@
 use ptperf::executor::{Parallelism, Record};
 use ptperf::experiments::fixed_circuit;
 use ptperf::scenario::Scenario;
-use ptperf_bench::obs_export::trace_jsonl;
+use ptperf_bench::obs_export::{hist_json, trace_chrome, trace_jsonl};
 use ptperf_bench::{run_target_obs, RunScale, TargetRun};
 use ptperf_obs::MemoryRecorder;
 
@@ -44,9 +44,9 @@ fn recording_never_changes_a_target_render() {
         for name in FAMILY_TARGETS {
             let off = run(name, seed, &Parallelism::sequential());
             assert!(
-                off.reports
-                    .iter()
-                    .all(|r| r.obs.spans.is_empty() && r.obs.counters.is_empty()),
+                off.reports.iter().all(|r| r.obs.spans.is_empty()
+                    && r.obs.counters.is_empty()
+                    && r.obs.hists.is_empty()),
                 "{name}: Record::Off must record nothing"
             );
             for workers in [1, 4] {
@@ -115,11 +115,56 @@ fn raw_samples_are_bit_identical_with_recording_on() {
             Some((cfg.iterations * 5 * 3) as u64),
             "one event per (iteration, site, config) fetch"
         );
+        // The span tree's leaves (phase spans under the `total` root)
+        // cover the accumulated sim time exactly once.
         assert_eq!(
             data.counter("sim_ns"),
-            Some(data.span_ns()),
-            "phase spans must cover the accumulated sim time exactly"
+            Some(data.leaf_span_ns()),
+            "phase leaf spans must cover the accumulated sim time exactly"
         );
+        let roots: Vec<_> = data.spans.iter().filter(|s| s.is_root()).collect();
+        assert_eq!(roots.len(), 1, "one `total` root span per shard accum");
+        assert_eq!(roots[0].phase, "total");
+        // Every phase span got a latency histogram with one sample per
+        // recorded event, total latency included.
+        let events = data.counter("events").unwrap();
+        for key in ["handshake", "request", "transfer", "ttfb", "total"] {
+            let h = data.hist(key).unwrap_or_else(|| panic!("no {key} hist"));
+            assert_eq!(h.count(), events, "{key} hist must have one sample per fetch");
+            assert!(h.max_ns() >= h.min_ns());
+        }
+    }
+}
+
+#[test]
+fn hist_and_chrome_reports_are_identical_across_worker_counts() {
+    for name in FAMILY_TARGETS {
+        let reference = run(
+            name,
+            SEEDS[0],
+            &Parallelism::sequential().with_recording(Record::Trace),
+        );
+        let ref_hist = hist_json(std::slice::from_ref(&reference));
+        let ref_chrome = trace_chrome(std::slice::from_ref(&reference));
+        assert!(
+            ref_hist.contains("\"phase\":"),
+            "{name}: hist report carries no phase histograms:\n{ref_hist}"
+        );
+        assert!(ref_chrome.contains("\"ph\":\"X\""), "{name}: no span events");
+        for workers in [1, 4] {
+            let par = Parallelism::new(workers).with_recording(Record::Trace);
+            let run = run(name, SEEDS[0], &par);
+            assert_eq!(
+                ref_hist,
+                hist_json(std::slice::from_ref(&run)),
+                "{name} workers {workers}: hist report not byte-identical"
+            );
+            assert_eq!(
+                ref_chrome,
+                trace_chrome(std::slice::from_ref(&run)),
+                "{name} workers {workers}: chrome trace not byte-identical"
+            );
+        }
     }
 }
 
