@@ -49,6 +49,14 @@ pub struct ClassResult {
     pub steps_per_run: u64,
     /// Fast-path allocations per run (0 for multi-bottleneck classes).
     pub fast_path_per_run: u64,
+    /// Max-min recomputations per run (one per allocation event).
+    pub recomputations_per_run: u64,
+    /// Allocations that reused at least one cached component per run
+    /// (0 for single-bottleneck classes, which have nothing to split).
+    pub incremental_per_run: u64,
+    /// Incremental allocations that failed the closure check and
+    /// re-ran the full solve, per run. Bounded by `recomputations`.
+    pub full_fallback_per_run: u64,
     /// Optimized scheduler p50 wall time, microseconds.
     pub opt_p50_us: f64,
     /// Optimized scheduler p95 wall time, microseconds.
@@ -65,6 +73,14 @@ pub struct ClassResult {
     /// by total timed steps: the allocations-per-step proxy. Should be
     /// 0 once warm; any other value means the hot path still allocates.
     pub allocs_per_step: f64,
+}
+
+/// Whether a class's structure admits the analytic fast path: browser
+/// classes are single-bottleneck, capped pools are uniform-cap. Mesh
+/// and churn classes can never hit it — their smoke gate is the
+/// incremental counter instead (see `flow_counters_match_class_shape`).
+pub fn fast_path_eligible(name: &str) -> bool {
+    name.starts_with("browser_") || name.starts_with("capped_")
 }
 
 /// The standard workload classes, smallest first. Fixed seeds: the same
@@ -90,6 +106,22 @@ pub fn standard_workloads() -> Vec<Workload> {
         let mut rng = SimRng::new(13);
         let inst = maxmin_demo::random_fluid_instance(&mut rng, 16, 64);
         out.push(Workload { name: "mesh_16n_64f", net: inst.net, batch: inst.batch });
+    }
+    {
+        // Bigger adversarial mesh: 4x the flows and 2x the nodes of
+        // mesh_16n_64f — the scale where re-solving the whole network
+        // per event dominates and component reuse pays.
+        let mut rng = SimRng::new(15);
+        let inst = maxmin_demo::random_fluid_instance(&mut rng, 32, 256);
+        out.push(Workload { name: "mesh_32n_256f", net: inst.net, batch: inst.batch });
+    }
+    {
+        // Interleaved arrival/departure churn: staggered slots keep
+        // the active set mutating one flow at a time, the best case
+        // for incremental component reuse.
+        let mut rng = SimRng::new(16);
+        let inst = maxmin_demo::churn_fluid_instance(&mut rng, 24, 192);
+        out.push(Workload { name: "churn_mesh", net: inst.net, batch: inst.batch });
     }
     {
         // Uniformly capped pool on one node: the uniform-cap analytic
@@ -143,6 +175,9 @@ pub fn bench_class(w: &Workload, runs: usize) -> ClassResult {
     let data = rec.into_data();
     let steps_per_run = data.counter("fluid/steps").unwrap_or(0);
     let fast_path_per_run = data.counter("maxmin/fast_path").unwrap_or(0);
+    let recomputations_per_run = data.counter("maxmin/recomputations").unwrap_or(0);
+    let incremental_per_run = data.counter("maxmin/incremental").unwrap_or(0);
+    let full_fallback_per_run = data.counter("maxmin/full_fallback").unwrap_or(0);
 
     // Warmup: let the scratch reach its high-water marks.
     for _ in 0..3 {
@@ -199,6 +234,9 @@ pub fn bench_class(w: &Workload, runs: usize) -> ClassResult {
         flows: w.batch.len(),
         steps_per_run,
         fast_path_per_run,
+        recomputations_per_run,
+        incremental_per_run,
+        full_fallback_per_run,
         opt_p50_us: opt_p50,
         opt_p95_us: opt_p95,
         ref_p50_us: ref_p50,
@@ -226,13 +264,18 @@ pub fn render_json(results: &[ClassResult], runs: usize) -> String {
         .map(|r| {
             format!(
                 "    {{\"name\": {}, \"flows\": {}, \"steps_per_run\": {}, \
-                 \"fast_path_per_run\": {}, \"optimized\": {{\"p50_us\": {}, \"p95_us\": {}}}, \
+                 \"fast_path_per_run\": {}, \"recomputations_per_run\": {}, \
+                 \"incremental_per_run\": {}, \"full_fallback_per_run\": {}, \
+                 \"optimized\": {{\"p50_us\": {}, \"p95_us\": {}}}, \
                  \"reference\": {{\"p50_us\": {}, \"p95_us\": {}}}, \"steps_per_sec\": {}, \
                  \"speedup_p50\": {}, \"allocs_per_step\": {}}}",
                 json::string(r.name),
                 r.flows,
                 r.steps_per_run,
                 r.fast_path_per_run,
+                r.recomputations_per_run,
+                r.incremental_per_run,
+                r.full_fallback_per_run,
                 json::number(r.opt_p50_us),
                 json::number(r.opt_p95_us),
                 json::number(r.ref_p50_us),
@@ -257,6 +300,8 @@ pub fn render_table(results: &[ClassResult], runs: usize) -> String {
         "flows",
         "steps",
         "fast",
+        "incr",
+        "fallback",
         "opt p50 (µs)",
         "opt p95 (µs)",
         "ref p50 (µs)",
@@ -270,6 +315,8 @@ pub fn render_table(results: &[ClassResult], runs: usize) -> String {
             r.flows.to_string(),
             r.steps_per_run.to_string(),
             r.fast_path_per_run.to_string(),
+            r.incremental_per_run.to_string(),
+            r.full_fallback_per_run.to_string(),
             format!("{:.1}", r.opt_p50_us),
             format!("{:.1}", r.opt_p95_us),
             format!("{:.1}", r.ref_p50_us),
@@ -307,8 +354,11 @@ mod tests {
         assert_eq!(r.name, "browser_64");
         assert_eq!(r.flows, 64);
         assert!(r.steps_per_run > 0);
-        // Browser workloads are pure single-bottleneck: every step that
-        // reallocated took the fast path.
+        // browser_64 is fast-path-eligible (pure single-bottleneck):
+        // every step that reallocated took the analytic path. Classes
+        // that can never hit it are gated on the incremental counter
+        // in `flow_counters_match_class_shape` instead.
+        assert!(fast_path_eligible(r.name));
         assert!(r.fast_path_per_run > 0);
         assert!(r.opt_p50_us >= 0.0 && r.opt_p95_us >= r.opt_p50_us * 0.999);
         let json = render_json(&[r], 4);
@@ -326,11 +376,50 @@ mod tests {
     }
 
     #[test]
-    fn table_renders_every_class() {
+    fn table_renders_every_class_and_counters_match_shape() {
         let (results, _) = run_flow_bench(4);
         let table = render_table(&results, 4);
-        for name in ["browser_64", "browser_256", "mesh_16n_64f", "capped_uniform_64"] {
+        for name in [
+            "browser_64",
+            "browser_256",
+            "mesh_16n_64f",
+            "mesh_32n_256f",
+            "churn_mesh",
+            "capped_uniform_64",
+        ] {
             assert!(table.contains(name), "missing {name} in:\n{table}");
+        }
+        flow_counters_match_class_shape(&results);
+    }
+
+    /// The per-class counter smoke gate: fast-path-eligible classes
+    /// must actually take the analytic path, and multi-bottleneck
+    /// mesh/churn classes — which can never hit it — must instead
+    /// exercise incremental component reuse. Fallbacks stay strictly
+    /// below the recomputation count everywhere (the incremental path
+    /// must not degenerate into a full re-solve per event).
+    fn flow_counters_match_class_shape(results: &[ClassResult]) {
+        for r in results {
+            if fast_path_eligible(r.name) {
+                assert!(
+                    r.fast_path_per_run > 0,
+                    "{}: eligible class never took the fast path",
+                    r.name
+                );
+            } else {
+                assert!(
+                    r.incremental_per_run > 0,
+                    "{}: mesh/churn class never reused a component",
+                    r.name
+                );
+            }
+            assert!(
+                r.full_fallback_per_run < r.recomputations_per_run.max(1),
+                "{}: {} fallbacks out of {} recomputations — cache never holds",
+                r.name,
+                r.full_fallback_per_run,
+                r.recomputations_per_run
+            );
         }
     }
 }

@@ -358,8 +358,13 @@ pub fn fluid_schedule(net: &FairNetwork, batch: &FlowBatch) -> Vec<FluidCompleti
 /// previous rates because the active set was unchanged
 /// (`fluid/realloc_skipped`), and forwards the recorder to the allocator
 /// so per-step work (`maxmin/recomputations`, `maxmin/fast_path`) is
-/// visible too. Delegation works the same way as for `maxmin_rates`:
-/// one body, observations only.
+/// visible too. The event-incremental allocator adds its own triple:
+/// allocations that copied at least one unchanged bottleneck
+/// component's cached rates (`maxmin/incremental`), the number of flows
+/// actually re-solved on those allocations (`maxmin/component_flows`),
+/// and closure-check failures that re-ran the full global solve
+/// (`maxmin/full_fallback`). Delegation works the same way as for
+/// `maxmin_rates`: one body, observations only.
 ///
 /// A re-entrant call (a recorder implementation that itself schedules
 /// flows) cannot borrow the thread-local scheduler a second time; it
@@ -499,6 +504,43 @@ pub mod maxmin_demo {
                 &d.nodes,
                 d.cap,
                 SimDuration::from_nanos(rng.below(50_000_000)),
+            );
+        }
+        FluidInstance {
+            net: raw.net,
+            batch,
+        }
+    }
+
+    /// An interleaved arrival/departure "churn" workload: flows arrive
+    /// spread over a long horizon with sizes small enough that early
+    /// flows drain while later ones are still due, so the active set
+    /// rises and falls repeatedly and its bottleneck components keep
+    /// splitting and re-forming — the shape that exercises the
+    /// scheduler's incremental component reuse (`maxmin/incremental`).
+    /// Inherits every degenerate case of [`random_instance_raw`]
+    /// (cap-only flows, duplicated path nodes) and adds zero-byte
+    /// flows and simultaneous arrivals (starts are quantized to 5 ms).
+    pub fn churn_fluid_instance(
+        rng: &mut SimRng,
+        n_nodes: usize,
+        n_flows: usize,
+    ) -> FluidInstance {
+        let raw = random_instance_raw(rng, n_nodes, n_flows);
+        let mut batch = FlowBatch::new();
+        for (i, d) in raw.flows.into_iter().enumerate() {
+            let bytes = if rng.chance(0.1) {
+                0.0
+            } else {
+                rng.range_f64(1.0, 0.4e6)
+            };
+            let slot = i as u64 * 3 + rng.below(4);
+            batch.push(
+                SimTime::from_nanos(slot * 5_000_000),
+                bytes,
+                &d.nodes,
+                d.cap,
+                SimDuration::from_nanos(rng.below(20_000_000)),
             );
         }
         FluidInstance {
@@ -886,6 +928,70 @@ mod tests {
         // The reference recomputes unconditionally yet lands on the
         // exact same completion times.
         assert_eq!(done, reference::fluid_schedule(&n, &b));
+    }
+
+    #[test]
+    fn disjoint_flows_reuse_cached_components() {
+        // Three flows on three disjoint nodes, plus a late arrival on
+        // the third node. Every event after the first allocation leaves
+        // at least one component untouched, so the incremental path
+        // reuses its cached rates instead of re-solving it:
+        //   t=0.0  f0,f1,f2 arrive  — first solve, nothing cached yet
+        //   t=0.1  f2 completes     — {f0},{f1} reused, 0 re-solved
+        //   t=0.5  f3 arrives       — {f0},{f1} reused, {f3} solved
+        //   t=0.6  f3 completes     — {f0},{f1} reused, 0 re-solved
+        //   t=1.0  f0 completes     — lone survivor: single-component
+        //                             lane, not the incremental path
+        let n = net(&[8e6, 4e6, 16e6]);
+        let mut b = FlowBatch::new();
+        b.push(SimTime::ZERO, 8e6, &[0], None, SimDuration::ZERO);
+        b.push(SimTime::ZERO, 8e6, &[1], None, SimDuration::ZERO);
+        b.push(SimTime::ZERO, 1.6e6, &[2], None, SimDuration::ZERO);
+        b.push(
+            SimTime::from_nanos(500_000_000),
+            1.6e6,
+            &[2],
+            None,
+            SimDuration::ZERO,
+        );
+        let mut rec = ptperf_obs::MemoryRecorder::new();
+        let recorded = fluid_schedule_recorded(&n, &b, &mut rec);
+        assert_eq!(recorded, fluid_schedule(&n, &b), "recording must be neutral");
+        assert_eq!(recorded, reference::fluid_schedule(&n, &b));
+        let data = rec.into_data();
+        assert_eq!(data.counter("maxmin/recomputations"), Some(5));
+        assert_eq!(data.counter("maxmin/incremental"), Some(3));
+        assert_eq!(data.counter("maxmin/component_flows"), Some(1));
+        assert_eq!(data.counter("maxmin/full_fallback"), None);
+        // Every component solve is a lone unconstrained flow: all five
+        // allocations resolve analytically, one round each.
+        assert_eq!(data.counter("maxmin/fast_path"), Some(5));
+        assert_eq!(data.counter("maxmin/rounds"), Some(5));
+    }
+
+    #[test]
+    fn near_tie_components_fall_back_to_full_solve() {
+        // Two disjoint single-flow components whose bottleneck levels
+        // differ by ~1e-12 relative — inside the oracle's freeze
+        // epsilon band (1e-9 relative) but not bit-identical. The
+        // closure check cannot prove the global freeze order matches
+        // the per-component replay, so the allocation must fall back
+        // to the full solve rather than risk a divergent eps-band
+        // freeze.
+        let n = net(&[10.0, 10.0 * (1.0 + 1e-13)]);
+        let mut b = FlowBatch::new();
+        b.push(SimTime::ZERO, 100.0, &[0], None, SimDuration::ZERO);
+        b.push(SimTime::ZERO, 100.0, &[1], None, SimDuration::ZERO);
+        let mut rec = ptperf_obs::MemoryRecorder::new();
+        let recorded = fluid_schedule_recorded(&n, &b, &mut rec);
+        assert_eq!(recorded, fluid_schedule(&n, &b), "recording must be neutral");
+        assert_eq!(recorded, reference::fluid_schedule(&n, &b));
+        let data = rec.into_data();
+        assert_eq!(data.counter("maxmin/full_fallback"), Some(1));
+        assert_eq!(data.counter("maxmin/incremental"), None);
+        // Both finish times round to the same nanosecond, so the run is
+        // a single allocation: the one that failed the closure check.
+        assert_eq!(data.counter("maxmin/recomputations"), Some(1));
     }
 
     #[test]

@@ -78,6 +78,25 @@ fn fluid_matches_reference_on_random_workloads() {
 }
 
 #[test]
+fn fluid_matches_reference_on_churn_sequences() {
+    // Interleaved arrival/departure churn: staggered per-flow slots
+    // mutate the active set one event at a time — exactly the shape the
+    // incremental component cache accelerates — so equivalence here is
+    // the load-bearing proof that reused cached rates are the oracle's
+    // bits. Full-struct equality covers rates-at-completion, finish
+    // nanoseconds, and completion order in one comparison.
+    for seed in 0..250u64 {
+        let mut rng = SimRng::new(120_000 + seed);
+        let n_nodes = 2 + (seed % 13) as usize;
+        let n_flows = 1 + (seed % 47) as usize;
+        let inst = maxmin_demo::churn_fluid_instance(&mut rng, n_nodes, n_flows);
+        let got = fluid_schedule(&inst.net, &inst.batch);
+        let want = reference::fluid_schedule(&inst.net, &inst.batch);
+        assert_eq!(got, want, "seed {seed} ({n_nodes} nodes, {n_flows} flows)");
+    }
+}
+
+#[test]
 fn fluid_matches_reference_on_browser_workloads() {
     // The single-bottleneck shape the analytic fast path targets: the
     // fast path must be invisible in the results.
@@ -101,14 +120,18 @@ fn warm_scheduler_state_never_leaks_between_workloads() {
     let mut sched = FluidScheduler::new();
     for seed in 0..150u64 {
         let mut rng = SimRng::new(90_000 + seed);
-        let inst = if seed % 3 == 0 {
-            maxmin_demo::browser_style_instance(&mut rng, 1 + (seed % 64) as usize, 1.5e6)
-        } else {
-            maxmin_demo::random_fluid_instance(
+        let inst = match seed % 3 {
+            0 => maxmin_demo::browser_style_instance(&mut rng, 1 + (seed % 64) as usize, 1.5e6),
+            1 => maxmin_demo::random_fluid_instance(
                 &mut rng,
                 1 + (seed % 8) as usize,
                 1 + (seed % 21) as usize,
-            )
+            ),
+            _ => maxmin_demo::churn_fluid_instance(
+                &mut rng,
+                2 + (seed % 9) as usize,
+                1 + (seed % 33) as usize,
+            ),
         };
         let got = sched.run(&inst.net, &inst.batch);
         let want = reference::fluid_schedule(&inst.net, &inst.batch);

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 
 use ptperf_sim::flow::{fluid_schedule, maxmin_rates, reference, FairNetwork, FlowDemand};
-use ptperf_sim::{FlowBatch, SimDuration, SimRng, SimTime, TransferModel};
+use ptperf_sim::{FlowBatch, FluidScheduler, SimDuration, SimRng, SimTime, TransferModel};
 
 type FlowSpecs = Vec<(Vec<usize>, Option<f64>)>;
 
@@ -71,6 +71,31 @@ fn arb_fluid_workload() -> impl Strategy<Value = (Vec<f64>, FluidSpecs)> {
                 0u64..50,
             ),
             1..10,
+        );
+        (caps, flows)
+    })
+}
+
+/// Churn sequences: more nodes, more flows, finer arrival slots and
+/// smaller transfers than [`arb_fluid_workload`], so completions
+/// interleave with arrivals and the active set mutates one flow at a
+/// time — the shape that drives the incremental component cache. The
+/// degenerate cases stay in the mix: zero-byte flows, cap-only
+/// (empty-path) flows, duplicated path nodes, and colliding slots for
+/// simultaneous arrivals.
+fn arb_churn_workload() -> impl Strategy<Value = (Vec<f64>, FluidSpecs)> {
+    (2usize..8).prop_flat_map(|n_nodes| {
+        let caps = proptest::collection::vec(100.0f64..1000.0, n_nodes);
+        let flows = proptest::collection::vec(
+            (
+                proptest::collection::vec(0..n_nodes, 0..4),
+                proptest::option::of(0.5f64..500.0),
+                any::<bool>(),
+                1.0f64..2_000.0,
+                0u64..150,
+                0u64..10,
+            ),
+            1..40,
         );
         (caps, flows)
     })
@@ -239,6 +264,27 @@ proptest! {
         for (f, d) in batch.flows().iter().zip(&got) {
             prop_assert!(d.finish >= f.start + f.extra_latency);
         }
+    }
+
+    /// Random arrival/departure churn through the incremental
+    /// scheduler is the full reference solve exactly: same rates at
+    /// completion, same finish nanoseconds, same completion order
+    /// (full-struct equality covers all three). Runs both the
+    /// thread-local entry point and a persistent scheduler cold and
+    /// warm, so cached component state from the first run cannot leak
+    /// into the second.
+    #[test]
+    fn churn_sequences_match_reference_bitwise((caps, specs) in arb_churn_workload()) {
+        let mut net = FairNetwork::new();
+        for &c in &caps {
+            net.add_node(c);
+        }
+        let batch = build_fluid_batch(&specs);
+        let want = reference::fluid_schedule(&net, &batch);
+        prop_assert_eq!(fluid_schedule(&net, &batch), want.clone());
+        let mut sched = FluidScheduler::new();
+        prop_assert_eq!(sched.run(&net, &batch), want.clone(), "cold persistent run diverged");
+        prop_assert_eq!(sched.run(&net, &batch), want, "warm persistent run diverged");
     }
 
     /// A path stored inline and the same path forced into the arena
