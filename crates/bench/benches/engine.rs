@@ -1,0 +1,167 @@
+//! Criterion benchmarks for the event engine: the typed slab/timer-wheel
+//! engine vs the retained boxed-closure binary-heap reference, over the
+//! cell-stream protocol and a wheel-spanning timer mix.
+//!
+//! The headline number the PR trajectory tracks is
+//! `engine/cell_stream_2mb_typed` vs `engine/cell_stream_2mb_reference`
+//! — the per-cell event shape every transfer-time figure executes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use ptperf_sim::event::reference::ReferenceEngine;
+use ptperf_sim::{Engine, SimDuration, SimEvent, SimRng, SimTime};
+use ptperf_tor::stream::StreamTransfer;
+
+fn bench_cell_stream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    for (name, xfer) in [
+        (
+            "cell_stream_2mb",
+            StreamTransfer::new(2_000_000, SimDuration::from_millis(100), 1.0e6),
+        ),
+        (
+            "cell_stream_window",
+            StreamTransfer {
+                window_cells: 100,
+                ..StreamTransfer::new(499_000, SimDuration::from_millis(50), 1.0e6)
+            },
+        ),
+    ] {
+        g.throughput(Throughput::Elements(xfer.total_cells()));
+        g.bench_function(format!("{name}_typed"), |b| {
+            let mut eng = Engine::with_capacity(1, xfer.expected_events());
+            xfer.run(&mut eng); // warm the slab
+            b.iter(|| black_box(xfer.run(&mut eng)))
+        });
+        g.bench_function(format!("{name}_reference"), |b| {
+            let mut eng = ReferenceEngine::with_capacity(1, xfer.expected_events());
+            xfer.run_reference(&mut eng); // warm the heap
+            b.iter(|| black_box(xfer.run_reference(&mut eng)))
+        });
+    }
+    g.finish();
+}
+
+/// Timer chains whose delays land in every wheel placement class (due,
+/// near, far, overflow) — the fault/streaming-driver event shape.
+fn bench_timer_mix(c: &mut Criterion) {
+    use ptperf_sim::event::{NEAR_HORIZON_TICKS, TICK_NANOS, WHEEL_HORIZON_TICKS};
+
+    const IDS: usize = 96;
+    let mut rng = SimRng::new(0x5eed);
+    let delay = |rng: &mut SimRng| {
+        const BUCKETS: [u64; 6] = [
+            0,
+            TICK_NANOS / 2,
+            TICK_NANOS * 11,
+            TICK_NANOS * NEAR_HORIZON_TICKS,
+            TICK_NANOS * (NEAR_HORIZON_TICKS + 53),
+            TICK_NANOS * WHEEL_HORIZON_TICKS + 7,
+        ];
+        BUCKETS[(rng.next_u64() % BUCKETS.len() as u64) as usize] + rng.next_u64() % TICK_NANOS
+    };
+    let start: Vec<u64> = (0..IDS).map(|_| delay(&mut rng)).collect();
+    let chains: Vec<Vec<u64>> = (0..IDS)
+        .map(|_| {
+            let len = 1 + (rng.next_u64() as usize) % 6;
+            (0..len).map(|_| delay(&mut rng)).collect()
+        })
+        .collect();
+    let events: u64 = (start.len() + chains.iter().map(Vec::len).sum::<usize>()) as u64;
+
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("timer_mix_typed", |b| {
+        struct St<'a> {
+            chains: &'a [Vec<u64>],
+            fired: Vec<u32>,
+            t0: SimTime,
+            sum: u64,
+        }
+        let mut eng = Engine::with_capacity(1, IDS * 2);
+        let mut fired = vec![0u32; IDS];
+        b.iter(|| {
+            fired.fill(0);
+            let t0 = eng.now();
+            for (id, &d) in start.iter().enumerate() {
+                eng.schedule_event_in(SimDuration::from_nanos(d), SimEvent::Tick {
+                    tag: id as u32,
+                });
+            }
+            let mut st = St {
+                chains: &chains,
+                fired: std::mem::take(&mut fired),
+                t0,
+                sum: 0,
+            };
+            eng.run_typed(&mut st, |eng, s, ev| {
+                let SimEvent::Tick { tag } = ev else { unreachable!() };
+                s.sum = s
+                    .sum
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(eng.now().duration_since(s.t0).as_nanos() ^ u64::from(tag));
+                let id = tag as usize;
+                let k = s.fired[id] as usize;
+                s.fired[id] += 1;
+                if let Some(&d) = s.chains[id].get(k) {
+                    eng.schedule_event_in(SimDuration::from_nanos(d), SimEvent::Tick { tag });
+                }
+            });
+            fired = std::mem::take(&mut st.fired);
+            black_box(st.sum)
+        })
+    });
+    g.bench_function("timer_mix_reference", |b| {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        struct Shared {
+            fired: Vec<u32>,
+            sum: u64,
+        }
+        fn arm(
+            eng: &mut ReferenceEngine,
+            delay: u64,
+            id: u32,
+            t0: SimTime,
+            shared: Rc<RefCell<Shared>>,
+            chains: Rc<Vec<Vec<u64>>>,
+        ) {
+            eng.schedule_in(SimDuration::from_nanos(delay), move |eng| {
+                let k = {
+                    let mut sh = shared.borrow_mut();
+                    sh.sum = sh
+                        .sum
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(eng.now().duration_since(t0).as_nanos() ^ u64::from(id));
+                    let k = sh.fired[id as usize] as usize;
+                    sh.fired[id as usize] += 1;
+                    k
+                };
+                if let Some(&next) = chains[id as usize].get(k) {
+                    arm(eng, next, id, t0, shared, chains);
+                }
+            });
+        }
+        let mut eng = ReferenceEngine::with_capacity(1, IDS * 2);
+        let chains = Rc::new(chains.clone());
+        b.iter(|| {
+            let t0 = eng.now();
+            let shared = Rc::new(RefCell::new(Shared {
+                fired: vec![0; IDS],
+                sum: 0,
+            }));
+            for (id, &d) in start.iter().enumerate() {
+                arm(&mut eng, d, id as u32, t0, Rc::clone(&shared), Rc::clone(&chains));
+            }
+            eng.run();
+            let sum = shared.borrow().sum;
+            black_box(sum)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cell_stream, bench_timer_mix);
+criterion_main!(benches);

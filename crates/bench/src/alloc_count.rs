@@ -1,0 +1,96 @@
+//! An honest allocation counter for the engine benchmark.
+//!
+//! The engine's `queue_reallocs_saved` model and the scratch `grows()`
+//! proxies only see growth the code *knows about*; they are blind to
+//! every `Box::new` the boxed-closure event path performs. Behind the
+//! `count-alloc` cargo feature this module installs a real
+//! `#[global_allocator]` that wraps the system allocator and counts
+//! every `alloc`/`alloc_zeroed`/`realloc` call process-wide with one
+//! relaxed atomic increment. The engine benchmark snapshots the counter
+//! around its timed loops, so "allocation-free once warm" is measured
+//! at the allocator, not inferred from proxies.
+//!
+//! Without the feature the hook is absent and the counter stays at
+//! zero; [`enabled`] reports which mode built the binary and
+//! `BENCH_engine.json` records it, so the verify gate can insist on the
+//! honest configuration:
+//!
+//! ```text
+//! cargo run --release --features count-alloc -p ptperf-bench \
+//!     --bin repro -- --bench-engine
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Whether the counting global allocator is compiled into this binary.
+pub const fn enabled() -> bool {
+    cfg!(feature = "count-alloc")
+}
+
+/// Total allocator calls (`alloc` + `alloc_zeroed` + `realloc`) since
+/// process start. Always 0 when [`enabled`] is false. Frees are not
+/// counted: the benchmark cares about acquisition cost, and a warm
+/// zero-acquisition loop cannot free anything it never allocated.
+pub fn allocation_calls() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+#[cfg(feature = "count-alloc")]
+mod global {
+    //! The wrapping allocator, isolated in the one module exempted from
+    //! the crate-level `#![deny(unsafe_code)]`.
+    #![allow(unsafe_code)]
+
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::Ordering;
+
+    struct CountingAlloc;
+
+    // SAFETY: every method defers verbatim to `System`, which upholds
+    // the `GlobalAlloc` contract; the only addition is a relaxed
+    // counter bump, which cannot unwind or re-enter the allocator.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            super::ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            super::ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+            System.alloc_zeroed(layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            super::ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_observes_boxing_exactly_when_enabled() {
+        let before = allocation_calls();
+        let boxed = std::hint::black_box(Box::new([0u64; 32]));
+        drop(boxed);
+        let grew = allocation_calls() > before;
+        assert_eq!(
+            grew,
+            enabled(),
+            "counter moved ({grew}) disagreeing with enabled() ({})",
+            enabled()
+        );
+    }
+}

@@ -17,6 +17,7 @@
 //! repro --bench-flow         # fluid-scheduler benchmark → BENCH_flow.json
 //! repro --bench-establish    # establishment benchmark → BENCH_establish.json
 //! repro --bench-unit         # measurement-unit benchmark → BENCH_unit.json
+//! repro --bench-engine       # typed event-engine benchmark → BENCH_engine.json
 //! repro --quiet / -v         # errors only / debug diagnostics
 //! repro --list               # list targets
 //! ```
@@ -41,6 +42,7 @@ fn main() {
     let mut bench_flow = false;
     let mut bench_establish = false;
     let mut bench_unit = false;
+    let mut bench_engine = false;
     let mut bench_out: Option<String> = None;
     let mut faults = false;
     let mut par = Parallelism::sequential();
@@ -120,6 +122,10 @@ fn main() {
     }
     if let Some(pos) = args.iter().position(|a| a == "--bench-unit") {
         bench_unit = true;
+        args.remove(pos);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--bench-engine") {
+        bench_engine = true;
         args.remove(pos);
     }
     if let Some(pos) = args.iter().position(|a| a == "--bench-out") {
@@ -226,6 +232,16 @@ fn main() {
         obs_info!("wrote unit benchmark to {out}");
         return;
     }
+    if bench_engine {
+        let runs = ptperf_bench::enginebench::runs_from_env();
+        obs_info!("engine bench: {runs} run(s) per class");
+        let (results, doc) = ptperf_bench::enginebench::run_engine_bench(runs);
+        println!("{}", ptperf_bench::enginebench::render_table(&results, runs));
+        let out = bench_out.as_deref().unwrap_or("BENCH_engine.json");
+        std::fs::write(out, doc).expect("write engine bench json");
+        obs_info!("wrote engine benchmark to {out}");
+        return;
+    }
 
     let targets: Vec<String> = if args.is_empty() {
         available_targets().iter().map(|s| s.to_string()).collect()
@@ -300,6 +316,7 @@ fn print_help() {
          \x20            [--trace FILE] [--trace-chrome FILE] [--hist FILE]\n\
          \x20            [--metrics FILE] [--profile] [--faults]\n\
          \x20            [--bench-flow] [--bench-establish] [--bench-unit]\n\
+         \x20            [--bench-engine]\n\
          \x20            [--bench-out FILE] [--check-bench DIR] [--json-check FILE]\n\
          \x20            [--quiet] [-v|--verbose] [--list] [TARGET ...]\n\n\
          --workers only changes wall-clock time: output is bit-for-bit\n\
@@ -346,6 +363,13 @@ fn print_help() {
          units/s, allocations per warm unit, site-workload-memo savings)\n\
          and writes BENCH_unit.json (path override: --bench-out; runs\n\
          per class: PTPERF_UNITBENCH_RUNS, default 200), then exits.\n\
+         --bench-engine benchmarks the typed slab/timer-wheel event\n\
+         engine against the retained boxed-closure reference engine\n\
+         (cell-stream and timer-mix classes; p50/p95 per run, events/s,\n\
+         allocations per event from a real counting global allocator\n\
+         when built with --features count-alloc) and writes\n\
+         BENCH_engine.json (path override: --bench-out; runs per\n\
+         class: PTPERF_ENGINEBENCH_RUNS, default 200), then exits.\n\
          --quiet shows errors only; -v enables debug diagnostics.\n\
          With no targets, all of them run. Targets:\n  {}",
         available_targets().join(" ")

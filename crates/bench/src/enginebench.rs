@@ -1,0 +1,527 @@
+//! `repro --bench-engine`: the typed event-engine benchmark harness
+//! behind `BENCH_engine.json`.
+//!
+//! Companion to [`crate::flowbench`] at the very bottom of the stack:
+//! it times the typed slab/timer-wheel engine (`ptperf_sim::Engine`)
+//! against the retained boxed-closure binary-heap engine
+//! (`event::reference::ReferenceEngine`) on the event mixes the
+//! simulator actually runs:
+//!
+//! * `cell_stream_2mb` — the headline: a 2 MB Tor stream transfer
+//!   (per-cell service/arrival/SENDME events, ~3 events per cell);
+//! * `cell_stream_window` — the same protocol with a small package
+//!   window, where the queue stays shallow and scheduling dominates;
+//! * `timer_mix` — self-rescheduling timer chains whose delays span
+//!   every wheel placement class (due heap, near wheel, far wheel,
+//!   overflow heap).
+//!
+//! Allocation accounting is *honest*: built with the `count-alloc`
+//! feature (see [`crate::alloc_count`]), a real counting global
+//! allocator snapshots around each timed loop, so `allocs_per_event`
+//! counts every `Box::new` the allocator saw — not a proxy. The JSON
+//! records whether the counting allocator was present
+//! (`counting_allocator`), and the verify gate insists on it.
+//!
+//! Determinism note: every timed run replays the same fixed-seed
+//! workload on a warm engine, so the *work* is identical run to run and
+//! across commits; only wall-clock numbers move. Warmups assert the
+//! typed lane is bit-identical to the reference lane — same transfer
+//! duration, same event counts, same firing checksum — before anything
+//! is timed. The harness fails hard on NaN or non-finite measurements
+//! but never on thresholds: speed regressions are for the committed
+//! baseline gate (`repro --check-bench`) to catch.
+
+use std::time::Instant;
+
+use ptperf_obs::json;
+use ptperf_sim::event::reference::ReferenceEngine;
+use ptperf_sim::event::{NEAR_HORIZON_TICKS, TICK_NANOS, WHEEL_HORIZON_TICKS};
+use ptperf_sim::{Engine, SimDuration, SimEvent, SimRng, SimTime};
+use ptperf_stats::quantile;
+use ptperf_tor::stream::StreamTransfer;
+
+use crate::alloc_count;
+
+/// How many timed runs per class (override with the
+/// `PTPERF_ENGINEBENCH_RUNS` environment variable; the verify gate uses
+/// a small value).
+pub const DEFAULT_RUNS: usize = 200;
+
+/// Reads the run count from `PTPERF_ENGINEBENCH_RUNS`, defaulting to
+/// [`DEFAULT_RUNS`]; values below 4 are clamped up so the percentiles
+/// stay meaningful.
+pub fn runs_from_env() -> usize {
+    std::env::var("PTPERF_ENGINEBENCH_RUNS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(DEFAULT_RUNS)
+        .max(4)
+}
+
+fn assert_finite(name: &str, what: &str, x: f64) {
+    assert!(
+        x.is_finite(),
+        "engine bench {name}: non-finite {what} ({x}) — measurement is corrupt"
+    );
+}
+
+/// The measured result for one class.
+#[derive(Debug)]
+pub struct ClassResult {
+    /// Class name as it appears in `BENCH_engine.json`.
+    pub name: &'static str,
+    /// Events the typed engine executes in one run of this class.
+    pub events_per_run: u64,
+    /// Typed-engine p50 wall time per run, microseconds.
+    pub typed_p50_us: f64,
+    /// Typed-engine p95 wall time per run, microseconds.
+    pub typed_p95_us: f64,
+    /// Reference-engine p50 wall time per run, microseconds.
+    pub ref_p50_us: f64,
+    /// Reference-engine p95 wall time per run, microseconds.
+    pub ref_p95_us: f64,
+    /// `ref_p50 / typed_p50` — the headline speedup.
+    pub speedup_p50: f64,
+    /// Events per second at the typed p50.
+    pub events_per_sec: f64,
+    /// Allocator calls during the warm typed timed loop divided by
+    /// events executed there. 0 is the contract; anything else means
+    /// the typed path still heap-allocates. Only meaningful when
+    /// [`alloc_count::enabled`] — 0 by construction otherwise.
+    pub allocs_per_event: f64,
+    /// Allocator calls per event in the reference timed loop — the
+    /// `Box::new`-per-schedule cost the typed engine removed.
+    pub ref_allocs_per_event: f64,
+    /// O(1) wheel placements (near/far/due) per typed run.
+    pub wheel_hits_per_run: f64,
+    /// Far-horizon overflow placements per typed run.
+    pub overflow_events_per_run: f64,
+    /// Slab slots recycled per typed run (equals schedules once warm).
+    pub slab_reuses_per_run: f64,
+}
+
+/// One benchmark class: paired typed/reference drivers over a shared
+/// fixed workload.
+trait Class {
+    fn name(&self) -> &'static str;
+    /// Drives one run on the warm typed engine; returns a checksum.
+    fn run_typed(&mut self, eng: &mut Engine) -> u64;
+    /// Drives one run on the warm reference engine; returns a checksum.
+    fn run_reference(&mut self, eng: &mut ReferenceEngine) -> u64;
+}
+
+/// A Tor stream transfer (cell service / half-RTT arrival / SENDME
+/// events) — the event mix behind every transfer-time figure.
+struct CellStream {
+    name: &'static str,
+    xfer: StreamTransfer,
+}
+
+impl Class for CellStream {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn run_typed(&mut self, eng: &mut Engine) -> u64 {
+        self.xfer.run(eng).as_nanos()
+    }
+    fn run_reference(&mut self, eng: &mut ReferenceEngine) -> u64 {
+        self.xfer.run_reference(eng).as_nanos()
+    }
+}
+
+/// Self-rescheduling timer chains spanning every wheel placement
+/// class: the fault/streaming-driver event shape, stressing the wheel's
+/// cascade and overflow machinery rather than a hot near-slot loop.
+struct TimerMix {
+    start: Vec<u64>,
+    chains: Vec<Vec<u64>>,
+    /// Per-id firing cursor, preallocated so warm runs don't allocate.
+    fired: Vec<u32>,
+}
+
+impl TimerMix {
+    fn new(seed: u64, ids: usize, max_chain: usize) -> TimerMix {
+        const BUCKETS: [u64; 8] = [
+            0,
+            TICK_NANOS / 2,
+            TICK_NANOS,
+            TICK_NANOS * 11,
+            TICK_NANOS * NEAR_HORIZON_TICKS,
+            TICK_NANOS * (NEAR_HORIZON_TICKS + 53),
+            TICK_NANOS * (WHEEL_HORIZON_TICKS - 1),
+            TICK_NANOS * WHEEL_HORIZON_TICKS + 7,
+        ];
+        let mut rng = SimRng::new(seed);
+        let delay = |rng: &mut SimRng| {
+            let base = BUCKETS[(rng.next_u64() % BUCKETS.len() as u64) as usize];
+            base + rng.next_u64() % TICK_NANOS
+        };
+        let start = (0..ids).map(|_| delay(&mut rng)).collect();
+        let chains = (0..ids)
+            .map(|_| {
+                let len = 1 + (rng.next_u64() as usize) % max_chain;
+                (0..len).map(|_| delay(&mut rng)).collect()
+            })
+            .collect();
+        TimerMix {
+            start,
+            chains,
+            fired: vec![0; ids],
+        }
+    }
+}
+
+/// Fold a firing into a positionful checksum.
+fn fold(sum: u64, dt_ns: u64, id: u32) -> u64 {
+    sum.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(dt_ns ^ u64::from(id))
+}
+
+impl Class for TimerMix {
+    fn name(&self) -> &'static str {
+        "timer_mix"
+    }
+
+    fn run_typed(&mut self, eng: &mut Engine) -> u64 {
+        struct St<'a> {
+            chains: &'a [Vec<u64>],
+            fired: &'a mut [u32],
+            t0: SimTime,
+            sum: u64,
+        }
+        self.fired.fill(0);
+        let t0 = eng.now();
+        for (id, &d) in self.start.iter().enumerate() {
+            eng.schedule_event_in(SimDuration::from_nanos(d), SimEvent::Tick { tag: id as u32 });
+        }
+        let mut st = St {
+            chains: &self.chains,
+            fired: &mut self.fired,
+            t0,
+            sum: 0,
+        };
+        eng.run_typed(&mut st, |eng, s, ev| {
+            let SimEvent::Tick { tag } = ev else {
+                unreachable!("timer mix schedules only Tick events");
+            };
+            s.sum = fold(s.sum, eng.now().duration_since(s.t0).as_nanos(), tag);
+            let id = tag as usize;
+            let k = s.fired[id] as usize;
+            s.fired[id] += 1;
+            if let Some(&d) = s.chains[id].get(k) {
+                eng.schedule_event_in(SimDuration::from_nanos(d), SimEvent::Tick { tag });
+            }
+        });
+        st.sum
+    }
+
+    fn run_reference(&mut self, eng: &mut ReferenceEngine) -> u64 {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        struct Shared {
+            fired: Vec<u32>,
+            sum: u64,
+        }
+        fn arm(
+            eng: &mut ReferenceEngine,
+            delay: u64,
+            id: u32,
+            t0: SimTime,
+            shared: Rc<RefCell<Shared>>,
+            chains: Rc<Vec<Vec<u64>>>,
+        ) {
+            eng.schedule_in(SimDuration::from_nanos(delay), move |eng| {
+                let k = {
+                    let mut sh = shared.borrow_mut();
+                    sh.sum = fold(sh.sum, eng.now().duration_since(t0).as_nanos(), id);
+                    let k = sh.fired[id as usize] as usize;
+                    sh.fired[id as usize] += 1;
+                    k
+                };
+                if let Some(&next) = chains[id as usize].get(k) {
+                    arm(eng, next, id, t0, shared, chains);
+                }
+            });
+        }
+        let t0 = eng.now();
+        let shared = Rc::new(RefCell::new(Shared {
+            fired: vec![0; self.start.len()],
+            sum: 0,
+        }));
+        let chains = Rc::new(self.chains.clone());
+        for (id, &d) in self.start.iter().enumerate() {
+            arm(eng, d, id as u32, t0, Rc::clone(&shared), Rc::clone(&chains));
+        }
+        eng.run();
+        let sum = shared.borrow().sum;
+        sum
+    }
+}
+
+/// The standard classes. `cell_stream_2mb` is the headline: a deep
+/// window keeps ~100 cells in flight, so the wheel's hot near-slot path
+/// carries nearly every event. Fixed parameters keep workloads
+/// byte-for-byte identical across runs.
+fn standard_classes() -> Vec<Box<dyn Class>> {
+    vec![
+        Box::new(CellStream {
+            name: "cell_stream_2mb",
+            xfer: StreamTransfer::new(2_000_000, SimDuration::from_millis(100), 1.0e6),
+        }),
+        Box::new(CellStream {
+            name: "cell_stream_window",
+            xfer: StreamTransfer {
+                window_cells: 100,
+                ..StreamTransfer::new(499_000, SimDuration::from_millis(50), 1.0e6)
+            },
+        }),
+        Box::new(TimerMix::new(0x5eed, 96, 6)),
+    ]
+}
+
+/// Queue-depth sizing hint for every class's engines: deep enough for
+/// the ~100-cell stream window and the 96-id timer mix alike.
+const EXPECTED_DEPTH: usize = 256;
+
+/// Benchmarks one class: warmups prove the typed engine reproduces the
+/// reference engine exactly, then `runs` timed loops per lane on warm
+/// engines, with the allocation counter snapshotted around each lane.
+fn bench_class(class: &mut dyn Class, runs: usize) -> ClassResult {
+    let mut typed = Engine::with_capacity(1, EXPECTED_DEPTH);
+    let mut reference = ReferenceEngine::with_capacity(1, EXPECTED_DEPTH);
+
+    // Warmup + equivalence gate: the typed engine must fire the exact
+    // event sequence the boxed reference fires.
+    let baseline = class.run_reference(&mut reference);
+    for warm in 0..3 {
+        let got = class.run_typed(&mut typed);
+        assert_eq!(
+            got,
+            baseline,
+            "engine bench {}: typed lane diverged from reference at warmup {warm}",
+            class.name()
+        );
+    }
+
+    // Typed lane. The timing vector is preallocated and the engine is
+    // warm, so the loop body performs no harness allocations — every
+    // count the allocator reports is the engine's.
+    let mut typed_us = Vec::with_capacity(runs);
+    let executed_before = typed.events_executed();
+    let wheel_before = typed.wheel_hits();
+    let overflow_before = typed.overflow_events();
+    let reuse_before = typed.slab_reuses();
+    let allocs_before = alloc_count::allocation_calls();
+    for _ in 0..runs {
+        let t = Instant::now();
+        let sum = class.run_typed(&mut typed);
+        typed_us.push(t.elapsed().as_secs_f64() * 1e6);
+        std::hint::black_box(sum);
+    }
+    let typed_allocs = alloc_count::allocation_calls() - allocs_before;
+    let typed_events = typed.events_executed() - executed_before;
+
+    // Reference lane on its own warm engine: the heap Vec keeps its
+    // capacity, so what remains is the boxed-closure cost itself.
+    let mut ref_us = Vec::with_capacity(runs);
+    let ref_executed_before = reference.events_executed();
+    let ref_allocs_before = alloc_count::allocation_calls();
+    for _ in 0..runs {
+        let t = Instant::now();
+        let sum = class.run_reference(&mut reference);
+        ref_us.push(t.elapsed().as_secs_f64() * 1e6);
+        std::hint::black_box(sum);
+    }
+    let ref_allocs = alloc_count::allocation_calls() - ref_allocs_before;
+    let ref_events = reference.events_executed() - ref_executed_before;
+    assert_eq!(
+        typed_events, ref_events,
+        "engine bench {}: lanes executed different event counts",
+        class.name()
+    );
+
+    let events_per_run = typed_events / runs as u64;
+    let typed_p50 = quantile(&typed_us, 0.50);
+    let typed_p95 = quantile(&typed_us, 0.95);
+    let ref_p50 = quantile(&ref_us, 0.50);
+    let ref_p95 = quantile(&ref_us, 0.95);
+    let result = ClassResult {
+        name: class.name(),
+        events_per_run,
+        typed_p50_us: typed_p50,
+        typed_p95_us: typed_p95,
+        ref_p50_us: ref_p50,
+        ref_p95_us: ref_p95,
+        speedup_p50: if typed_p50 > 0.0 { ref_p50 / typed_p50 } else { f64::INFINITY },
+        events_per_sec: if typed_p50 > 0.0 {
+            events_per_run as f64 / (typed_p50 / 1e6)
+        } else {
+            f64::INFINITY
+        },
+        allocs_per_event: typed_allocs as f64 / typed_events.max(1) as f64,
+        ref_allocs_per_event: ref_allocs as f64 / ref_events.max(1) as f64,
+        wheel_hits_per_run: (typed.wheel_hits() - wheel_before) as f64 / runs as f64,
+        overflow_events_per_run: (typed.overflow_events() - overflow_before) as f64 / runs as f64,
+        slab_reuses_per_run: (typed.slab_reuses() - reuse_before) as f64 / runs as f64,
+    };
+    for (what, x) in [
+        ("typed p50", result.typed_p50_us),
+        ("typed p95", result.typed_p95_us),
+        ("reference p50", result.ref_p50_us),
+        ("reference p95", result.ref_p95_us),
+        ("allocs/event", result.allocs_per_event),
+        ("ref allocs/event", result.ref_allocs_per_event),
+    ] {
+        assert_finite(result.name, what, x);
+    }
+    result
+}
+
+/// Runs every standard class and renders `BENCH_engine.json`.
+pub fn run_engine_bench(runs: usize) -> (Vec<ClassResult>, String) {
+    let results: Vec<ClassResult> = standard_classes()
+        .iter_mut()
+        .map(|c| bench_class(c.as_mut(), runs))
+        .collect();
+    let doc = render_json(&results, runs);
+    (results, doc)
+}
+
+/// Renders the results as the `BENCH_engine.json` document.
+pub fn render_json(results: &[ClassResult], runs: usize) -> String {
+    let classes: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\": {}, \"events_per_run\": {}, \"typed\": {{\"p50_us\": {}, \"p95_us\": {}}}, \
+                 \"reference\": {{\"p50_us\": {}, \"p95_us\": {}}}, \"speedup_p50\": {}, \
+                 \"events_per_sec\": {}, \"allocs_per_event\": {}, \"ref_allocs_per_event\": {}, \
+                 \"wheel_hits_per_run\": {}, \"overflow_events_per_run\": {}, \"slab_reuses_per_run\": {}}}",
+                json::string(r.name),
+                r.events_per_run,
+                json::number(r.typed_p50_us),
+                json::number(r.typed_p95_us),
+                json::number(r.ref_p50_us),
+                json::number(r.ref_p95_us),
+                json::number(r.speedup_p50),
+                json::number(r.events_per_sec),
+                json::number(r.allocs_per_event),
+                json::number(r.ref_allocs_per_event),
+                json::number(r.wheel_hits_per_run),
+                json::number(r.overflow_events_per_run),
+                json::number(r.slab_reuses_per_run),
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"ptperf-bench-engine/v1\",\n  \"runs_per_class\": {},\n  \
+         \"counting_allocator\": {},\n  \"classes\": [\n{}\n  ]\n}}\n",
+        runs,
+        alloc_count::enabled(),
+        classes.join(",\n"),
+    )
+}
+
+/// Renders a human-readable summary table for stdout.
+pub fn render_table(results: &[ClassResult], runs: usize) -> String {
+    let mut table = ptperf_stats::Table::new([
+        "class",
+        "events/run",
+        "typed p50 (µs)",
+        "typed p95 (µs)",
+        "ref p50 (µs)",
+        "speedup",
+        "events/s",
+        "allocs/event",
+        "ref allocs/event",
+    ]);
+    for r in results {
+        table.row([
+            r.name.to_string(),
+            r.events_per_run.to_string(),
+            format!("{:.1}", r.typed_p50_us),
+            format!("{:.1}", r.typed_p95_us),
+            format!("{:.1}", r.ref_p50_us),
+            format!("{:.2}x", r.speedup_p50),
+            format!("{:.2e}", r.events_per_sec),
+            format!("{:.4}", r.allocs_per_event),
+            format!("{:.4}", r.ref_allocs_per_event),
+        ]);
+    }
+    format!(
+        "Event-engine benchmark — {runs} run(s) per class, counting allocator: {}\n{}",
+        if alloc_count::enabled() { "on" } else { "off (proxy-free numbers unavailable)" },
+        table.render(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_cover_streams_and_timers() {
+        let names: Vec<&str> = standard_classes().iter().map(|c| c.name()).collect();
+        assert_eq!(names, vec!["cell_stream_2mb", "cell_stream_window", "timer_mix"]);
+    }
+
+    #[test]
+    fn bench_runs_and_emits_valid_shape() {
+        let (results, doc) = run_engine_bench(4);
+        assert_eq!(results.len(), 3);
+        for r in &results {
+            assert!(r.events_per_run > 0, "{}: no events", r.name);
+            assert_eq!(
+                r.allocs_per_event,
+                if alloc_count::enabled() { 0.0 } else { r.allocs_per_event },
+                "{}: warm typed engine allocated",
+                r.name
+            );
+            assert!(r.slab_reuses_per_run > 0.0, "{}: warm slab never recycled", r.name);
+        }
+        let mix = results.iter().find(|r| r.name == "timer_mix").expect("class");
+        assert!(
+            mix.overflow_events_per_run > 0.0,
+            "timer mix must exercise the overflow heap"
+        );
+        ptperf_obs::json::parse(&doc).expect("render_json must emit valid JSON");
+        assert!(doc.contains("\"schema\": \"ptperf-bench-engine/v1\""));
+        assert!(doc.contains("\"runs_per_class\": 4"));
+        assert!(doc.contains("\"counting_allocator\""));
+        assert!(doc.contains("\"cell_stream_2mb\""));
+        assert!(doc.ends_with('\n'));
+    }
+
+    #[test]
+    fn warm_typed_engine_is_allocation_free_when_counted() {
+        if !alloc_count::enabled() {
+            // Without the counting allocator this test would vacuously
+            // pass on a lie; the honest variant runs under
+            // `--features count-alloc` (the verify gate does).
+            return;
+        }
+        let (results, _) = run_engine_bench(4);
+        for r in results {
+            assert_eq!(
+                r.allocs_per_event, 0.0,
+                "{}: typed engine allocated while warm",
+                r.name
+            );
+            assert!(
+                r.ref_allocs_per_event > 0.0,
+                "{}: boxed reference shows no allocations — counter broken?",
+                r.name
+            );
+        }
+    }
+
+    #[test]
+    fn table_renders_every_class() {
+        let (results, _) = run_engine_bench(4);
+        let table = render_table(&results, 4);
+        for name in ["cell_stream_2mb", "cell_stream_window", "timer_mix"] {
+            assert!(table.contains(name), "missing {name} in:\n{table}");
+        }
+    }
+}

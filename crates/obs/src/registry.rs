@@ -69,6 +69,11 @@ pub const COUNTERS: &[CounterDef] = &[
         doc: "discrete events pushed onto the sim engine queue",
     },
     CounterDef {
+        key: "engine/overflow_events",
+        kind: CounterKind::Trace,
+        doc: "events scheduled beyond the timer-wheel far horizon, parked in the overflow heap",
+    },
+    CounterDef {
         key: "engine/queue_high_water",
         kind: CounterKind::Trace,
         doc: "largest simultaneous event-queue depth observed",
@@ -82,6 +87,16 @@ pub const COUNTERS: &[CounterDef] = &[
         key: "engine/sim_ns",
         kind: CounterKind::Trace,
         doc: "final simulated clock of the engine run, in nanoseconds",
+    },
+    CounterDef {
+        key: "engine/slab_reuses",
+        kind: CounterKind::Trace,
+        doc: "event schedules that recycled a vacant slab slot instead of allocating",
+    },
+    CounterDef {
+        key: "engine/wheel_hits",
+        kind: CounterKind::Trace,
+        doc: "event schedules filed into a timer-wheel level (near/far/due) in O(1)",
     },
     CounterDef {
         key: "events",

@@ -1,0 +1,72 @@
+//! The discrete-event engine.
+//!
+//! Two engines live here, deliberately:
+//!
+//! * [`Engine`] (in [`wheel`]) is the production engine: typed events in a
+//!   slab with a free-list, scheduled on a hierarchical timer wheel
+//!   (near/far levels plus an overflow heap). Warm steady-state
+//!   scheduling recycles slab slots instead of allocating, and typed hot
+//!   events ([`SimEvent`]) dispatch through a plain `match` instead of a
+//!   boxed `dyn FnOnce`. Cold call sites can still schedule closures —
+//!   they ride the same wheel as a boxed fallback payload.
+//! * [`reference::ReferenceEngine`] is the original boxed-closure +
+//!   `BinaryHeap` engine, retained verbatim as the behavioral oracle (the
+//!   same pattern as `flow::reference` and `path::reference`). The
+//!   equivalence suite in `tests/engine_equivalence.rs` proves the two
+//!   agree on firing order, `events_executed`, and completion times over
+//!   arbitrary schedules.
+//!
+//! Both engines share one contract: events fire in ascending
+//! `(at, seq)` order, where `seq` is the scheduling sequence number, so
+//! ties in firing time break by scheduling order and every simulation
+//! result is fully deterministic. Scheduling in the past is a logic
+//! error on both engines: the timestamp is clamped to `now` in release
+//! builds and asserted in debug builds.
+
+pub mod reference;
+mod wheel;
+
+pub use wheel::{Engine, EngineStats, NEAR_HORIZON_TICKS, TICK_NANOS, WHEEL_HORIZON_TICKS};
+
+/// A typed event payload for the simulator's hot paths.
+///
+/// The variants cover the events the PTPerf workloads schedule per cell
+/// or per timer tick — the places where a boxed `dyn FnOnce` per event
+/// used to dominate the profile. Everything else stays on the boxed
+/// closure fallback ([`Engine::schedule_at`]), which shares the wheel
+/// and the `(at, seq)` order with typed events.
+///
+/// Typed events carry no captured environment; the state they act on is
+/// threaded through [`Engine::run_typed`], so scheduling one never
+/// allocates once the slab is warm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimEvent {
+    /// A cell finished transmitting at the bottleneck (service done).
+    CellService,
+    /// A cell arrived at the far endpoint after the one-way delay.
+    /// `last` marks the final cell of the transfer.
+    CellArrival {
+        /// Whether this is the transfer's final cell.
+        last: bool,
+    },
+    /// A SENDME flow-control credit arrived back at the sender.
+    SendmeReturn,
+    /// A transfer (or phase) reached completion.
+    TransferDone,
+    /// A fault-plan timer fired; `idx` names the plan event it drives.
+    FaultTimer {
+        /// Index into the fault plan's event list.
+        idx: u32,
+    },
+    /// A streaming segment fetch completed; `idx` is the segment number.
+    SegmentTimer {
+        /// Zero-based segment index within the media session.
+        idx: u32,
+    },
+    /// A generic tagged tick for tests, benches, and cold call sites
+    /// that want a typed event without a dedicated variant.
+    Tick {
+        /// Caller-defined tag disambiguating concurrent tick streams.
+        tag: u32,
+    },
+}

@@ -1,0 +1,240 @@
+//! The original boxed-closure event engine, retained as the oracle.
+//!
+//! This is the engine the production [`Engine`](super::Engine) replaced:
+//! every scheduled action is a `Box<dyn FnOnce>` pushed into one
+//! `BinaryHeap`, paying an allocation and an `O(log n)` sift per event.
+//! It is kept bit-for-bit behaviorally intact so the typed wheel engine
+//! can be proven equivalent against it (`tests/engine_equivalence.rs`),
+//! and so benches can report an honest speedup over the real baseline
+//! rather than a synthetic one.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// A scheduled action.
+type Action = Box<dyn FnOnce(&mut ReferenceEngine)>;
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    action: Action,
+}
+
+// BinaryHeap is a max-heap; invert the ordering to pop the earliest event
+// (and, among equal times, the earliest-scheduled one) first.
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The retained boxed-closure discrete-event engine.
+///
+/// Same clock, RNG, and `(at, seq)` ordering contract as the production
+/// [`Engine`](super::Engine); the only difference is the representation:
+/// one heap allocation and one heap sift per scheduled event.
+pub struct ReferenceEngine {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled>,
+    rng: SimRng,
+    executed: u64,
+    queue_high_water: usize,
+}
+
+impl ReferenceEngine {
+    /// Creates an engine with the clock at zero and a seeded RNG.
+    pub fn new(seed: u64) -> Self {
+        ReferenceEngine::with_capacity(seed, 0)
+    }
+
+    /// Like [`ReferenceEngine::new`], but pre-sizes the event queue for
+    /// `expected_events` concurrently-pending events.
+    pub fn with_capacity(seed: u64, expected_events: usize) -> Self {
+        ReferenceEngine {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::with_capacity(expected_events),
+            rng: SimRng::new(seed),
+            executed: 0,
+            queue_high_water: 0,
+        }
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The engine's random number generator.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending.
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total events ever scheduled (the sequence counter).
+    pub fn events_scheduled(&self) -> u64 {
+        self.seq
+    }
+
+    /// Deepest the pending queue has ever been.
+    pub fn queue_high_water(&self) -> usize {
+        self.queue_high_water
+    }
+
+    /// Schedules `action` to run at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error; the engine clamps to `now`
+    /// in release builds and asserts in debug builds so tests catch it —
+    /// identical semantics to the production engine.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        action: impl FnOnce(&mut ReferenceEngine) + 'static,
+    ) {
+        debug_assert!(at >= self.now, "scheduled an event in the past");
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            action: Box::new(action),
+        });
+        self.queue_high_water = self.queue_high_water.max(self.queue.len());
+    }
+
+    /// Schedules `action` to run `delay` after the current instant.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        action: impl FnOnce(&mut ReferenceEngine) + 'static,
+    ) {
+        self.schedule_at(self.now + delay, action);
+    }
+
+    /// Runs events until the queue is empty.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs events with firing time `<= deadline`; the clock ends at
+    /// `deadline` even if the queue drained earlier.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            match self.queue.peek() {
+                Some(ev) if ev.at <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Executes the next pending event, if any. Returns whether one ran.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some(ev) => {
+                debug_assert!(ev.at >= self.now, "event queue went backwards");
+                self.now = ev.at;
+                self.executed += 1;
+                (ev.action)(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Advances the clock by `delay` without running anything.
+    ///
+    /// # Panics
+    /// Panics (debug) if pending events exist before the new instant.
+    pub fn advance(&mut self, delay: SimDuration) {
+        let target = self.now + delay;
+        debug_assert!(
+            self.queue.peek().is_none_or(|ev| ev.at >= target),
+            "ReferenceEngine::advance would skip pending events"
+        );
+        self.now = target;
+    }
+}
+
+impl std::fmt::Debug for ReferenceEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReferenceEngine")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_fire_in_time_order_with_ties_by_seq() {
+        let mut eng = ReferenceEngine::new(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for &(ms, tag) in &[(30u64, 'c'), (10, 'a'), (20, 'b'), (10, 'd')] {
+            let log = log.clone();
+            eng.schedule_in(SimDuration::from_millis(ms), move |_| {
+                log.borrow_mut().push(tag);
+            });
+        }
+        eng.run();
+        assert_eq!(*log.borrow(), vec!['a', 'd', 'b', 'c']);
+        assert_eq!(eng.now().as_nanos(), 30_000_000);
+        assert_eq!(eng.events_executed(), 4);
+    }
+
+    // The schedule-in-the-past regression pin (same test lives on the
+    // production engine): debug builds must assert, release builds must
+    // clamp to `now` so the clock stays monotone.
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "scheduled an event in the past"))]
+    fn scheduling_in_the_past_asserts_or_clamps() {
+        let mut eng = ReferenceEngine::new(1);
+        eng.schedule_in(SimDuration::from_millis(5), |_| {});
+        eng.run();
+        assert_eq!(eng.now().as_nanos(), 5_000_000);
+        let fired_at = Rc::new(RefCell::new(None));
+        let probe = fired_at.clone();
+        eng.schedule_at(SimTime::from_nanos(1), move |eng| {
+            *probe.borrow_mut() = Some(eng.now());
+        });
+        eng.run();
+        // Release builds reach here: the event fired "now", not in the past.
+        assert_eq!(*fired_at.borrow(), Some(SimTime::from_nanos(5_000_000)));
+        assert_eq!(eng.now().as_nanos(), 5_000_000);
+    }
+}

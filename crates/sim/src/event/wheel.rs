@@ -1,0 +1,1059 @@
+//! The production event engine: typed events in a slab, scheduled on a
+//! hierarchical timer wheel.
+//!
+//! # Layout
+//!
+//! Every scheduled event lives in one slab [`Node`] carrying `(at, seq)`
+//! and a payload — either a typed [`SimEvent`] (no allocation) or a boxed
+//! closure (the cold-path fallback). Freed nodes chain onto a free-list
+//! through the same `next` link the wheel buckets use, so warm
+//! steady-state scheduling recycles slots instead of growing the slab.
+//!
+//! # The wheel
+//!
+//! Time is bucketed into ticks of [`TICK_NANOS`] (2^20 ns ≈ 1.05 ms).
+//! Three levels hold pending events, by distance from the wheel cursor:
+//!
+//! * **near**: 256 slots, one tick each — events within ~268 ms;
+//! * **far**: 256 slots, 256 ticks each — events within ~68.7 s;
+//! * **overflow**: a binary heap for anything beyond the far horizon.
+//!
+//! The tick width is tuned to the simulator's workloads: cell service
+//! times (hundreds of µs) land in the *current* tick and go straight to
+//! the due heap, and propagation delays (tens to hundreds of ms of RTT)
+//! land in the near wheel — so the per-event steady state is one heap
+//! push + pop with no cascading. Coarser ticks lose no precision:
+//! within a tick the due heap orders events by exact `(at, seq)`.
+//!
+//! A fourth structure, the **due heap**, holds the events of the current
+//! cursor tick ordered by `(at, seq)`; events always fire from it. When
+//! it drains, the cursor jumps to the next occupied near slot (found via
+//! per-level occupancy bitmaps), cascading far slots and pulling
+//! overflow events inward as super-tick boundaries are crossed.
+//!
+//! # Tie-order proof obligation
+//!
+//! The engine must fire events in ascending `(at, seq)` — bit-for-bit
+//! the order the retained [`reference`](super::reference) engine
+//! produces — or the determinism goldens break. The argument: within
+//! one tick, the due heap is an exact `(at, seq)` min-heap, and events
+//! scheduled *into* the current tick from a running handler are pushed
+//! straight into it; across ticks, buckets are drained in ascending
+//! tick order, and every level only ever holds events strictly beyond
+//! the cursor (wheel residues are unique within a level's window, and
+//! overflow events are pulled inward before their super-tick can be
+//! reached). `tests/engine_equivalence.rs` checks the same property
+//! empirically against the reference engine over adversarial schedules.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use ptperf_obs::Recorder;
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+use super::SimEvent;
+
+const TICK_BITS: u32 = 20;
+/// Nanoseconds per timer-wheel tick (2^20 ≈ 1.05 ms).
+pub const TICK_NANOS: u64 = 1 << TICK_BITS;
+const SLOT_BITS: u32 = 8;
+const WHEEL_SLOTS: usize = 1 << SLOT_BITS;
+const SLOT_MASK: u64 = (WHEEL_SLOTS as u64) - 1;
+/// Ticks covered by the near wheel (~268 ms of simulated time).
+pub const NEAR_HORIZON_TICKS: u64 = WHEEL_SLOTS as u64;
+/// Ticks covered by near + far wheels together (~68.7 s); events
+/// scheduled farther out land in the overflow heap.
+pub const WHEEL_HORIZON_TICKS: u64 = (WHEEL_SLOTS * WHEEL_SLOTS) as u64;
+const OCC_WORDS: usize = WHEEL_SLOTS / 64;
+const NIL: u32 = u32::MAX;
+
+/// What a slab node carries. `Vacant` marks free-list entries (and the
+/// hole left while an event's payload is being executed).
+enum Payload {
+    Vacant,
+    Typed(SimEvent),
+    Boxed(Box<dyn FnOnce(&mut Engine)>),
+}
+
+struct Node {
+    at: SimTime,
+    seq: u64,
+    /// Intrusive link: next node in a wheel bucket, or next free slot.
+    next: u32,
+    payload: Payload,
+}
+
+/// Entry in the due list / overflow heap. BinaryHeap is a max-heap; the
+/// inverted ordering pops the earliest `(at, seq)` first — the same
+/// inversion the reference engine uses.
+#[derive(Clone, Copy)]
+struct HeapEntry {
+    at: SimTime,
+    seq: u64,
+    slot: u32,
+}
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Finds the first set bit at a circular distance `>= 0` from `start`
+/// (scanning `start, start+1, …` modulo the wheel size).
+#[inline]
+fn next_occupied(occ: &[u64; OCC_WORDS], start: usize) -> Option<usize> {
+    let w0 = start >> 6;
+    let b0 = start & 63;
+    let masked = occ[w0] & (!0u64 << b0);
+    if masked != 0 {
+        return Some((w0 << 6) + masked.trailing_zeros() as usize);
+    }
+    for k in 1..OCC_WORDS {
+        let w = (w0 + k) & (OCC_WORDS - 1);
+        if occ[w] != 0 {
+            return Some((w << 6) + occ[w].trailing_zeros() as usize);
+        }
+    }
+    let wrapped = occ[w0] & !(!0u64 << b0);
+    if wrapped != 0 {
+        return Some((w0 << 6) + wrapped.trailing_zeros() as usize);
+    }
+    None
+}
+
+/// The discrete-event simulation engine.
+///
+/// # Example (boxed closures — the cold-path API)
+/// ```
+/// use ptperf_sim::{Engine, SimDuration};
+/// use std::cell::Cell;
+/// use std::rc::Rc;
+///
+/// let mut engine = Engine::new(42);
+/// let fired = Rc::new(Cell::new(false));
+/// let flag = fired.clone();
+/// engine.schedule_in(SimDuration::from_millis(10), move |eng| {
+///     assert_eq!(eng.now().as_nanos(), 10_000_000);
+///     flag.set(true);
+/// });
+/// engine.run();
+/// assert!(fired.get());
+/// ```
+///
+/// # Example (typed events — the allocation-free hot path)
+/// ```
+/// use ptperf_sim::{Engine, SimDuration, SimEvent};
+///
+/// let mut engine = Engine::new(42);
+/// engine.schedule_event_in(SimDuration::from_millis(10), SimEvent::Tick { tag: 7 });
+/// let mut fired = 0u32;
+/// engine.run_typed(&mut fired, |eng, fired, ev| {
+///     assert_eq!(ev, SimEvent::Tick { tag: 7 });
+///     assert_eq!(eng.now().as_nanos(), 10_000_000);
+///     *fired += 1;
+/// });
+/// assert_eq!(fired, 1);
+/// ```
+pub struct Engine {
+    now: SimTime,
+    seq: u64,
+    rng: SimRng,
+    executed: u64,
+    /// Event storage; `free` heads the vacant-slot chain.
+    slab: Vec<Node>,
+    free: u32,
+    pending: usize,
+    /// Tick the due heap corresponds to; all earlier ticks have fired.
+    cursor: u64,
+    near: [u32; WHEEL_SLOTS],
+    far: [u32; WHEEL_SLOTS],
+    near_occ: [u64; OCC_WORDS],
+    far_occ: [u64; OCC_WORDS],
+    /// Events currently parked in the far wheel; lets `refill_due` skip
+    /// the far occupancy scan entirely when nothing lives there (the
+    /// common case for workloads whose delays fit the near horizon).
+    far_live: usize,
+    /// Events of the current cursor tick in ascending `(at, seq)`
+    /// order; `due_head` indexes the next to fire. A sorted vec beats a
+    /// binary heap here because tick batches are tiny and popping is
+    /// just a cursor bump; entries before `due_head` are spent and are
+    /// reclaimed the moment the live tail empties.
+    due: Vec<HeapEntry>,
+    due_head: usize,
+    /// Events beyond the far horizon.
+    overflow: BinaryHeap<HeapEntry>,
+    queue_high_water: usize,
+    initial_capacity: usize,
+    wheel_hits: u64,
+    overflow_events: u64,
+    slab_reuses: u64,
+}
+
+impl Engine {
+    /// Creates an engine with the clock at zero and a seeded RNG.
+    pub fn new(seed: u64) -> Self {
+        Engine::with_capacity(seed, 0)
+    }
+
+    /// Like [`Engine::new`], but pre-sizes the event slab for
+    /// `expected_events` concurrently-pending events, so steady-state
+    /// scheduling never reallocates. Callers that can bound their queue
+    /// depth up front (e.g. a windowed transfer knows its in-flight
+    /// cell count) should prefer this; the saving is visible in
+    /// [`EngineStats::queue_reallocs_saved`].
+    pub fn with_capacity(seed: u64, expected_events: usize) -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            rng: SimRng::new(seed),
+            executed: 0,
+            slab: Vec::with_capacity(expected_events),
+            free: NIL,
+            pending: 0,
+            cursor: 0,
+            near: [NIL; WHEEL_SLOTS],
+            far: [NIL; WHEEL_SLOTS],
+            near_occ: [0; OCC_WORDS],
+            far_occ: [0; OCC_WORDS],
+            far_live: 0,
+            due: Vec::new(),
+            due_head: 0,
+            overflow: BinaryHeap::new(),
+            queue_high_water: 0,
+            initial_capacity: expected_events,
+            wheel_hits: 0,
+            overflow_events: 0,
+            slab_reuses: 0,
+        }
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The engine's random number generator.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Number of events executed so far (for diagnostics and tests).
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending.
+    pub fn events_pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Total events ever scheduled (the sequence counter: every
+    /// `schedule_*` call increments it exactly once).
+    pub fn events_scheduled(&self) -> u64 {
+        self.seq
+    }
+
+    /// Deepest the pending queue has ever been.
+    pub fn queue_high_water(&self) -> usize {
+        self.queue_high_water
+    }
+
+    /// Events placed directly into a wheel level (near, far, or the
+    /// current-tick due heap) at schedule time — the O(1) path.
+    pub fn wheel_hits(&self) -> u64 {
+        self.wheel_hits
+    }
+
+    /// Events that landed in the overflow heap at schedule time because
+    /// they were beyond the far horizon ([`WHEEL_HORIZON_TICKS`]).
+    pub fn overflow_events(&self) -> u64 {
+        self.overflow_events
+    }
+
+    /// Schedules that recycled a vacant slab slot instead of growing the
+    /// slab — the allocation-free steady state.
+    pub fn slab_reuses(&self) -> u64 {
+        self.slab_reuses
+    }
+
+    /// Queue reallocations avoided by pre-sizing: how many amortized
+    /// doubling growths a slab starting empty would have needed to
+    /// reach the observed high-water mark, minus those still needed
+    /// from the capacity requested at construction. Zero for engines
+    /// built with [`Engine::new`]. Deterministic — derived from the
+    /// high-water counter, not from allocator internals.
+    pub fn queue_reallocs_saved(&self) -> usize {
+        fn growths(from: usize, to: usize) -> usize {
+            let mut cap = from;
+            let mut n = 0;
+            while cap < to {
+                cap = (cap * 2).max(4);
+                n += 1;
+            }
+            n
+        }
+        growths(0, self.queue_high_water) - growths(self.initial_capacity, self.queue_high_water)
+    }
+
+    /// Snapshot of the engine's counters, all keyed to sim time.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            now: self.now,
+            events_executed: self.executed,
+            events_scheduled: self.seq,
+            events_pending: self.pending,
+            queue_high_water: self.queue_high_water,
+            queue_reallocs_saved: self.queue_reallocs_saved(),
+            wheel_hits: self.wheel_hits,
+            overflow_events: self.overflow_events,
+            slab_reuses: self.slab_reuses,
+        }
+    }
+
+    /// Dump the engine counters into a [`Recorder`]. Purely
+    /// observational: reads counters the engine maintains anyway, so
+    /// calling it (or not) cannot change simulation behavior.
+    pub fn record_into(&self, rec: &mut dyn Recorder) {
+        rec.add("engine/events_executed", self.executed);
+        rec.add("engine/events_scheduled", self.seq);
+        rec.add("engine/overflow_events", self.overflow_events);
+        rec.add("engine/queue_high_water", self.queue_high_water as u64);
+        rec.add("engine/queue_reallocs_saved", self.queue_reallocs_saved() as u64);
+        rec.add("engine/sim_ns", self.now.as_nanos());
+        rec.add("engine/slab_reuses", self.slab_reuses);
+        rec.add("engine/wheel_hits", self.wheel_hits);
+    }
+
+    /// Schedules `action` to run at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error; the engine clamps to `now`
+    /// in release builds and asserts in debug builds so tests catch it.
+    pub fn schedule_at(&mut self, at: SimTime, action: impl FnOnce(&mut Engine) + 'static) {
+        self.insert(at, Payload::Boxed(Box::new(action)));
+    }
+
+    /// Schedules `action` to run `delay` after the current instant.
+    pub fn schedule_in(&mut self, delay: SimDuration, action: impl FnOnce(&mut Engine) + 'static) {
+        self.schedule_at(self.now + delay, action);
+    }
+
+    /// Schedules a typed event to fire at absolute time `at`. Once the
+    /// slab is warm this never allocates. Same past-clamp semantics as
+    /// [`Engine::schedule_at`].
+    #[inline]
+    pub fn schedule_event_at(&mut self, at: SimTime, event: SimEvent) {
+        self.insert(at, Payload::Typed(event));
+    }
+
+    /// Schedules a typed event to fire `delay` after the current instant.
+    #[inline]
+    pub fn schedule_event_in(&mut self, delay: SimDuration, event: SimEvent) {
+        self.schedule_event_at(self.now + delay, event);
+    }
+
+    #[inline]
+    fn insert(&mut self, at: SimTime, payload: Payload) {
+        debug_assert!(at >= self.now, "scheduled an event in the past");
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        let slot = if self.free != NIL {
+            let slot = self.free;
+            self.slab_reuses += 1;
+            let node = &mut self.slab[slot as usize];
+            self.free = node.next;
+            node.at = at;
+            node.seq = seq;
+            node.next = NIL;
+            node.payload = payload;
+            slot
+        } else {
+            self.grow_slot(at, seq, payload)
+        };
+        self.place(slot, at, seq, true);
+        self.pending += 1;
+        self.queue_high_water = self.queue_high_water.max(self.pending);
+    }
+
+    /// Slab growth — off the warm path, which always recycles a freed
+    /// slot instead.
+    #[cold]
+    fn grow_slot(&mut self, at: SimTime, seq: u64, payload: Payload) -> u32 {
+        let slot = self.slab.len() as u32;
+        self.slab.push(Node {
+            at,
+            seq,
+            next: NIL,
+            payload,
+        });
+        slot
+    }
+
+    /// Files a slab node into the right level for its distance from the
+    /// cursor. `at`/`seq` must be the node's own key (passed in so the
+    /// hot schedule path skips a slab re-read). `fresh` marks first-time
+    /// placement (counted); cascades and overflow pulls re-place with
+    /// `fresh = false`.
+    #[inline]
+    fn place(&mut self, slot: u32, at: SimTime, seq: u64, fresh: bool) {
+        let tick = at.as_nanos() >> TICK_BITS;
+        if tick <= self.cursor {
+            // Current tick — or a tick the cursor already ran ahead of
+            // while peeking for the next event (`run_until` past the
+            // last due event). The due list orders by (at, seq), so
+            // "behind the cursor but not behind the clock" stays exact.
+            if fresh {
+                self.wheel_hits += 1;
+                self.push_due_sorted(HeapEntry { at, seq, slot });
+            } else {
+                // Refill-time placement (cascade / overflow pull):
+                // append now, `refill_due` sorts once before returning.
+                self.due.push(HeapEntry { at, seq, slot });
+            }
+            return;
+        }
+        let delta = tick - self.cursor;
+        if delta < NEAR_HORIZON_TICKS {
+            let idx = (tick & SLOT_MASK) as usize;
+            self.slab[slot as usize].next = self.near[idx];
+            self.near[idx] = slot;
+            self.near_occ[idx >> 6] |= 1u64 << (idx & 63);
+            if fresh {
+                self.wheel_hits += 1;
+            }
+        } else if (tick >> SLOT_BITS) - (self.cursor >> SLOT_BITS) < NEAR_HORIZON_TICKS {
+            let idx = ((tick >> SLOT_BITS) & SLOT_MASK) as usize;
+            self.slab[slot as usize].next = self.far[idx];
+            self.far[idx] = slot;
+            self.far_occ[idx >> 6] |= 1u64 << (idx & 63);
+            self.far_live += 1;
+            if fresh {
+                self.wheel_hits += 1;
+            }
+        } else {
+            self.overflow.push(HeapEntry { at, seq, slot });
+            if fresh {
+                self.overflow_events += 1;
+            }
+        }
+    }
+
+    /// Inserts a schedule-time entry into the live tail of the sorted
+    /// due list. New events carry the highest `seq` so far and `at >=
+    /// now`, which is `>=` every spent entry's key — so the insertion
+    /// point is always at or after `due_head`, and almost always the
+    /// tail itself (a handler scheduling into its own tick schedules
+    /// later-or-equal instants).
+    #[inline]
+    fn push_due_sorted(&mut self, entry: HeapEntry) {
+        match self.due.last() {
+            Some(last) if (last.at, last.seq) > (entry.at, entry.seq) => {
+                let pos = self.due[self.due_head..]
+                    .partition_point(|e| (e.at, e.seq) < (entry.at, entry.seq));
+                self.due.insert(self.due_head + pos, entry);
+            }
+            _ => self.due.push(entry),
+        }
+    }
+
+    /// Restores ascending `(at, seq)` order after refill-time batch
+    /// appends. Tick batches are small and near-sorted, so this is an
+    /// insertion sort in practice.
+    fn sort_due(&mut self) {
+        debug_assert_eq!(self.due_head, 0, "refill ran with spent due entries");
+        self.due.sort_unstable_by_key(|e| (e.at, e.seq));
+    }
+
+    /// Earliest occupied near tick, in `(cursor, cursor + 256)`.
+    fn first_near_tick(&self) -> Option<u64> {
+        let start = ((self.cursor + 1) & SLOT_MASK) as usize;
+        next_occupied(&self.near_occ, start).map(|idx| {
+            let off = (idx + WHEEL_SLOTS - start) & (WHEEL_SLOTS - 1);
+            self.cursor + 1 + off as u64
+        })
+    }
+
+    /// Earliest occupied far super-tick, in `(super, super + 256)`.
+    fn first_far_super(&self) -> Option<u64> {
+        let sup = self.cursor >> SLOT_BITS;
+        let start = ((sup + 1) & SLOT_MASK) as usize;
+        next_occupied(&self.far_occ, start).map(|idx| {
+            let off = (idx + WHEEL_SLOTS - start) & (WHEEL_SLOTS - 1);
+            sup + 1 + off as u64
+        })
+    }
+
+    /// Moves every event in near slot `tick & MASK` into the due list
+    /// (unsorted — `refill_due` sorts once before returning). Only ever
+    /// called when that slot's unique in-window tick is `tick`.
+    fn drain_near_slot(&mut self, tick: u64) {
+        let idx = (tick & SLOT_MASK) as usize;
+        let mut slot = self.near[idx];
+        self.near[idx] = NIL;
+        self.near_occ[idx >> 6] &= !(1u64 << (idx & 63));
+        while slot != NIL {
+            let (at, seq, next) = {
+                let n = &self.slab[slot as usize];
+                (n.at, n.seq, n.next)
+            };
+            debug_assert_eq!(at.as_nanos() >> TICK_BITS, tick, "near slot held a foreign tick");
+            self.due.push(HeapEntry { at, seq, slot });
+            slot = next;
+        }
+    }
+
+    /// Re-files every event of far slot `sup & MASK` (all of whose ticks
+    /// are now within the near horizon) into due/near.
+    fn cascade_far_slot(&mut self, sup: u64) {
+        let idx = (sup & SLOT_MASK) as usize;
+        let mut slot = self.far[idx];
+        self.far[idx] = NIL;
+        self.far_occ[idx >> 6] &= !(1u64 << (idx & 63));
+        while slot != NIL {
+            let (at, seq, next) = {
+                let n = &mut self.slab[slot as usize];
+                let next = n.next;
+                n.next = NIL;
+                (n.at, n.seq, next)
+            };
+            self.far_live -= 1;
+            self.place(slot, at, seq, false);
+            slot = next;
+        }
+    }
+
+    /// Pulls overflow events that fell within the far horizon (relative
+    /// to the current cursor) back onto the wheels. Must run every time
+    /// the cursor's super-tick advances, or an overdue overflow event
+    /// could be overtaken by a nearer wheel event.
+    fn pull_overflow(&mut self) {
+        let sup = self.cursor >> SLOT_BITS;
+        while let Some(top) = self.overflow.peek() {
+            let tick = top.at.as_nanos() >> TICK_BITS;
+            if (tick >> SLOT_BITS) - sup >= NEAR_HORIZON_TICKS {
+                break;
+            }
+            let entry = self.overflow.pop().expect("peeked entry vanished");
+            self.place(entry.slot, entry.at, entry.seq, false);
+        }
+    }
+
+    /// Advances the cursor to the next tick holding events and fills the
+    /// due list from it, sorted. Caller guarantees `due` is empty and at
+    /// least one event is pending somewhere.
+    fn refill_due(&mut self) {
+        debug_assert!(self.due.is_empty());
+        debug_assert!(self.pending > 0);
+        loop {
+            let near_tick = self.first_near_tick();
+            let far_sup = if self.far_live == 0 { None } else { self.first_far_super() };
+            match (near_tick, far_sup) {
+                (Some(t), sf) if sf.is_none_or(|s| t < (s << SLOT_BITS)) => {
+                    let crossed = (t >> SLOT_BITS) > (self.cursor >> SLOT_BITS);
+                    self.cursor = t;
+                    if crossed {
+                        self.pull_overflow();
+                    }
+                    self.drain_near_slot(t);
+                    self.sort_due();
+                    return;
+                }
+                (_, Some(sf)) => {
+                    self.cursor = sf << SLOT_BITS;
+                    self.cascade_far_slot(sf);
+                    self.pull_overflow();
+                    // Near events parked exactly at the new cursor tick
+                    // (possible when the earliest far bucket starts at
+                    // or before the earliest near tick) are due now.
+                    if self.near[(self.cursor & SLOT_MASK) as usize] != NIL {
+                        self.drain_near_slot(self.cursor);
+                    }
+                    if !self.due.is_empty() {
+                        self.sort_due();
+                        return;
+                    }
+                }
+                (Some(_), None) => {
+                    unreachable!("near-only schedules always take the first arm")
+                }
+                (None, None) => {
+                    // Everything pending sits in overflow: jump the
+                    // cursor straight to the earliest overflow tick.
+                    let top_at = self
+                        .overflow
+                        .peek()
+                        .expect("pending events must live in some level")
+                        .at;
+                    self.cursor = top_at.as_nanos() >> TICK_BITS;
+                    self.pull_overflow();
+                    if !self.due.is_empty() {
+                        self.sort_due();
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes and returns the next event in `(at, seq)` order, freeing
+    /// its slab slot.
+    #[inline]
+    fn pop_next(&mut self) -> Option<(SimTime, Payload)> {
+        if self.due.is_empty() {
+            if self.pending == 0 {
+                return None;
+            }
+            self.refill_due();
+        }
+        let entry = self.due[self.due_head];
+        self.due_head += 1;
+        if self.due_head == self.due.len() {
+            // The live tail emptied: reclaim the spent prefix so the
+            // list stays bounded by the per-tick batch size.
+            self.due.clear();
+            self.due_head = 0;
+        }
+        let payload = {
+            let node = &mut self.slab[entry.slot as usize];
+            let payload = std::mem::replace(&mut node.payload, Payload::Vacant);
+            node.next = self.free;
+            payload
+        };
+        self.free = entry.slot;
+        self.pending -= 1;
+        Some((entry.at, payload))
+    }
+
+    /// Firing time of the next pending event, advancing the wheel cursor
+    /// (but not the clock) as needed to find it.
+    fn peek_at(&mut self) -> Option<SimTime> {
+        if self.due.is_empty() {
+            if self.pending == 0 {
+                return None;
+            }
+            self.refill_due();
+        }
+        self.due.get(self.due_head).map(|entry| entry.at)
+    }
+
+    fn fire_prologue(&mut self, at: SimTime) {
+        debug_assert!(at >= self.now, "event queue went backwards");
+        self.now = at;
+        self.executed += 1;
+    }
+
+    /// Runs events until the queue is empty.
+    ///
+    /// # Panics
+    /// Panics if a typed event fires: closure-only drivers must not mix
+    /// in [`Engine::schedule_event_at`] without [`Engine::run_typed`].
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs events (typed and boxed) until the queue is empty, threading
+    /// `state` and dispatching every typed event through `on_event`.
+    ///
+    /// This is the allocation-free replacement for capturing shared
+    /// state in per-event closures: the handler is monomorphized, the
+    /// state is a plain `&mut`, and no `Rc<RefCell<_>>` is needed.
+    pub fn run_typed<S>(
+        &mut self,
+        state: &mut S,
+        mut on_event: impl FnMut(&mut Engine, &mut S, SimEvent),
+    ) {
+        while let Some((at, payload)) = self.pop_next() {
+            self.fire_prologue(at);
+            match payload {
+                Payload::Boxed(action) => action(self),
+                Payload::Typed(ev) => on_event(self, state, ev),
+                Payload::Vacant => unreachable!("vacant slab slot reached the due heap"),
+            }
+        }
+    }
+
+    /// Runs events with firing time `<= deadline`; the clock ends at
+    /// `deadline` even if the queue drained earlier.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while self.peek_at().is_some_and(|at| at <= deadline) {
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Executes the next pending event, if any. Returns whether one ran.
+    ///
+    /// # Panics
+    /// Panics if the next event is typed (see [`Engine::run`]).
+    pub fn step(&mut self) -> bool {
+        match self.pop_next() {
+            Some((at, payload)) => {
+                self.fire_prologue(at);
+                match payload {
+                    Payload::Boxed(action) => action(self),
+                    Payload::Typed(ev) => panic!(
+                        "typed event {ev:?} fired without a handler; \
+                         drive this engine with Engine::run_typed"
+                    ),
+                    Payload::Vacant => unreachable!("vacant slab slot reached the due heap"),
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Advances the clock by `delay` without running anything (useful when
+    /// composing closed-form phase calculations with event-driven parts).
+    ///
+    /// # Panics
+    /// Panics (debug) if pending events exist before the new instant —
+    /// skipping over scheduled work would silently corrupt causality.
+    pub fn advance(&mut self, delay: SimDuration) {
+        let target = self.now + delay;
+        debug_assert!(
+            self.peek_at().is_none_or(|at| at >= target),
+            "Engine::advance would skip pending events"
+        );
+        self.now = target;
+    }
+}
+
+/// Point-in-time snapshot of an [`Engine`]'s internal counters.
+///
+/// Everything here derives from sim time and deterministic bookkeeping
+/// — no wall clock, no randomness — so equal seeds give equal stats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// The simulated instant of the snapshot.
+    pub now: SimTime,
+    /// Events popped and run so far.
+    pub events_executed: u64,
+    /// Events ever scheduled (executed + pending + any yet to fire).
+    pub events_scheduled: u64,
+    /// Events currently in the queue.
+    pub events_pending: usize,
+    /// Deepest the queue has ever been.
+    pub queue_high_water: usize,
+    /// Queue growths avoided by constructing with
+    /// [`Engine::with_capacity`] (see
+    /// [`Engine::queue_reallocs_saved`]).
+    pub queue_reallocs_saved: usize,
+    /// Events filed into a wheel level (near/far/due) at schedule time.
+    pub wheel_hits: u64,
+    /// Events beyond the far horizon, parked in the overflow heap.
+    pub overflow_events: u64,
+    /// Schedules that recycled a vacant slab slot.
+    pub slab_reuses: u64,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.pending)
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut eng = Engine::new(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for &(ms, tag) in &[(30u64, 'c'), (10, 'a'), (20, 'b')] {
+            let log = log.clone();
+            eng.schedule_in(SimDuration::from_millis(ms), move |_| {
+                log.borrow_mut().push(tag);
+            });
+        }
+        eng.run();
+        assert_eq!(*log.borrow(), vec!['a', 'b', 'c']);
+        assert_eq!(eng.now().as_nanos(), 30_000_000);
+    }
+
+    #[test]
+    fn ties_break_by_scheduling_order() {
+        let mut eng = Engine::new(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for tag in ['x', 'y', 'z'] {
+            let log = log.clone();
+            eng.schedule_in(SimDuration::from_millis(5), move |_| {
+                log.borrow_mut().push(tag);
+            });
+        }
+        eng.run();
+        assert_eq!(*log.borrow(), vec!['x', 'y', 'z']);
+    }
+
+    #[test]
+    fn actions_can_schedule_more_actions() {
+        let mut eng = Engine::new(1);
+        let count = Rc::new(RefCell::new(0u32));
+        fn chain(eng: &mut Engine, count: Rc<RefCell<u32>>, left: u32) {
+            if left == 0 {
+                return;
+            }
+            eng.schedule_in(SimDuration::from_millis(1), move |eng| {
+                *count.borrow_mut() += 1;
+                chain(eng, count, left - 1);
+            });
+        }
+        chain(&mut eng, count.clone(), 5);
+        eng.run();
+        assert_eq!(*count.borrow(), 5);
+        assert_eq!(eng.now().as_nanos(), 5_000_000);
+        assert_eq!(eng.events_executed(), 5);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut eng = Engine::new(1);
+        let hits = Rc::new(RefCell::new(0u32));
+        for ms in [10u64, 20, 30, 40] {
+            let hits = hits.clone();
+            eng.schedule_in(SimDuration::from_millis(ms), move |_| {
+                *hits.borrow_mut() += 1;
+            });
+        }
+        eng.run_until(SimTime::from_nanos(25_000_000));
+        assert_eq!(*hits.borrow(), 2);
+        assert_eq!(eng.now().as_nanos(), 25_000_000);
+        assert_eq!(eng.events_pending(), 2);
+        eng.run();
+        assert_eq!(*hits.borrow(), 4);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut eng = Engine::new(1);
+        eng.run_until(SimTime::from_nanos(1_000));
+        assert_eq!(eng.now().as_nanos(), 1_000);
+    }
+
+    #[test]
+    fn scheduling_after_a_peeked_run_until_stays_ordered() {
+        // run_until peeks ahead (advancing the wheel cursor to the far
+        // event's tick); an event scheduled afterwards at a nearer time
+        // must still fire first.
+        let mut eng = Engine::new(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l = log.clone();
+        eng.schedule_in(SimDuration::from_secs(10), move |_| {
+            l.borrow_mut().push("far");
+        });
+        eng.run_until(SimTime::from_nanos(1_000_000));
+        let l = log.clone();
+        eng.schedule_in(SimDuration::from_millis(1), move |_| {
+            l.borrow_mut().push("near");
+        });
+        eng.run();
+        assert_eq!(*log.borrow(), vec!["near", "far"]);
+        assert_eq!(eng.now().as_secs_f64(), 10.0);
+    }
+
+    #[test]
+    fn advance_moves_clock() {
+        let mut eng = Engine::new(1);
+        eng.advance(SimDuration::from_secs(3));
+        assert_eq!(eng.now().as_secs_f64(), 3.0);
+    }
+
+    #[test]
+    fn counters_match_a_hand_computed_schedule() {
+        // Schedule 4 events up front: the queue fills to depth 4 before
+        // anything fires, so high-water is exactly 4 and scheduled ==
+        // executed == 4 once drained.
+        let mut eng = Engine::new(7);
+        for ms in [10u64, 20, 30, 40] {
+            eng.schedule_in(SimDuration::from_millis(ms), |_| {});
+        }
+        assert_eq!(eng.events_scheduled(), 4);
+        assert_eq!(eng.queue_high_water(), 4);
+        eng.run();
+        let stats = eng.stats();
+        assert_eq!(stats.events_executed, 4);
+        assert_eq!(stats.events_scheduled, 4);
+        assert_eq!(stats.events_pending, 0);
+        assert_eq!(stats.queue_high_water, 4);
+        assert_eq!(stats.now.as_nanos(), 40_000_000);
+    }
+
+    #[test]
+    fn high_water_tracks_a_chained_schedule() {
+        // A chain schedules its successor from inside each event: queue
+        // depth never exceeds 1 no matter how long the chain runs.
+        let mut eng = Engine::new(7);
+        fn chain(eng: &mut Engine, left: u32) {
+            if left == 0 {
+                return;
+            }
+            eng.schedule_in(SimDuration::from_millis(1), move |eng| chain(eng, left - 1));
+        }
+        chain(&mut eng, 6);
+        eng.run();
+        assert_eq!(eng.queue_high_water(), 1);
+        assert_eq!(eng.events_executed(), 6);
+        assert_eq!(eng.events_scheduled(), 6);
+        // The chain reuses one slab slot five times: only the first
+        // schedule grows the slab.
+        assert_eq!(eng.slab_reuses(), 5);
+    }
+
+    #[test]
+    fn presized_queue_reports_saved_reallocs() {
+        // High-water 10 from a cold slab costs ceil-log growths
+        // (0→4→8→16): three. Pre-sizing to 10 avoids all of them;
+        // pre-sizing to 5 still pays one (5→10).
+        fn drive(mut eng: Engine) -> Engine {
+            for ms in 1..=10u64 {
+                eng.schedule_in(SimDuration::from_millis(ms), |_| {});
+            }
+            eng.run();
+            eng
+        }
+        let cold = drive(Engine::new(7));
+        assert_eq!(cold.queue_high_water(), 10);
+        assert_eq!(cold.queue_reallocs_saved(), 0);
+        let sized = drive(Engine::with_capacity(7, 10));
+        assert_eq!(sized.queue_reallocs_saved(), 3);
+        assert_eq!(sized.stats().queue_reallocs_saved, 3);
+        let half = drive(Engine::with_capacity(7, 5));
+        assert_eq!(half.queue_reallocs_saved(), 2);
+    }
+
+    #[test]
+    fn presizing_never_changes_results() {
+        fn run(mut eng: Engine) -> (Vec<u64>, u64) {
+            let out = Rc::new(RefCell::new(Vec::new()));
+            for _ in 0..10 {
+                let out = out.clone();
+                eng.schedule_in(SimDuration::from_millis(1), move |eng| {
+                    let v = eng.rng().next_u64();
+                    out.borrow_mut().push(v);
+                });
+            }
+            eng.run();
+            let executed = eng.events_executed();
+            (Rc::try_unwrap(out).unwrap().into_inner(), executed)
+        }
+        assert_eq!(run(Engine::new(99)), run(Engine::with_capacity(99, 64)));
+    }
+
+    #[test]
+    fn record_into_exports_engine_counters() {
+        let mut eng = Engine::new(7);
+        for _ in 0..3 {
+            eng.schedule_in(SimDuration::from_millis(2), |_| {});
+        }
+        eng.run();
+        let mut rec = ptperf_obs::MemoryRecorder::new();
+        eng.record_into(&mut rec);
+        let data = rec.into_data();
+        assert_eq!(data.counter("engine/events_executed"), Some(3));
+        assert_eq!(data.counter("engine/events_scheduled"), Some(3));
+        assert_eq!(data.counter("engine/queue_high_water"), Some(3));
+        assert_eq!(data.counter("engine/sim_ns"), Some(2_000_000));
+        // All three events land within one near-wheel tick of the
+        // cursor, so every placement is a wheel hit and the first two
+        // pops leave slots the third schedule cannot reuse (they were
+        // scheduled before anything fired): reuses stay zero.
+        assert_eq!(data.counter("engine/wheel_hits"), Some(3));
+        assert_eq!(data.counter("engine/overflow_events"), Some(0));
+        assert_eq!(data.counter("engine/slab_reuses"), Some(0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        fn run(seed: u64) -> Vec<u64> {
+            let mut eng = Engine::new(seed);
+            let out = Rc::new(RefCell::new(Vec::new()));
+            for _ in 0..10 {
+                let out = out.clone();
+                eng.schedule_in(SimDuration::from_millis(1), move |eng| {
+                    let v = eng.rng().next_u64();
+                    out.borrow_mut().push(v);
+                });
+            }
+            eng.run();
+            Rc::try_unwrap(out).unwrap().into_inner()
+        }
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99), run(100));
+    }
+
+    #[test]
+    fn typed_and_boxed_events_share_one_total_order() {
+        let mut eng = Engine::new(3);
+        let boxed_log = Rc::new(RefCell::new(Vec::new()));
+        let l = boxed_log.clone();
+        eng.schedule_event_in(SimDuration::from_millis(5), SimEvent::Tick { tag: 0 });
+        eng.schedule_in(SimDuration::from_millis(5), move |_| {
+            l.borrow_mut().push("boxed");
+        });
+        eng.schedule_event_in(SimDuration::from_millis(5), SimEvent::Tick { tag: 1 });
+        let mut typed_log = Vec::new();
+        eng.run_typed(&mut typed_log, |eng, log, ev| {
+            if let SimEvent::Tick { tag } = ev {
+                log.push((eng.events_executed(), tag));
+            }
+        });
+        // Ties broken by scheduling order: typed 0, boxed, typed 1.
+        assert_eq!(typed_log, vec![(1, 0), (3, 1)]);
+        assert_eq!(*boxed_log.borrow(), vec!["boxed"]);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "scheduled an event in the past"))]
+    fn scheduling_in_the_past_asserts_or_clamps() {
+        let mut eng = Engine::new(1);
+        eng.schedule_in(SimDuration::from_millis(5), |_| {});
+        eng.run();
+        assert_eq!(eng.now().as_nanos(), 5_000_000);
+        let fired_at = Rc::new(RefCell::new(None));
+        let probe = fired_at.clone();
+        eng.schedule_at(SimTime::from_nanos(1), move |eng| {
+            *probe.borrow_mut() = Some(eng.now());
+        });
+        eng.run();
+        // Release builds reach here: the event fired "now", not in the past.
+        assert_eq!(*fired_at.borrow(), Some(SimTime::from_nanos(5_000_000)));
+        assert_eq!(eng.now().as_nanos(), 5_000_000);
+    }
+
+    #[test]
+    fn far_future_events_route_through_the_overflow_heap() {
+        let mut eng = Engine::new(1);
+        // One tick beyond the far horizon: must park in overflow.
+        let beyond = TICK_NANOS * WHEEL_HORIZON_TICKS + TICK_NANOS;
+        eng.schedule_event_in(SimDuration::from_nanos(beyond), SimEvent::Tick { tag: 9 });
+        assert_eq!(eng.overflow_events(), 1);
+        assert_eq!(eng.wheel_hits(), 0);
+        let mut fired = Vec::new();
+        eng.run_typed(&mut fired, |eng, fired, ev| {
+            fired.push((eng.now().as_nanos(), ev));
+        });
+        assert_eq!(fired, vec![(beyond, SimEvent::Tick { tag: 9 })]);
+    }
+}

@@ -15,7 +15,7 @@
 //! ## Layering
 //!
 //! ```text
-//! Engine (clock + event queue + RNG)        event.rs
+//! Engine (clock + timer wheel + RNG)        event/
 //!   ├─ SimTime / SimDuration                time.rs
 //!   ├─ SimRng + distributions               rng.rs
 //!   ├─ Location / Medium / PathSample       topology.rs
@@ -39,10 +39,10 @@ pub mod time;
 pub mod topology;
 pub mod xfer;
 
-pub use event::{Engine, EngineStats};
+pub use event::{Engine, EngineStats, SimEvent};
 pub use fault::{
-    run_transfer, FaultBias, FaultClock, FaultConfig, FaultEvent, FaultKind, FaultKnobs,
-    FaultPlan, FaultProfile, FaultRun, RetryPolicy, TransferSpec,
+    run_transfer, run_transfer_timed, FaultBias, FaultClock, FaultConfig, FaultEvent, FaultKind,
+    FaultKnobs, FaultPlan, FaultProfile, FaultRun, RetryPolicy, TransferSpec,
 };
 pub use flow::{fluid_schedule, fluid_schedule_recorded, maxmin_demo, maxmin_rates, maxmin_rates_recorded, FairNetwork, FlowBatch, FlowDemand, FlowNodes, FluidCompletion, FluidFlow, FluidScheduler, NodeId};
 pub use load::{effective_capacity, LoadProfile, LoadTimeline};

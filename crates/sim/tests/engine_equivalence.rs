@@ -1,0 +1,284 @@
+//! Bit-for-bit equivalence between the typed slab/timer-wheel engine
+//! (`event::wheel`, the public [`Engine`]) and the boxed-closure
+//! binary-heap engine retained as the reference oracle
+//! (`event::reference::ReferenceEngine`).
+//!
+//! The optimization contract is *exact*: same firing order, same
+//! nanosecond clock at every firing, same `events_executed` /
+//! `events_scheduled` / `queue_high_water` — on every schedule,
+//! including adversarial ones with equal-time ties across wheel-slot
+//! boundaries, zero-delay self-rescheduling chains, far-future events
+//! that route through the overflow heap, and `run_until` deadlines that
+//! leave the wheel cursor ahead of the clock before more work arrives.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ptperf_sim::event::reference::ReferenceEngine;
+use ptperf_sim::event::{NEAR_HORIZON_TICKS, TICK_NANOS, WHEEL_HORIZON_TICKS};
+use ptperf_sim::{Engine, SimDuration, SimEvent, SimRng};
+
+/// One generated workload: per-id initial delay plus a chain of
+/// reschedule delays paid on successive firings of that id.
+#[derive(Clone, Debug)]
+struct Plan {
+    start: Vec<u64>,
+    chains: Vec<Vec<u64>>,
+}
+
+/// Delays spanning every placement class of the wheel: the due heap
+/// (0), sub-tick, exact tick boundaries, mid-near, the near/far
+/// boundary, deep far, the far/overflow boundary, and true overflow.
+fn arbitrary_delay(rng: &mut SimRng) -> u64 {
+    const BUCKETS: [u64; 9] = [
+        0,
+        1,
+        TICK_NANOS / 2,
+        TICK_NANOS,
+        TICK_NANOS * 7,
+        TICK_NANOS * NEAR_HORIZON_TICKS,
+        TICK_NANOS * (NEAR_HORIZON_TICKS + 37),
+        TICK_NANOS * (WHEEL_HORIZON_TICKS - 1),
+        TICK_NANOS * WHEEL_HORIZON_TICKS + 13,
+    ];
+    let base = BUCKETS[(rng.next_u64() % BUCKETS.len() as u64) as usize];
+    match rng.next_u64() % 4 {
+        0 => base,
+        1 => base.saturating_sub(1),
+        2 => base + rng.next_u64() % TICK_NANOS,
+        _ => base + rng.next_u64() % (TICK_NANOS * 5),
+    }
+}
+
+fn arbitrary_plan(rng: &mut SimRng, max_ids: usize, max_chain: usize) -> Plan {
+    let n = 1 + (rng.next_u64() as usize % max_ids);
+    let start = (0..n).map(|_| arbitrary_delay(rng)).collect();
+    let chains = (0..n)
+        .map(|_| {
+            let len = (rng.next_u64() as usize) % (max_chain + 1);
+            (0..len)
+                .map(|_| {
+                    if rng.chance(0.25) {
+                        0 // zero-delay self-rescheduling link
+                    } else {
+                        arbitrary_delay(rng)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Plan { start, chains }
+}
+
+/// `(firing clock ns, id)` log plus the engine's observable totals.
+type Trace = (Vec<(u64, u32)>, [u64; 4]);
+
+fn drive_typed(plan: &Plan) -> Trace {
+    struct St<'a> {
+        plan: &'a Plan,
+        log: Vec<(u64, u32)>,
+        fired: Vec<usize>,
+    }
+    let mut eng = Engine::with_capacity(1, plan.start.len() + 1);
+    for (id, d) in plan.start.iter().enumerate() {
+        eng.schedule_event_in(SimDuration::from_nanos(*d), SimEvent::Tick { tag: id as u32 });
+    }
+    let mut st = St {
+        plan,
+        log: Vec::new(),
+        fired: vec![0; plan.start.len()],
+    };
+    eng.run_typed(&mut st, |eng, s, ev| {
+        let SimEvent::Tick { tag } = ev else {
+            unreachable!("plan driver scheduled only Tick events");
+        };
+        s.log.push((eng.now().as_nanos(), tag));
+        let id = tag as usize;
+        let k = s.fired[id];
+        s.fired[id] += 1;
+        if let Some(&d) = s.plan.chains[id].get(k) {
+            eng.schedule_event_in(SimDuration::from_nanos(d), SimEvent::Tick { tag });
+        }
+    });
+    let totals = [
+        eng.events_executed(),
+        eng.events_scheduled(),
+        eng.queue_high_water() as u64,
+        eng.now().as_nanos(),
+    ];
+    (st.log, totals)
+}
+
+fn drive_reference(plan: &Plan) -> Trace {
+    fn arm(
+        eng: &mut ReferenceEngine,
+        delay: u64,
+        id: usize,
+        log: Rc<RefCell<Vec<(u64, u32)>>>,
+        fired: Rc<RefCell<Vec<usize>>>,
+        chains: Rc<Vec<Vec<u64>>>,
+    ) {
+        eng.schedule_in(SimDuration::from_nanos(delay), move |eng| {
+            log.borrow_mut().push((eng.now().as_nanos(), id as u32));
+            let k = {
+                let mut f = fired.borrow_mut();
+                let k = f[id];
+                f[id] += 1;
+                k
+            };
+            if let Some(&next) = chains[id].get(k) {
+                arm(eng, next, id, log, fired, chains);
+            }
+        });
+    }
+    let mut eng = ReferenceEngine::with_capacity(1, plan.start.len() + 1);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let fired = Rc::new(RefCell::new(vec![0usize; plan.start.len()]));
+    let chains = Rc::new(plan.chains.clone());
+    for (id, d) in plan.start.iter().enumerate() {
+        arm(&mut eng, *d, id, Rc::clone(&log), Rc::clone(&fired), Rc::clone(&chains));
+    }
+    eng.run();
+    let totals = [
+        eng.events_executed(),
+        eng.events_scheduled(),
+        eng.queue_high_water() as u64,
+        eng.now().as_nanos(),
+    ];
+    (Rc::try_unwrap(log).expect("driver done").into_inner(), totals)
+}
+
+#[test]
+fn typed_wheel_matches_boxed_reference_on_arbitrary_schedules() {
+    for seed in 0..250u64 {
+        let mut rng = SimRng::new(seed);
+        let plan = arbitrary_plan(&mut rng, 40, 6);
+        let (log_w, totals_w) = drive_typed(&plan);
+        let (log_r, totals_r) = drive_reference(&plan);
+        assert_eq!(log_w, log_r, "seed {seed}: firing logs diverged");
+        assert_eq!(totals_w, totals_r, "seed {seed}: engine totals diverged");
+    }
+}
+
+#[test]
+fn equal_time_ties_fire_in_schedule_order_on_both_engines() {
+    // Every event lands on the same instant — one that sits exactly on
+    // a super-tick boundary so the far→near cascade has to preserve the
+    // schedule-order tie-break while re-filing a full slot.
+    let at = TICK_NANOS * NEAR_HORIZON_TICKS * 3;
+    let plan = Plan {
+        start: vec![at; 64],
+        chains: vec![Vec::new(); 64],
+    };
+    let (log_w, totals_w) = drive_typed(&plan);
+    let (log_r, totals_r) = drive_reference(&plan);
+    assert_eq!(log_w, log_r);
+    assert_eq!(totals_w, totals_r);
+    let ids: Vec<u32> = log_w.iter().map(|&(_, id)| id).collect();
+    let want: Vec<u32> = (0..64).collect();
+    assert_eq!(ids, want, "ties must fire in schedule order");
+    assert!(log_w.iter().all(|&(t, _)| t == at));
+}
+
+#[test]
+fn zero_delay_chains_interleave_identically() {
+    // Three ids rescheduling themselves with zero delay: each firing
+    // appends a new event at the *same* instant, so the engines must
+    // agree on the seq-interleaving of chains, not just the clock.
+    let plan = Plan {
+        start: vec![TICK_NANOS * 2; 3],
+        chains: vec![vec![0; 5], vec![0; 9], vec![0; 2]],
+    };
+    let (log_w, totals_w) = drive_typed(&plan);
+    let (log_r, totals_r) = drive_reference(&plan);
+    assert_eq!(log_w, log_r);
+    assert_eq!(totals_w, totals_r);
+    assert_eq!(log_w.len(), 3 + 5 + 9 + 2);
+}
+
+#[test]
+fn run_until_with_late_scheduling_matches_reference() {
+    // Boxed closures run on both engines; `run_until` deadlines park the
+    // wheel cursor ahead of the clock, then the next batch schedules
+    // events *behind* the cursor — the route that must fall straight
+    // into the due heap without disturbing the total order.
+    fn batch(rng: &mut SimRng, n: usize) -> Vec<u64> {
+        (0..n).map(|_| arbitrary_delay(rng)).collect()
+    }
+    for seed in 0..60u64 {
+        let mut rng_w = SimRng::new(1_000 + seed);
+        let mut rng_r = SimRng::new(1_000 + seed);
+        let mut wheel = Engine::with_capacity(1, 16);
+        let mut refr = ReferenceEngine::with_capacity(1, 16);
+        let log_w = Rc::new(RefCell::new(Vec::new()));
+        let log_r = Rc::new(RefCell::new(Vec::new()));
+        for phase in 0..4u64 {
+            let delays = batch(&mut rng_w, 12);
+            assert_eq!(delays, batch(&mut rng_r, 12));
+            for (i, &d) in delays.iter().enumerate() {
+                let id = (phase * 100 + i as u64) as u32;
+                let lw = Rc::clone(&log_w);
+                wheel.schedule_in(SimDuration::from_nanos(d), move |eng| {
+                    lw.borrow_mut().push((eng.now().as_nanos(), id));
+                });
+                let lr = Rc::clone(&log_r);
+                refr.schedule_in(SimDuration::from_nanos(d), move |eng| {
+                    lr.borrow_mut().push((eng.now().as_nanos(), id));
+                });
+            }
+            // A deadline mid-schedule: some events fire, the rest stay
+            // parked while the cursor has already scanned forward.
+            let cut = wheel.now() + SimDuration::from_nanos(TICK_NANOS * (3 + phase * 97));
+            wheel.run_until(cut);
+            refr.run_until(cut);
+            assert_eq!(wheel.now(), refr.now(), "seed {seed} phase {phase}");
+        }
+        wheel.run();
+        refr.run();
+        assert_eq!(*log_w.borrow(), *log_r.borrow(), "seed {seed}: logs diverged");
+        assert_eq!(wheel.events_executed(), refr.events_executed());
+        assert_eq!(wheel.events_scheduled(), refr.events_scheduled());
+        assert_eq!(wheel.queue_high_water(), refr.queue_high_water());
+        assert_eq!(wheel.now(), refr.now());
+    }
+}
+
+#[test]
+fn wheel_counters_match_a_hand_computed_cascade() {
+    // Placement classes from a fresh engine (now = 0, cursor = 0):
+    //   tag 0 at 0                        → due heap        (wheel hit)
+    //   tag 1 at 10.5 ticks              → near wheel      (wheel hit)
+    //   tag 2 at NEAR + 44 ticks         → far wheel       (wheel hit)
+    //   tag 3 at WHEEL_HORIZON − 1 ticks → far wheel, last
+    //                                      reachable slot  (wheel hit)
+    //   tag 4 at WHEEL_HORIZON ticks     → overflow heap
+    let mut eng = Engine::with_capacity(1, 8);
+    let ticks = |t: u64, extra: u64| SimDuration::from_nanos(TICK_NANOS * t + extra);
+    eng.schedule_event_in(ticks(0, 0), SimEvent::Tick { tag: 0 });
+    eng.schedule_event_in(ticks(10, TICK_NANOS / 2), SimEvent::Tick { tag: 1 });
+    eng.schedule_event_in(ticks(NEAR_HORIZON_TICKS + 44, 0), SimEvent::Tick { tag: 2 });
+    eng.schedule_event_in(ticks(WHEEL_HORIZON_TICKS - 1, 0), SimEvent::Tick { tag: 3 });
+    eng.schedule_event_in(ticks(WHEEL_HORIZON_TICKS, 0), SimEvent::Tick { tag: 4 });
+    assert_eq!(eng.wheel_hits(), 4, "due + near + far + far");
+    assert_eq!(eng.overflow_events(), 1, "exactly the horizon event");
+    assert_eq!(eng.slab_reuses(), 0, "cold slab has nothing to recycle");
+
+    let mut order: Vec<u32> = Vec::new();
+    eng.run_typed(&mut order, |_, log, ev| match ev {
+        SimEvent::Tick { tag } => log.push(tag),
+        other => unreachable!("scheduled no {other:?}"),
+    });
+    assert_eq!(order, [0, 1, 2, 3, 4]);
+    assert_eq!(
+        eng.wheel_hits(),
+        4,
+        "far→near cascades and overflow pulls are re-placements, not new hits"
+    );
+    assert_eq!(eng.overflow_events(), 1);
+    assert_eq!(eng.events_executed(), 5);
+    assert_eq!(eng.now().as_nanos(), TICK_NANOS * WHEEL_HORIZON_TICKS);
+
+    // A fresh schedule on the warm engine recycles the slab.
+    eng.schedule_event_in(ticks(1, 0), SimEvent::Tick { tag: 9 });
+    assert_eq!(eng.slab_reuses(), 1);
+}

@@ -11,11 +11,17 @@
 //! [`Engine`], and the tests check the event-driven completion time
 //! agrees with the formula in both regimes (bandwidth-bound and
 //! window-bound).
+//!
+//! The production path ([`StreamTransfer::run`]) drives the engine with
+//! typed [`SimEvent`]s and a plain local state struct — no allocation
+//! per cell, no `Rc<RefCell<_>>`. The original per-cell boxed-closure
+//! implementation is retained verbatim as
+//! [`StreamTransfer::run_reference`] on the
+//! [`ReferenceEngine`], and the tests prove the two produce identical
+//! completion times and event counts.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
-use ptperf_sim::{Engine, SimDuration, SimTime};
+use ptperf_sim::event::reference::ReferenceEngine;
+use ptperf_sim::{Engine, SimDuration, SimEvent, SimTime};
 
 use crate::cell::RELAY_DATA_LEN;
 use crate::circuit::CIRC_WINDOW_CELLS;
@@ -80,7 +86,89 @@ impl StreamTransfer {
 
     /// Runs the transfer on the event engine; returns the time at which
     /// the last cell reaches the client.
+    ///
+    /// Each protocol step is a typed [`SimEvent`] dispatched against a
+    /// plain state struct, so once the engine's slab is warm the whole
+    /// transfer schedules without a single heap allocation. The firing
+    /// order is the exact `(at, seq)` order of the retained closure
+    /// implementation ([`StreamTransfer::run_reference`]): every handler
+    /// schedules its successors in the same sequence the closures did.
     pub fn run(&self, engine: &mut Engine) -> SimDuration {
+        struct State {
+            cells_left: u64,
+            window: i64,
+            sending: bool,
+            unacked_at_client: u32,
+            finished_at: Option<SimTime>,
+            cell_time: SimDuration,
+            half_rtt: SimDuration,
+        }
+        let mut state = State {
+            cells_left: self.total_cells().max(1),
+            window: self.window_cells as i64,
+            sending: false,
+            unacked_at_client: 0,
+            finished_at: None,
+            cell_time: SimDuration::from_secs_f64(RELAY_DATA_LEN as f64 / self.bottleneck_bps),
+            half_rtt: SimDuration::from_nanos(self.rtt.as_nanos() / 2),
+        };
+        let start = engine.now();
+
+        // The exit's send loop: emit one cell per service interval while
+        // the window is open.
+        fn try_send(engine: &mut Engine, s: &mut State) {
+            if s.sending || s.cells_left == 0 || s.window <= 0 {
+                return;
+            }
+            s.sending = true;
+            s.window -= 1;
+            s.cells_left -= 1;
+            // The cell occupies the bottleneck for `cell_time`, then
+            // propagates for half an RTT to the client.
+            engine.schedule_event_in(s.cell_time, SimEvent::CellService);
+        }
+
+        try_send(engine, &mut state);
+        engine.run_typed(&mut state, |engine, s, ev| match ev {
+            SimEvent::CellService => {
+                s.sending = false;
+                // Cell arrives at the client after propagation.
+                let last = s.cells_left == 0;
+                engine.schedule_event_in(s.half_rtt, SimEvent::CellArrival { last });
+                try_send(engine, s);
+            }
+            SimEvent::CellArrival { last } => {
+                s.unacked_at_client += 1;
+                if last && s.finished_at.is_none() {
+                    s.finished_at = Some(engine.now());
+                }
+                if s.unacked_at_client >= SENDME_INCREMENT {
+                    s.unacked_at_client -= SENDME_INCREMENT;
+                    // SENDME travels back half an RTT, reopening the
+                    // window at the exit.
+                    engine.schedule_event_in(s.half_rtt, SimEvent::SendmeReturn);
+                }
+            }
+            SimEvent::SendmeReturn => {
+                s.window += SENDME_INCREMENT as i64;
+                try_send(engine, s);
+            }
+            other => unreachable!("stream transfer scheduled no {other:?}"),
+        });
+
+        let finished = state
+            .finished_at
+            .expect("transfer must complete: windows always reopen");
+        finished.duration_since(start)
+    }
+
+    /// The original boxed-closure implementation, retained bit-for-bit
+    /// on the [`ReferenceEngine`] as the oracle the typed path is tested
+    /// against (`typed_run_matches_reference_closures`).
+    pub fn run_reference(&self, engine: &mut ReferenceEngine) -> SimDuration {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
         #[derive(Debug)]
         struct State {
             cells_left: u64,
@@ -104,7 +192,7 @@ impl StreamTransfer {
         // The exit's send loop: emit one cell per service interval while
         // the window is open.
         fn try_send(
-            engine: &mut Engine,
+            engine: &mut ReferenceEngine,
             state: Rc<RefCell<State>>,
             cell_time: SimDuration,
             half_rtt: SimDuration,
@@ -249,7 +337,7 @@ mod tests {
     #[test]
     fn event_count_scales_with_cells() {
         let xfer = StreamTransfer::new(500_000, SimDuration::from_millis(50), 1.0e6);
-        let mut engine = Engine::new(1);
+        let mut engine = Engine::with_capacity(1, xfer.expected_events());
         xfer.run(&mut engine);
         let cells = xfer.total_cells();
         // ≥2 events per cell (service completion + client arrival).
@@ -260,14 +348,62 @@ mod tests {
     fn smaller_window_is_slower_when_window_binds() {
         let mut small = StreamTransfer::new(2_000_000, SimDuration::from_millis(400), 10.0e6);
         small.window_cells = 200;
-        let mut engine = Engine::new(1);
+        let mut engine = Engine::with_capacity(1, small.expected_events());
         let t_small = small.run(&mut engine).as_secs_f64();
         let big = StreamTransfer::new(2_000_000, SimDuration::from_millis(400), 10.0e6);
-        let mut engine = Engine::new(1);
+        let mut engine = Engine::with_capacity(1, big.expected_events());
         let t_big = big.run(&mut engine).as_secs_f64();
         assert!(
             t_small > t_big * 2.0,
             "window 200: {t_small:.2}s vs window 1000: {t_big:.2}s"
         );
+    }
+
+    #[test]
+    fn typed_run_matches_reference_closures() {
+        // Every regime the other tests exercise, plus degenerate sizes:
+        // the typed wheel engine must reproduce the boxed-closure
+        // oracle's completion time and event counts exactly.
+        for (bytes, rtt_ms, rate, window) in [
+            (2_000_000u64, 100u64, 200_000.0, CIRC_WINDOW_CELLS),
+            (3_000_000, 600, 20.0e6, CIRC_WINDOW_CELLS),
+            (400, 100, 1.0e6, CIRC_WINDOW_CELLS),
+            (2_000_000, 400, 10.0e6, 200),
+            (1, 1, 1.0, CIRC_WINDOW_CELLS),
+            (499_000, 50, 1.0e6, 100),
+        ] {
+            let mut xfer = StreamTransfer::new(bytes, SimDuration::from_millis(rtt_ms), rate);
+            xfer.window_cells = window;
+            let mut typed = Engine::with_capacity(1, xfer.expected_events());
+            let t_typed = xfer.run(&mut typed);
+            let mut reference = ReferenceEngine::with_capacity(1, xfer.expected_events());
+            let t_ref = xfer.run_reference(&mut reference);
+            assert_eq!(t_typed, t_ref, "completion diverged for {xfer:?}");
+            assert_eq!(
+                typed.events_executed(),
+                reference.events_executed(),
+                "event count diverged for {xfer:?}"
+            );
+            assert_eq!(typed.events_scheduled(), reference.events_scheduled());
+            assert_eq!(typed.now(), reference.now());
+            assert_eq!(typed.queue_high_water(), reference.queue_high_water());
+        }
+    }
+
+    #[test]
+    fn warm_engine_reuses_slab_slots_across_transfers() {
+        // Run the same transfer twice on one engine: the second pass
+        // must recycle slots the first freed instead of growing the
+        // slab, and produce the identical duration.
+        let xfer = StreamTransfer::new(500_000, SimDuration::from_millis(50), 1.0e6);
+        let mut engine = Engine::with_capacity(1, xfer.expected_events());
+        let first = xfer.run(&mut engine);
+        let reuses_cold = engine.slab_reuses();
+        let scheduled_cold = engine.events_scheduled();
+        let second = xfer.run(&mut engine);
+        assert_eq!(first, second);
+        let scheduled_warm = engine.events_scheduled() - scheduled_cold;
+        // Every single warm schedule recycled a slot.
+        assert_eq!(engine.slab_reuses() - reuses_cold, scheduled_warm);
     }
 }

@@ -10,7 +10,7 @@
 //! QoE standards: startup delay, rebuffer count, and rebuffer ratio.
 
 use ptperf_sim::fault::{FaultEvent, FaultKind};
-use ptperf_sim::{SimDuration, SimRng};
+use ptperf_sim::{Engine, SimDuration, SimEvent, SimRng};
 
 use crate::channel::{Channel, Outcome};
 use crate::faults::FaultSession;
@@ -166,6 +166,157 @@ pub fn play(channel: &Channel, media: &MediaStream, rng: &mut SimRng) -> Streami
         startup_delay,
         rebuffer_events,
         rebuffer_time,
+        rebuffer_ratio: ratio,
+        outcome: Outcome::Complete,
+    }
+}
+
+/// Event-driven variant of [`play`]: each segment download is a typed
+/// [`SimEvent::SegmentTimer`] on the [`Engine`] instead of a `wall +=`
+/// accumulation, firing when the segment lands.
+///
+/// The player bookkeeping (prebuffer fill, playout drain, hazard
+/// budget) runs in the timer handler with the rng drawn at the same
+/// points as [`play`], so the returned session is equal field-for-field
+/// — including the f64 `rebuffer_ratio` bits — to the closed form (a
+/// tested property). The engine must be dedicated to this session
+/// (fresh or idle): exactly one segment timer is pending at a time, so
+/// `Engine::with_capacity(seed, 2)` is always a right-sized hint.
+pub fn play_timed(
+    engine: &mut Engine,
+    channel: &Channel,
+    media: &MediaStream,
+    rng: &mut SimRng,
+) -> StreamingSession {
+    if rng.chance(channel.connect_failure_p) {
+        return StreamingSession {
+            startup_delay: SimDuration::ZERO,
+            rebuffer_events: 0,
+            rebuffer_time: SimDuration::ZERO,
+            rebuffer_ratio: 1.0,
+            outcome: Outcome::Failed,
+        };
+    }
+
+    let seg_bytes = media.segment_bytes();
+    let per_segment_overhead =
+        channel.stream_open + channel.per_request_extra + channel.request_rtt;
+    // The fetch-time expression is pure, so hoisting it out of the
+    // per-segment closure used by `play` is value-preserving.
+    let fetch_time = per_segment_overhead + channel.transfer_time(seg_bytes);
+
+    struct St<'a> {
+        channel: &'a Channel,
+        media: &'a MediaStream,
+        rng: &'a mut SimRng,
+        fetch_time: SimDuration,
+        total_segments: u64,
+        wall: SimDuration,
+        buffered: SimDuration,
+        fetched: u64,
+        playing: bool,
+        startup_delay: SimDuration,
+        rebuffer_events: u32,
+        rebuffer_time: SimDuration,
+        hazard_budget: Option<f64>,
+    }
+
+    /// Leave the prebuffer phase: record startup, arm the hazard clock.
+    fn begin_playback(s: &mut St<'_>) {
+        s.playing = true;
+        s.startup_delay = s.wall;
+        s.hazard_budget = if s.channel.hazard_per_sec > 0.0 {
+            Some(s.rng.exponential(1.0 / s.channel.hazard_per_sec))
+        } else {
+            None
+        };
+    }
+
+    /// Start the next segment download (one pending timer at a time).
+    fn fetch_next(engine: &mut Engine, s: &St<'_>) {
+        let idx = s.fetched as u32;
+        engine.schedule_event_in(s.fetch_time, SimEvent::SegmentTimer { idx });
+    }
+
+    let mut st = St {
+        channel,
+        media,
+        rng,
+        fetch_time,
+        total_segments: media.segments(),
+        wall: channel.setup,
+        buffered: SimDuration::ZERO,
+        fetched: 0,
+        playing: false,
+        startup_delay: SimDuration::ZERO,
+        rebuffer_events: 0,
+        rebuffer_time: SimDuration::ZERO,
+        hazard_budget: None,
+    };
+
+    // The tunnel setup happens before the first fetch; model it as
+    // simulated time so segment timers land at true wall instants.
+    engine.advance(channel.setup);
+    if st.buffered < media.prebuffer && st.fetched < st.total_segments {
+        fetch_next(engine, &st);
+    } else {
+        begin_playback(&mut st);
+        if st.fetched < st.total_segments {
+            fetch_next(engine, &st);
+        }
+    }
+
+    engine.run_typed(&mut st, |engine, s, ev| {
+        let idx = match ev {
+            SimEvent::SegmentTimer { idx } => idx,
+            other => unreachable!("streaming driver scheduled no {other:?}"),
+        };
+        debug_assert_eq!(u64::from(idx), s.fetched, "segments land in order");
+        if s.playing {
+            // Playback phase: hazard clock ticks on fetch time, then the
+            // playout buffer drains while the segment downloads.
+            if let Some(budget) = s.hazard_budget.as_mut() {
+                *budget -= s.fetch_time.as_secs_f64();
+                if *budget <= 0.0 {
+                    s.rebuffer_events += 1;
+                    s.rebuffer_time += s.channel.setup;
+                    *budget = s.rng.exponential(1.0 / s.channel.hazard_per_sec);
+                }
+            }
+            if s.fetch_time > s.buffered {
+                s.rebuffer_events += 1;
+                s.rebuffer_time += s.fetch_time - s.buffered;
+                s.buffered = SimDuration::ZERO;
+            } else {
+                s.buffered -= s.fetch_time;
+            }
+            s.buffered += s.media.segment;
+            s.fetched += 1;
+            if s.fetched < s.total_segments {
+                fetch_next(engine, s);
+            }
+        } else {
+            // Prebuffer phase: fills the buffer without draining it.
+            s.wall += s.fetch_time;
+            s.buffered += s.media.segment;
+            s.fetched += 1;
+            if s.buffered < s.media.prebuffer && s.fetched < s.total_segments {
+                fetch_next(engine, s);
+                return;
+            }
+            begin_playback(s);
+            if s.fetched < s.total_segments {
+                fetch_next(engine, s);
+            }
+        }
+    });
+
+    debug_assert!(st.playing, "every session leaves the prebuffer phase");
+    let ratio = st.rebuffer_time.as_secs_f64() / media.duration.as_secs_f64().max(1e-9);
+    StreamingSession {
+        startup_delay: st.startup_delay,
+        rebuffer_events: st.rebuffer_events,
+        rebuffer_time: st.rebuffer_time,
         rebuffer_ratio: ratio,
         outcome: Outcome::Complete,
     }
@@ -463,6 +614,79 @@ mod tests {
         }
         assert!(s.stats().injected > 0);
         assert!(s.stats().consistent());
+    }
+
+    #[test]
+    fn timed_play_matches_closed_form_bit_for_bit() {
+        // Channels spanning the interesting regimes: clean fast, under
+        // bitrate (constant stalls), latency-bound, hazard-heavy
+        // reconnects, and outright connect failure.
+        let mut cases = vec![
+            (channel(1.0e6, 0), MediaStream::video(SimDuration::from_secs(120))),
+            (channel(60_000.0, 0), MediaStream::video(SimDuration::from_secs(120))),
+            (channel(60_000.0, 0), MediaStream::audio(SimDuration::from_secs(120))),
+            (channel(2.0e6, 7_000), MediaStream::video(SimDuration::from_secs(60))),
+        ];
+        let mut fragile = channel(1.0e6, 0);
+        fragile.hazard_per_sec = 0.5;
+        fragile.setup = SimDuration::from_secs(3);
+        cases.push((fragile, MediaStream::video(SimDuration::from_secs(300))));
+        let mut flaky = channel(100_000.0, 50);
+        flaky.connect_failure_p = 0.5;
+        flaky.hazard_per_sec = 0.1;
+        cases.push((flaky, MediaStream::video(SimDuration::from_secs(120))));
+        // Degenerate prebuffer: playback starts before any fetch.
+        let mut instant = MediaStream::audio(SimDuration::from_secs(60));
+        instant.prebuffer = SimDuration::ZERO;
+        cases.push((channel(60_000.0, 0), instant));
+
+        for (ci, (ch, media)) in cases.iter().enumerate() {
+            for seed in 0..8u64 {
+                let mut a = SimRng::new(seed * 31 + ci as u64);
+                let mut b = SimRng::new(seed * 31 + ci as u64);
+                let plain = play(ch, media, &mut a);
+                let mut engine = Engine::with_capacity(seed, 2);
+                let timed = play_timed(&mut engine, ch, media, &mut b);
+                assert_eq!(plain.startup_delay, timed.startup_delay, "case {ci} seed {seed}");
+                assert_eq!(plain.rebuffer_events, timed.rebuffer_events, "case {ci} seed {seed}");
+                assert_eq!(plain.rebuffer_time, timed.rebuffer_time, "case {ci} seed {seed}");
+                assert_eq!(plain.outcome, timed.outcome, "case {ci} seed {seed}");
+                assert_eq!(
+                    plain.rebuffer_ratio.to_bits(),
+                    timed.rebuffer_ratio.to_bits(),
+                    "case {ci} seed {seed}"
+                );
+                // Both drivers must consume the rng identically.
+                assert_eq!(
+                    a.exponential(1.0).to_bits(),
+                    b.exponential(1.0).to_bits(),
+                    "case {ci} seed {seed}: rng streams diverged"
+                );
+                assert_eq!(engine.events_pending(), 0, "driver left timers armed");
+            }
+        }
+    }
+
+    #[test]
+    fn timed_play_reuses_a_warm_engine() {
+        let ch = channel(60_000.0, 0);
+        let media = MediaStream::video(SimDuration::from_secs(120));
+        let mut engine = Engine::with_capacity(5, 2);
+        let mut rng = SimRng::new(5);
+        let first = play_timed(&mut engine, &ch, &media, &mut rng);
+        let scheduled_cold = engine.events_scheduled();
+        let reuses_cold = engine.slab_reuses();
+        let mut rng = SimRng::new(5);
+        let second = play_timed(&mut engine, &ch, &media, &mut rng);
+        assert_eq!(first.rebuffer_events, second.rebuffer_events);
+        assert_eq!(first.rebuffer_time, second.rebuffer_time);
+        let warm_scheduled = engine.events_scheduled() - scheduled_cold;
+        assert!(warm_scheduled > 0);
+        assert_eq!(
+            engine.slab_reuses() - reuses_cold,
+            warm_scheduled,
+            "every warm schedule must recycle a slab slot"
+        );
     }
 
     #[test]

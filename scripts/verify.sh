@@ -24,6 +24,12 @@
 #      BENCH_unit.json; additionally asserts every warm class shows
 #      allocs_per_unit == 0 — the one structural property the pooled
 #      pipeline promises
+#   7b. engine smoke: the typed-vs-reference equivalence property suite
+#      in release mode (tie order pinned against the boxed oracle), then
+#      repro --bench-engine built with the real counting global
+#      allocator (--features count-alloc) emitting BENCH_engine.json;
+#      asserts counting_allocator is on and every warm class reports
+#      allocs_per_event == 0 — measured allocation calls, not a proxy
 #   8. bench regression gate: `repro --check-bench` compares the fresh
 #      bench output against the committed BENCH_*.json baselines with a
 #      relative-tolerance + minimum-run-count rule (PTPERF_BENCH_TOL,
@@ -160,6 +166,27 @@ while read -r allocs; do
     exit 1
   fi
 done < <(grep -o '"allocs_per_unit": [0-9.eE+-]*' "$obs_dir/BENCH_unit.json" | awk '{print $2}')
+
+echo "== engine smoke (typed wheel ≡ boxed oracle, allocation-free warm) =="
+# Tie order pinned: the property suite replays arbitrary schedules on
+# both engines and demands identical (at, seq) firing order, in the
+# same optimized build the bench measures.
+cargo test --release -q -p ptperf-sim --test engine_equivalence > /dev/null
+# The honest-allocator run: count-alloc installs a counting global
+# allocator, so allocs_per_event comes from real allocation calls.
+PTPERF_ENGINEBENCH_RUNS=20 cargo run --release -q --features count-alloc \
+  -p ptperf-bench --bin repro -- \
+  --bench-engine --bench-out "$obs_dir/BENCH_engine.json" > "$obs_dir/engine_out.txt"
+check_finite "$obs_dir/BENCH_engine.json"
+grep -q '"counting_allocator": true' "$obs_dir/BENCH_engine.json"
+# The structural promise of the slab engine: a warm typed engine never
+# allocates. Any non-zero allocs_per_event is a regression.
+while read -r allocs; do
+  if [ "$allocs" != "0" ]; then
+    echo "warm typed engine allocates: allocs_per_event=$allocs" >&2
+    exit 1
+  fi
+done < <(grep -o '"allocs_per_event": [0-9.eE+-]*' "$obs_dir/BENCH_engine.json" | awk '{print $2}')
 
 echo "== bench regression gate vs committed baselines =="
 # The statistically-gated replacement for the old warn-only awk 2x
