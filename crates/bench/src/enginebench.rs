@@ -31,16 +31,13 @@
 //! but never on thresholds: speed regressions are for the committed
 //! baseline gate (`repro --check-bench`) to catch.
 
-use std::time::Instant;
-
 use ptperf_obs::json;
 use ptperf_sim::event::reference::ReferenceEngine;
 use ptperf_sim::event::{NEAR_HORIZON_TICKS, TICK_NANOS, WHEEL_HORIZON_TICKS};
 use ptperf_sim::{Engine, SimDuration, SimEvent, SimRng, SimTime};
-use ptperf_stats::quantile;
 use ptperf_tor::stream::StreamTransfer;
 
-use crate::alloc_count;
+use crate::{alloc_count, emit};
 
 /// How many timed runs per class (override with the
 /// `PTPERF_ENGINEBENCH_RUNS` environment variable; the verify gate uses
@@ -51,18 +48,11 @@ pub const DEFAULT_RUNS: usize = 200;
 /// [`DEFAULT_RUNS`]; values below 4 are clamped up so the percentiles
 /// stay meaningful.
 pub fn runs_from_env() -> usize {
-    std::env::var("PTPERF_ENGINEBENCH_RUNS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(DEFAULT_RUNS)
-        .max(4)
+    emit::runs_from_env("PTPERF_ENGINEBENCH_RUNS", DEFAULT_RUNS)
 }
 
 fn assert_finite(name: &str, what: &str, x: f64) {
-    assert!(
-        x.is_finite(),
-        "engine bench {name}: non-finite {what} ({x}) — measurement is corrupt"
-    );
+    emit::assert_finite(&format!("engine bench {name}"), what, x);
 }
 
 /// The measured result for one class.
@@ -307,33 +297,18 @@ fn bench_class(class: &mut dyn Class, runs: usize) -> ClassResult {
     // Typed lane. The timing vector is preallocated and the engine is
     // warm, so the loop body performs no harness allocations — every
     // count the allocator reports is the engine's.
-    let mut typed_us = Vec::with_capacity(runs);
     let executed_before = typed.events_executed();
     let wheel_before = typed.wheel_hits();
     let overflow_before = typed.overflow_events();
     let reuse_before = typed.slab_reuses();
-    let allocs_before = alloc_count::allocation_calls();
-    for _ in 0..runs {
-        let t = Instant::now();
-        let sum = class.run_typed(&mut typed);
-        typed_us.push(t.elapsed().as_secs_f64() * 1e6);
-        std::hint::black_box(sum);
-    }
-    let typed_allocs = alloc_count::allocation_calls() - allocs_before;
+    let (typed_us, typed_allocs) = emit::counted_timed_runs(runs, || class.run_typed(&mut typed));
     let typed_events = typed.events_executed() - executed_before;
 
     // Reference lane on its own warm engine: the heap Vec keeps its
     // capacity, so what remains is the boxed-closure cost itself.
-    let mut ref_us = Vec::with_capacity(runs);
     let ref_executed_before = reference.events_executed();
-    let ref_allocs_before = alloc_count::allocation_calls();
-    for _ in 0..runs {
-        let t = Instant::now();
-        let sum = class.run_reference(&mut reference);
-        ref_us.push(t.elapsed().as_secs_f64() * 1e6);
-        std::hint::black_box(sum);
-    }
-    let ref_allocs = alloc_count::allocation_calls() - ref_allocs_before;
+    let (ref_us, ref_allocs) =
+        emit::counted_timed_runs(runs, || class.run_reference(&mut reference));
     let ref_events = reference.events_executed() - ref_executed_before;
     assert_eq!(
         typed_events, ref_events,
@@ -342,10 +317,8 @@ fn bench_class(class: &mut dyn Class, runs: usize) -> ClassResult {
     );
 
     let events_per_run = typed_events / runs as u64;
-    let typed_p50 = quantile(&typed_us, 0.50);
-    let typed_p95 = quantile(&typed_us, 0.95);
-    let ref_p50 = quantile(&ref_us, 0.50);
-    let ref_p95 = quantile(&ref_us, 0.95);
+    let (typed_p50, typed_p95) = emit::p50_p95(&typed_us);
+    let (ref_p50, ref_p95) = emit::p50_p95(&ref_us);
     let result = ClassResult {
         name: class.name(),
         events_per_run,
@@ -353,12 +326,8 @@ fn bench_class(class: &mut dyn Class, runs: usize) -> ClassResult {
         typed_p95_us: typed_p95,
         ref_p50_us: ref_p50,
         ref_p95_us: ref_p95,
-        speedup_p50: if typed_p50 > 0.0 { ref_p50 / typed_p50 } else { f64::INFINITY },
-        events_per_sec: if typed_p50 > 0.0 {
-            events_per_run as f64 / (typed_p50 / 1e6)
-        } else {
-            f64::INFINITY
-        },
+        speedup_p50: emit::speedup(ref_p50, typed_p50),
+        events_per_sec: emit::per_sec(events_per_run as f64, typed_p50),
         allocs_per_event: typed_allocs as f64 / typed_events.max(1) as f64,
         ref_allocs_per_event: ref_allocs as f64 / ref_events.max(1) as f64,
         wheel_hits_per_run: (typed.wheel_hits() - wheel_before) as f64 / runs as f64,
@@ -414,12 +383,13 @@ pub fn render_json(results: &[ClassResult], runs: usize) -> String {
             )
         })
         .collect();
-    format!(
-        "{{\n  \"schema\": \"ptperf-bench-engine/v1\",\n  \"runs_per_class\": {},\n  \
-         \"counting_allocator\": {},\n  \"classes\": [\n{}\n  ]\n}}\n",
+    emit::json_shell(
+        "ptperf-bench-engine/v1",
         runs,
-        alloc_count::enabled(),
-        classes.join(",\n"),
+        &[
+            format!("  \"counting_allocator\": {}", alloc_count::enabled()),
+            emit::json_array_section("classes", &classes),
+        ],
     )
 }
 

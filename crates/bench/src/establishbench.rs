@@ -20,16 +20,15 @@
 //! non-finite measurements but never on thresholds: speed regressions
 //! are for review to catch, not CI flakes.
 
-use std::time::Instant;
-
 use ptperf::scenario::Scenario;
 use ptperf_obs::json;
 use ptperf_sim::{Location, SimRng};
-use ptperf_stats::quantile;
 use ptperf_tor::ConsensusParams;
 use ptperf_transports::{
     transport_for, AccessOptions, Deployment, EstablishScratch, PtId,
 };
+
+use crate::emit;
 
 /// How many timed runs (each a fixed batch of establishes) per class
 /// (override with the `PTPERF_ESTABLISHBENCH_RUNS` environment
@@ -124,18 +123,11 @@ pub fn standard_workloads() -> Vec<Workload> {
 /// [`DEFAULT_RUNS`]; values below 4 are clamped up so the percentiles
 /// stay meaningful.
 pub fn runs_from_env() -> usize {
-    std::env::var("PTPERF_ESTABLISHBENCH_RUNS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(DEFAULT_RUNS)
-        .max(4)
+    emit::runs_from_env("PTPERF_ESTABLISHBENCH_RUNS", DEFAULT_RUNS)
 }
 
 fn assert_finite(name: &str, what: &str, x: f64) {
-    assert!(
-        x.is_finite(),
-        "establish bench {name}: non-finite {what} ({x}) — measurement is corrupt"
-    );
+    emit::assert_finite(&format!("establish bench {name}"), what, x);
 }
 
 /// Benchmarks one class: warmups prove the indexed lane is draw- and
@@ -190,35 +182,33 @@ pub fn bench_class(w: &Workload, runs: usize) -> ClassResult {
         0.0
     };
 
+    // The shared loop times the whole batch (the per-batch rng
+    // construction it now includes is a few nanoseconds against a
+    // 32-establish batch); the per-establish scaling happens after.
+    let per_establish = |batch_us: Vec<f64>| -> Vec<f64> {
+        batch_us.iter().map(|us| us / ESTABLISHES_PER_RUN as f64).collect()
+    };
     let grows_before = idx_scratch.grows();
-    let mut idx_us = Vec::with_capacity(runs);
-    for _ in 0..runs {
+    let idx_us = per_establish(emit::timed_runs(runs, || {
         let mut rng = SimRng::new(RUN_SEED);
-        let t = Instant::now();
         for _ in 0..ESTABLISHES_PER_RUN {
             let ch = transport.establish_with(&w.dep, &w.opts, Location::NewYork, &mut rng, &mut idx_scratch);
             std::hint::black_box(ch);
         }
-        idx_us.push(t.elapsed().as_secs_f64() * 1e6 / ESTABLISHES_PER_RUN as f64);
-    }
+    }));
     let grows_during = idx_scratch.grows() - grows_before;
 
-    let mut ref_us = Vec::with_capacity(runs);
-    for _ in 0..runs {
+    let ref_us = per_establish(emit::timed_runs(runs, || {
         let mut rng = SimRng::new(RUN_SEED);
-        let t = Instant::now();
         for _ in 0..ESTABLISHES_PER_RUN {
             let ch = transport.establish_with(&w.dep, &w.opts, Location::NewYork, &mut rng, &mut ref_scratch);
             std::hint::black_box(ch);
         }
-        ref_us.push(t.elapsed().as_secs_f64() * 1e6 / ESTABLISHES_PER_RUN as f64);
-    }
+    }));
 
-    let idx_p50 = quantile(&idx_us, 0.50);
-    let idx_p95 = quantile(&idx_us, 0.95);
-    let ref_p50 = quantile(&ref_us, 0.50);
-    let ref_p95 = quantile(&ref_us, 0.95);
-    let establishes_per_sec = if idx_p50 > 0.0 { 1e6 / idx_p50 } else { f64::INFINITY };
+    let (idx_p50, idx_p95) = emit::p50_p95(&idx_us);
+    let (ref_p50, ref_p95) = emit::p50_p95(&ref_us);
+    let establishes_per_sec = emit::per_sec(1.0, idx_p50);
     let total_establishes = (runs * ESTABLISHES_PER_RUN) as f64;
     let allocs_per_establish = grows_during as f64 / total_establishes;
 
@@ -243,7 +233,7 @@ pub fn bench_class(w: &Workload, runs: usize) -> ClassResult {
         ref_p50_us: ref_p50,
         ref_p95_us: ref_p95,
         establishes_per_sec,
-        speedup_p50: if idx_p50 > 0.0 { ref_p50 / idx_p50 } else { f64::INFINITY },
+        speedup_p50: emit::speedup(ref_p50, idx_p50),
         allocs_per_establish,
     }
 }
@@ -255,31 +245,19 @@ pub fn bench_deployment(runs: usize) -> DeploymentResult {
     let scenario = Scenario::baseline(21);
 
     scenario.set_deployment_caching(false);
-    let mut rebuild_us = Vec::with_capacity(runs);
-    for _ in 0..runs {
-        let t = Instant::now();
-        let dep = scenario.deployment();
-        rebuild_us.push(t.elapsed().as_secs_f64() * 1e6);
-        std::hint::black_box(dep);
-    }
+    let rebuild_us = emit::timed_runs(runs, || scenario.deployment());
 
     scenario.set_deployment_caching(true);
     let dep = scenario.deployment(); // populate the memo
     std::hint::black_box(dep);
     let saved_before = ptperf_obs::perf::snapshot();
-    let mut cached_us = Vec::with_capacity(runs);
-    for _ in 0..runs {
-        let t = Instant::now();
-        let dep = scenario.deployment();
-        cached_us.push(t.elapsed().as_secs_f64() * 1e6);
-        std::hint::black_box(dep);
-    }
+    let cached_us = emit::timed_runs(runs, || scenario.deployment());
     let rebuilds_saved = ptperf_obs::perf::snapshot()
         .delta_since(&saved_before)
         .deployment_rebuilds_saved;
 
-    let rebuild_p50 = quantile(&rebuild_us, 0.50);
-    let cached_p50 = quantile(&cached_us, 0.50);
+    let (rebuild_p50, _) = emit::p50_p95(&rebuild_us);
+    let (cached_p50, _) = emit::p50_p95(&cached_us);
     for (what, x) in [("rebuild p50", rebuild_p50), ("cached p50", cached_p50)] {
         assert_finite("deployment", what, x);
     }
@@ -287,11 +265,7 @@ pub fn bench_deployment(runs: usize) -> DeploymentResult {
     DeploymentResult {
         rebuild_p50_us: rebuild_p50,
         cached_p50_us: cached_p50,
-        speedup_p50: if cached_p50 > 0.0 {
-            rebuild_p50 / cached_p50
-        } else {
-            f64::INFINITY
-        },
+        speedup_p50: emit::speedup(rebuild_p50, cached_p50),
         rebuilds_saved,
     }
 }
@@ -332,18 +306,22 @@ pub fn render_json(results: &[ClassResult], dep: &DeploymentResult, runs: usize)
             )
         })
         .collect();
-    format!(
-        "{{\n  \"schema\": \"ptperf-bench-establish/v1\",\n  \"runs_per_class\": {},\n  \
-         \"establishes_per_run\": {},\n  \"classes\": [\n{}\n  ],\n  \
-         \"deployment\": {{\"rebuild_p50_us\": {}, \"cached_p50_us\": {}, \"speedup_p50\": {}, \
-         \"rebuilds_saved\": {}}}\n}}\n",
-        runs,
-        ESTABLISHES_PER_RUN,
-        classes.join(",\n"),
+    let dep_section = format!(
+        "  \"deployment\": {{\"rebuild_p50_us\": {}, \"cached_p50_us\": {}, \"speedup_p50\": {}, \
+         \"rebuilds_saved\": {}}}",
         json::number(dep.rebuild_p50_us),
         json::number(dep.cached_p50_us),
         json::number(dep.speedup_p50),
         dep.rebuilds_saved,
+    );
+    emit::json_shell(
+        "ptperf-bench-establish/v1",
+        runs,
+        &[
+            format!("  \"establishes_per_run\": {ESTABLISHES_PER_RUN}"),
+            emit::json_array_section("classes", &classes),
+            dep_section,
+        ],
     )
 }
 

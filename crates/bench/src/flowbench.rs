@@ -16,12 +16,11 @@
 //! the verify gate runs it in quick mode — but never on thresholds:
 //! speed regressions are for review to catch, not CI flakes.
 
-use std::time::Instant;
-
 use ptperf_obs::{json, MemoryRecorder};
 use ptperf_sim::flow::{maxmin_demo, reference};
 use ptperf_sim::{FairNetwork, FlowBatch, FluidScheduler, SimRng};
-use ptperf_stats::quantile;
+
+use crate::emit;
 
 /// How many timed runs per workload class (override with the
 /// `PTPERF_FLOWBENCH_RUNS` environment variable; the verify gate uses a
@@ -148,18 +147,11 @@ pub fn standard_workloads() -> Vec<Workload> {
 /// [`DEFAULT_RUNS`]; values below 4 are clamped up so the percentiles
 /// stay meaningful.
 pub fn runs_from_env() -> usize {
-    std::env::var("PTPERF_FLOWBENCH_RUNS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(DEFAULT_RUNS)
-        .max(4)
+    emit::runs_from_env("PTPERF_FLOWBENCH_RUNS", DEFAULT_RUNS)
 }
 
 fn assert_finite(name: &str, what: &str, x: f64) {
-    assert!(
-        x.is_finite(),
-        "flow bench {name}: non-finite {what} ({x}) — measurement is corrupt"
-    );
+    emit::assert_finite(&format!("flow bench {name}"), what, x);
 }
 
 /// Benchmarks one workload class: `runs` timed executions of the warm
@@ -186,32 +178,14 @@ pub fn bench_class(w: &Workload, runs: usize) -> ClassResult {
     }
 
     let grows_before = sched.scratch_grows();
-    let mut opt_us = Vec::with_capacity(runs);
-    for _ in 0..runs {
-        let t = Instant::now();
-        let done = sched.run(&w.net, &w.batch);
-        opt_us.push(t.elapsed().as_secs_f64() * 1e6);
-        std::hint::black_box(done);
-    }
+    let opt_us = emit::timed_runs(runs, || sched.run(&w.net, &w.batch));
     let grows_during = sched.scratch_grows() - grows_before;
 
-    let mut ref_us = Vec::with_capacity(runs);
-    for _ in 0..runs {
-        let t = Instant::now();
-        let done = reference::fluid_schedule(&w.net, &w.batch);
-        ref_us.push(t.elapsed().as_secs_f64() * 1e6);
-        std::hint::black_box(done);
-    }
+    let ref_us = emit::timed_runs(runs, || reference::fluid_schedule(&w.net, &w.batch));
 
-    let opt_p50 = quantile(&opt_us, 0.50);
-    let opt_p95 = quantile(&opt_us, 0.95);
-    let ref_p50 = quantile(&ref_us, 0.50);
-    let ref_p95 = quantile(&ref_us, 0.95);
-    let steps_per_sec = if opt_p50 > 0.0 {
-        steps_per_run as f64 / (opt_p50 / 1e6)
-    } else {
-        f64::INFINITY
-    };
+    let (opt_p50, opt_p95) = emit::p50_p95(&opt_us);
+    let (ref_p50, ref_p95) = emit::p50_p95(&ref_us);
+    let steps_per_sec = emit::per_sec(steps_per_run as f64, opt_p50);
     let total_steps = steps_per_run * runs as u64;
     let allocs_per_step = if total_steps > 0 {
         grows_during as f64 / total_steps as f64
@@ -242,7 +216,7 @@ pub fn bench_class(w: &Workload, runs: usize) -> ClassResult {
         ref_p50_us: ref_p50,
         ref_p95_us: ref_p95,
         steps_per_sec,
-        speedup_p50: if opt_p50 > 0.0 { ref_p50 / opt_p50 } else { f64::INFINITY },
+        speedup_p50: emit::speedup(ref_p50, opt_p50),
         allocs_per_step,
     }
 }
@@ -286,10 +260,10 @@ pub fn render_json(results: &[ClassResult], runs: usize) -> String {
             )
         })
         .collect();
-    format!(
-        "{{\n  \"schema\": \"ptperf-bench-flow/v1\",\n  \"runs_per_class\": {},\n  \"classes\": [\n{}\n  ]\n}}\n",
+    emit::json_shell(
+        "ptperf-bench-flow/v1",
         runs,
-        classes.join(",\n")
+        &[emit::json_array_section("classes", &classes)],
     )
 }
 

@@ -13,11 +13,13 @@
 #![warn(missing_docs)]
 
 pub mod alloc_count;
+pub mod emit;
 pub mod enginebench;
 pub mod establishbench;
 pub mod flowbench;
 pub mod obs_export;
 pub mod regress;
+pub mod streambench;
 pub mod targets;
 pub mod unitbench;
 

@@ -1,0 +1,323 @@
+//! `repro --bench-stream`: the cell-burst coalescing benchmark harness
+//! behind `BENCH_stream.json`.
+//!
+//! Companion to [`crate::enginebench`] one layer up the stack: where
+//! the engine bench times the *scheduler* (typed slab/wheel vs boxed
+//! heap) on a fixed per-cell event load, this bench times the *event
+//! load itself* — the verbatim per-cell stream driver
+//! (`StreamTransfer::run`) against the closed-form burst scheduler
+//! (`StreamTransfer::run_burst`), both on the same typed engine. The
+//! burst lane collapses each window of back-to-back cell services into
+//! one `CellBurst` event, so the headline here is the *event-count
+//! reduction* (`events_reduction`), with the wall-clock speedup
+//! following from it.
+//!
+//! Classes mirror the engine bench's stream classes so the documents
+//! line up:
+//!
+//! * `cell_stream_2mb` — the headline 2 MB transfer (~8k per-cell
+//!   events, deep window);
+//! * `cell_stream_window` — a 100-cell package window, where SENDME
+//!   stalls force frequent burst re-arms.
+//!
+//! Warmups assert the burst lane reproduces the per-cell transfer
+//! duration exactly before anything is timed — the full equivalence
+//! property (timelines, faults, counters) lives in the `ptperf-tor`
+//! and `ptperf-sim` suites. Allocation accounting is honest, as in the
+//! engine bench: with `--features count-alloc` the counting global
+//! allocator snapshots around the burst timed loop, and the verify
+//! gate insists on `allocs_per_event == 0`.
+
+use ptperf_obs::json;
+use ptperf_sim::{Engine, SimDuration};
+use ptperf_tor::stream::StreamTransfer;
+use ptperf_tor::BurstStats;
+
+use crate::{alloc_count, emit};
+
+/// How many timed runs per class (override with the
+/// `PTPERF_STREAMBENCH_RUNS` environment variable; the verify gate uses
+/// a small value).
+pub const DEFAULT_RUNS: usize = 200;
+
+/// Reads the run count from `PTPERF_STREAMBENCH_RUNS`, defaulting to
+/// [`DEFAULT_RUNS`]; values below 4 are clamped up so the percentiles
+/// stay meaningful.
+pub fn runs_from_env() -> usize {
+    emit::runs_from_env("PTPERF_STREAMBENCH_RUNS", DEFAULT_RUNS)
+}
+
+fn assert_finite(name: &str, what: &str, x: f64) {
+    emit::assert_finite(&format!("stream bench {name}"), what, x);
+}
+
+/// The measured result for one class.
+#[derive(Debug)]
+pub struct ClassResult {
+    /// Class name as it appears in `BENCH_stream.json`.
+    pub name: &'static str,
+    /// Cells the transfer services in one run.
+    pub cells_per_run: u64,
+    /// Events the per-cell lane executes in one run.
+    pub percell_events_per_run: u64,
+    /// Events the burst lane executes in one run.
+    pub burst_events_per_run: u64,
+    /// `percell_events / burst_events` — the headline reduction.
+    pub events_reduction: f64,
+    /// Per-cell lane p50 wall time per run, microseconds.
+    pub percell_p50_us: f64,
+    /// Per-cell lane p95 wall time per run, microseconds.
+    pub percell_p95_us: f64,
+    /// Burst lane p50 wall time per run, microseconds.
+    pub burst_p50_us: f64,
+    /// Burst lane p95 wall time per run, microseconds.
+    pub burst_p95_us: f64,
+    /// `percell_p50 / burst_p50` — the wall-clock speedup.
+    pub speedup_p50: f64,
+    /// Cells serviced per second at the burst p50.
+    pub cells_per_sec: f64,
+    /// Allocator calls during the warm burst timed loop divided by
+    /// events executed there. 0 is the contract; only meaningful when
+    /// [`alloc_count::enabled`] — 0 by construction otherwise.
+    pub allocs_per_event: f64,
+    /// `CellBurst` events armed per run.
+    pub bursts_per_run: u64,
+    /// Bursts cut short by a pending engine deadline per run.
+    pub splits_per_run: u64,
+}
+
+/// The standard classes — the engine bench's stream classes, so the
+/// per-cell `events_per_run` columns of the two documents agree.
+fn standard_classes() -> Vec<(&'static str, StreamTransfer)> {
+    vec![
+        (
+            "cell_stream_2mb",
+            StreamTransfer::new(2_000_000, SimDuration::from_millis(100), 1.0e6),
+        ),
+        (
+            "cell_stream_window",
+            StreamTransfer {
+                window_cells: 100,
+                ..StreamTransfer::new(499_000, SimDuration::from_millis(50), 1.0e6)
+            },
+        ),
+    ]
+}
+
+/// Benchmarks one class: warmups prove the burst lane reproduces the
+/// per-cell completion time, one untimed accounted run per lane pins
+/// the deterministic event counts, then `runs` timed loops per lane on
+/// warm engines with the allocation counter snapshotted around the
+/// burst loop.
+fn bench_class(name: &'static str, xfer: &StreamTransfer, runs: usize) -> ClassResult {
+    let mut percell = Engine::with_capacity(1, xfer.expected_events());
+    let mut burst = Engine::with_capacity(1, xfer.expected_events());
+
+    // Warmup + equivalence gate.
+    let baseline = xfer.run(&mut percell);
+    for warm in 0..3 {
+        let (got, _) = xfer.run_burst_stats(&mut burst);
+        assert_eq!(
+            got, baseline,
+            "stream bench {name}: burst lane diverged from per-cell at warmup {warm}"
+        );
+    }
+
+    // Event accounting over one untimed run each — the workloads are
+    // deterministic, so one run pins every count.
+    let before = percell.events_executed();
+    let check = xfer.run(&mut percell);
+    assert_eq!(check, baseline, "stream bench {name}: per-cell run unstable");
+    let percell_events_per_run = percell.events_executed() - before;
+    let before = burst.events_executed();
+    let (_, stats): (SimDuration, BurstStats) = xfer.run_burst_stats(&mut burst);
+    let burst_events_per_run = burst.events_executed() - before;
+
+    // Per-cell timed lane.
+    let percell_us = emit::timed_runs(runs, || xfer.run(&mut percell));
+
+    // Burst timed lane, allocation-counted: a warm engine and a
+    // preallocated timing vector leave the burst scheduler as the only
+    // possible allocator caller.
+    let executed_before = burst.events_executed();
+    let (burst_us, burst_allocs) = emit::counted_timed_runs(runs, || xfer.run_burst(&mut burst));
+    let burst_events = burst.events_executed() - executed_before;
+
+    let (percell_p50, percell_p95) = emit::p50_p95(&percell_us);
+    let (burst_p50, burst_p95) = emit::p50_p95(&burst_us);
+    let result = ClassResult {
+        name,
+        cells_per_run: xfer.total_cells(),
+        percell_events_per_run,
+        burst_events_per_run,
+        events_reduction: percell_events_per_run as f64 / burst_events_per_run.max(1) as f64,
+        percell_p50_us: percell_p50,
+        percell_p95_us: percell_p95,
+        burst_p50_us: burst_p50,
+        burst_p95_us: burst_p95,
+        speedup_p50: emit::speedup(percell_p50, burst_p50),
+        cells_per_sec: emit::per_sec(xfer.total_cells() as f64, burst_p50),
+        allocs_per_event: burst_allocs as f64 / burst_events.max(1) as f64,
+        bursts_per_run: stats.burst_events,
+        splits_per_run: stats.burst_splits,
+    };
+    assert_eq!(
+        stats.cells_coalesced,
+        xfer.total_cells(),
+        "stream bench {name}: burst lane lost cells"
+    );
+    for (what, x) in [
+        ("per-cell p50", result.percell_p50_us),
+        ("per-cell p95", result.percell_p95_us),
+        ("burst p50", result.burst_p50_us),
+        ("burst p95", result.burst_p95_us),
+        ("events reduction", result.events_reduction),
+        ("allocs/event", result.allocs_per_event),
+    ] {
+        assert_finite(result.name, what, x);
+    }
+    result
+}
+
+/// Runs every standard class and renders `BENCH_stream.json`.
+pub fn run_stream_bench(runs: usize) -> (Vec<ClassResult>, String) {
+    let results: Vec<ClassResult> = standard_classes()
+        .iter()
+        .map(|(name, xfer)| bench_class(name, xfer, runs))
+        .collect();
+    let doc = render_json(&results, runs);
+    (results, doc)
+}
+
+/// Renders the results as the `BENCH_stream.json` document.
+pub fn render_json(results: &[ClassResult], runs: usize) -> String {
+    let classes: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\": {}, \"cells_per_run\": {}, \
+                 \"percell\": {{\"p50_us\": {}, \"p95_us\": {}, \"events_per_run\": {}}}, \
+                 \"burst\": {{\"p50_us\": {}, \"p95_us\": {}, \"events_per_run\": {}}}, \
+                 \"events_reduction\": {}, \"speedup_p50\": {}, \"cells_per_sec\": {}, \
+                 \"allocs_per_event\": {}, \"bursts_per_run\": {}, \"splits_per_run\": {}}}",
+                json::string(r.name),
+                r.cells_per_run,
+                json::number(r.percell_p50_us),
+                json::number(r.percell_p95_us),
+                r.percell_events_per_run,
+                json::number(r.burst_p50_us),
+                json::number(r.burst_p95_us),
+                r.burst_events_per_run,
+                json::number(r.events_reduction),
+                json::number(r.speedup_p50),
+                json::number(r.cells_per_sec),
+                json::number(r.allocs_per_event),
+                r.bursts_per_run,
+                r.splits_per_run,
+            )
+        })
+        .collect();
+    emit::json_shell(
+        "ptperf-bench-stream/v1",
+        runs,
+        &[
+            format!("  \"counting_allocator\": {}", alloc_count::enabled()),
+            emit::json_array_section("classes", &classes),
+        ],
+    )
+}
+
+/// Renders a human-readable summary table for stdout.
+pub fn render_table(results: &[ClassResult], runs: usize) -> String {
+    let mut table = ptperf_stats::Table::new([
+        "class",
+        "cells/run",
+        "per-cell events",
+        "burst events",
+        "reduction",
+        "per-cell p50 (µs)",
+        "burst p50 (µs)",
+        "speedup",
+        "allocs/event",
+        "splits/run",
+    ]);
+    for r in results {
+        table.row([
+            r.name.to_string(),
+            r.cells_per_run.to_string(),
+            r.percell_events_per_run.to_string(),
+            r.burst_events_per_run.to_string(),
+            format!("{:.1}x", r.events_reduction),
+            format!("{:.1}", r.percell_p50_us),
+            format!("{:.1}", r.burst_p50_us),
+            format!("{:.2}x", r.speedup_p50),
+            format!("{:.4}", r.allocs_per_event),
+            r.splits_per_run.to_string(),
+        ]);
+    }
+    format!(
+        "Cell-burst coalescing benchmark — {runs} run(s) per class, counting allocator: {}\n{}",
+        if alloc_count::enabled() { "on" } else { "off (proxy-free numbers unavailable)" },
+        table.render(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_emits_valid_shape() {
+        let (results, doc) = run_stream_bench(4);
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert!(r.cells_per_run > 0, "{}: no cells", r.name);
+            assert!(
+                r.events_reduction >= 10.0,
+                "{}: only {:.1}x fewer events ({} vs {})",
+                r.name,
+                r.events_reduction,
+                r.burst_events_per_run,
+                r.percell_events_per_run
+            );
+            assert!(r.bursts_per_run > 0, "{}: no bursts armed", r.name);
+        }
+        // The tight-window class re-arms at every SENDME stall; the
+        // deep-window class still splits at its own SENDME deadlines.
+        let windowed = results.iter().find(|r| r.name == "cell_stream_window").expect("class");
+        assert!(windowed.bursts_per_run > 10, "window class barely bursts: {windowed:?}");
+        ptperf_obs::json::parse(&doc).expect("render_json must emit valid JSON");
+        assert!(doc.contains("\"schema\": \"ptperf-bench-stream/v1\""));
+        assert!(doc.contains("\"runs_per_class\": 4"));
+        assert!(doc.contains("\"counting_allocator\""));
+        assert!(doc.contains("\"cell_stream_2mb\""));
+        assert!(doc.ends_with('\n'));
+    }
+
+    #[test]
+    fn warm_burst_lane_is_allocation_free_when_counted() {
+        if !alloc_count::enabled() {
+            // Honest variant runs under `--features count-alloc` (the
+            // verify gate does); without the counting allocator this
+            // would vacuously pass on a lie.
+            return;
+        }
+        let (results, _) = run_stream_bench(4);
+        for r in results {
+            assert_eq!(
+                r.allocs_per_event, 0.0,
+                "{}: burst lane allocated while warm",
+                r.name
+            );
+        }
+    }
+
+    #[test]
+    fn table_renders_every_class() {
+        let (results, _) = run_stream_bench(4);
+        let table = render_table(&results, 4);
+        for name in ["cell_stream_2mb", "cell_stream_window"] {
+            assert!(table.contains(name), "missing {name} in:\n{table}");
+        }
+    }
+}

@@ -24,15 +24,15 @@
 //! regressions are for review to catch, not CI flakes.
 
 use std::sync::Arc;
-use std::time::Instant;
 
 use ptperf::executor::UnitScratch;
 use ptperf::scenario::Scenario;
 use ptperf_obs::{json, NullRecorder};
 use ptperf_sim::SimRng;
-use ptperf_stats::quantile;
 use ptperf_transports::{transport_for, EstablishScratch, PtId};
 use ptperf_web::{curl, filedl, load_page_pooled, load_page_reference, SiteList, Website};
+
+use crate::emit;
 
 /// How many timed runs (each one full unit) per class (override with
 /// the `PTPERF_UNITBENCH_RUNS` environment variable; the verify gate
@@ -119,18 +119,11 @@ pub fn standard_workloads() -> Vec<Workload> {
 /// [`DEFAULT_RUNS`]; values below 4 are clamped up so the percentiles
 /// stay meaningful.
 pub fn runs_from_env() -> usize {
-    std::env::var("PTPERF_UNITBENCH_RUNS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(DEFAULT_RUNS)
-        .max(4)
+    emit::runs_from_env("PTPERF_UNITBENCH_RUNS", DEFAULT_RUNS)
 }
 
 fn assert_finite(name: &str, what: &str, x: f64) {
-    assert!(
-        x.is_finite(),
-        "unit bench {name}: non-finite {what} ({x}) — measurement is corrupt"
-    );
+    emit::assert_finite(&format!("unit bench {name}"), what, x);
 }
 
 /// The fixture a class runs against: one scenario's deployment, access
@@ -225,28 +218,14 @@ pub fn bench_class(w: &Workload, runs: usize) -> ClassResult {
     }
 
     let grows_before = scratch.grows();
-    let mut opt_us = Vec::with_capacity(runs);
-    for _ in 0..runs {
-        let t = Instant::now();
-        let sum = run_unit_pooled(w, &fx, &mut scratch);
-        opt_us.push(t.elapsed().as_secs_f64() * 1e6);
-        std::hint::black_box(sum);
-    }
+    let opt_us = emit::timed_runs(runs, || run_unit_pooled(w, &fx, &mut scratch));
     let grows_during = scratch.grows() - grows_before;
 
-    let mut ref_us = Vec::with_capacity(runs);
-    for _ in 0..runs {
-        let t = Instant::now();
-        let sum = run_unit_reference(w, &fx);
-        ref_us.push(t.elapsed().as_secs_f64() * 1e6);
-        std::hint::black_box(sum);
-    }
+    let ref_us = emit::timed_runs(runs, || run_unit_reference(w, &fx));
 
-    let opt_p50 = quantile(&opt_us, 0.50);
-    let opt_p95 = quantile(&opt_us, 0.95);
-    let ref_p50 = quantile(&ref_us, 0.50);
-    let ref_p95 = quantile(&ref_us, 0.95);
-    let units_per_sec = if opt_p50 > 0.0 { 1e6 / opt_p50 } else { f64::INFINITY };
+    let (opt_p50, opt_p95) = emit::p50_p95(&opt_us);
+    let (ref_p50, ref_p95) = emit::p50_p95(&ref_us);
+    let units_per_sec = emit::per_sec(1.0, opt_p50);
     let allocs_per_unit = grows_during as f64 / runs as f64;
 
     for (what, x) in [
@@ -267,7 +246,7 @@ pub fn bench_class(w: &Workload, runs: usize) -> ClassResult {
         ref_p50_us: ref_p50,
         ref_p95_us: ref_p95,
         units_per_sec,
-        speedup_p50: if opt_p50 > 0.0 { ref_p50 / opt_p50 } else { f64::INFINITY },
+        speedup_p50: emit::speedup(ref_p50, opt_p50),
         allocs_per_unit,
     }
 }
@@ -280,31 +259,19 @@ pub fn bench_sites(runs: usize) -> SiteResult {
     let scenario = Scenario::baseline(23);
 
     scenario.set_site_caching(false);
-    let mut rebuild_us = Vec::with_capacity(runs);
-    for _ in 0..runs {
-        let t = Instant::now();
-        let sites = scenario.top_sites(SiteList::Tranco, CORPUS);
-        rebuild_us.push(t.elapsed().as_secs_f64() * 1e6);
-        std::hint::black_box(sites);
-    }
+    let rebuild_us = emit::timed_runs(runs, || scenario.top_sites(SiteList::Tranco, CORPUS));
 
     scenario.set_site_caching(true);
     let sites = scenario.top_sites(SiteList::Tranco, CORPUS); // populate the memo
     std::hint::black_box(sites);
     let saved_before = ptperf_obs::perf::snapshot();
-    let mut cached_us = Vec::with_capacity(runs);
-    for _ in 0..runs {
-        let t = Instant::now();
-        let sites = scenario.top_sites(SiteList::Tranco, CORPUS);
-        cached_us.push(t.elapsed().as_secs_f64() * 1e6);
-        std::hint::black_box(sites);
-    }
+    let cached_us = emit::timed_runs(runs, || scenario.top_sites(SiteList::Tranco, CORPUS));
     let rebuilds_saved = ptperf_obs::perf::snapshot()
         .delta_since(&saved_before)
         .site_rebuilds_saved;
 
-    let rebuild_p50 = quantile(&rebuild_us, 0.50);
-    let cached_p50 = quantile(&cached_us, 0.50);
+    let (rebuild_p50, _) = emit::p50_p95(&rebuild_us);
+    let (cached_p50, _) = emit::p50_p95(&cached_us);
     for (what, x) in [("rebuild p50", rebuild_p50), ("cached p50", cached_p50)] {
         assert_finite("sites", what, x);
     }
@@ -312,11 +279,7 @@ pub fn bench_sites(runs: usize) -> SiteResult {
     SiteResult {
         rebuild_p50_us: rebuild_p50,
         cached_p50_us: cached_p50,
-        speedup_p50: if cached_p50 > 0.0 {
-            rebuild_p50 / cached_p50
-        } else {
-            f64::INFINITY
-        },
+        speedup_p50: emit::speedup(rebuild_p50, cached_p50),
         rebuilds_saved,
     }
 }

@@ -193,6 +193,21 @@ pub const COUNTERS: &[CounterDef] = &[
         kind: CounterKind::Trace,
         doc: "simulated nanoseconds covered by a shard's phase span tree",
     },
+    CounterDef {
+        key: "stream/burst_events",
+        kind: CounterKind::Trace,
+        doc: "CellBurst events executed by the coalescing stream lane",
+    },
+    CounterDef {
+        key: "stream/burst_splits",
+        kind: CounterKind::Trace,
+        doc: "bursts truncated at arm time by a pending engine deadline",
+    },
+    CounterDef {
+        key: "stream/cells_coalesced",
+        kind: CounterKind::Trace,
+        doc: "cells advanced in closed form inside CellBurst events",
+    },
     // -- process-wide perf counters (crate::perf) ---------------------
     CounterDef {
         key: "browser/scratch_hits",

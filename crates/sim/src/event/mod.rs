@@ -51,6 +51,15 @@ pub enum SimEvent {
     },
     /// A SENDME flow-control credit arrived back at the sender.
     SendmeReturn,
+    /// A coalesced burst of `cells` back-to-back cell services finished
+    /// transmitting at the bottleneck. The burst scheduler advances the
+    /// whole arithmetic-progression cadence in closed form and fires
+    /// this single event at the last service instant; it never spans a
+    /// pending engine deadline (see [`Engine::next_deadline`]).
+    CellBurst {
+        /// How many cell services this burst coalesced.
+        cells: u32,
+    },
     /// A transfer (or phase) reached completion.
     TransferDone,
     /// A fault-plan timer fired; `idx` names the plan event it drives.

@@ -95,6 +95,13 @@ impl ReferenceEngine {
         self.queue.len()
     }
 
+    /// Firing instant of the earliest pending event, without executing
+    /// anything or moving the clock. Parity query for
+    /// [`crate::Engine::next_deadline`]; `None` when the queue is empty.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.queue.peek().map(|ev| ev.at)
+    }
+
     /// Total events ever scheduled (the sequence counter).
     pub fn events_scheduled(&self) -> u64 {
         self.seq
@@ -236,5 +243,34 @@ mod tests {
         // Release builds reach here: the event fired "now", not in the past.
         assert_eq!(*fired_at.borrow(), Some(SimTime::from_nanos(5_000_000)));
         assert_eq!(eng.now().as_nanos(), 5_000_000);
+    }
+
+    #[test]
+    fn next_deadline_matches_the_typed_engine_contract() {
+        // Same three hand-computed cases the production engine pins:
+        // empty queue, tie-at-now, and a far-future earliest event —
+        // queried without executing anything or moving the clock.
+        let mut eng = ReferenceEngine::new(1);
+        assert_eq!(eng.next_deadline(), None);
+        eng.advance(SimDuration::from_nanos(1_000));
+        assert_eq!(eng.next_deadline(), None);
+
+        // Two events at the same instant: after the first fires the
+        // second is a deadline exactly at now().
+        let seen = Rc::new(RefCell::new(None));
+        let probe = seen.clone();
+        eng.schedule_in(SimDuration::from_nanos(500), move |eng| {
+            eng.schedule_in(SimDuration::from_nanos(0), |_| {});
+            *probe.borrow_mut() = Some((eng.now().as_nanos(), eng.next_deadline()));
+        });
+        eng.run();
+        assert_eq!(*seen.borrow(), Some((1_500, Some(SimTime::from_nanos(1_500)))));
+        assert_eq!(eng.events_executed(), 2);
+
+        // Far-future earliest event: exact instant, clock untouched.
+        eng.schedule_in(SimDuration::from_secs(120), |_| {});
+        assert_eq!(eng.next_deadline(), Some(SimTime::from_nanos(1_500 + 120_000_000_000)));
+        assert_eq!(eng.now().as_nanos(), 1_500);
+        assert_eq!(eng.events_executed(), 2);
     }
 }

@@ -649,6 +649,25 @@ impl Engine {
         self.due.get(self.due_head).map(|entry| entry.at)
     }
 
+    /// Firing instant of the earliest pending event, without executing
+    /// anything or moving the clock.
+    ///
+    /// This is the query that lets closed-form drivers (the cell-burst
+    /// scheduler in `ptperf-tor`, segment batching in `ptperf-web`)
+    /// integrate analytically *between* events while never integrating
+    /// past one: a burst armed at `now()` must end at or before
+    /// `next_deadline()` (modulo the single in-flight item allowed to
+    /// cross it, mirroring per-event semantics). Finding the earliest
+    /// event may advance the wheel's internal tick cursor to cascade
+    /// far-horizon slots into the due list — observable only through
+    /// the wheel counters, never through firing order or `now()`.
+    /// Returns `None` when no events are pending. The returned instant
+    /// can equal `now()` (a tie-at-now event scheduled by the currently
+    /// running handler).
+    pub fn next_deadline(&mut self) -> Option<SimTime> {
+        self.peek_at()
+    }
+
     fn fire_prologue(&mut self, at: SimTime) {
         debug_assert!(at >= self.now, "event queue went backwards");
         self.now = at;
@@ -1055,5 +1074,59 @@ mod tests {
             fired.push((eng.now().as_nanos(), ev));
         });
         assert_eq!(fired, vec![(beyond, SimEvent::Tick { tag: 9 })]);
+    }
+
+    #[test]
+    fn next_deadline_is_none_on_an_empty_queue() {
+        let mut eng = Engine::new(1);
+        assert_eq!(eng.next_deadline(), None);
+        // Still none after the clock moves without events.
+        eng.advance(SimDuration::from_secs(5));
+        assert_eq!(eng.next_deadline(), None);
+        assert_eq!(eng.now().as_secs_f64(), 5.0);
+    }
+
+    #[test]
+    fn next_deadline_reports_a_tie_at_now() {
+        // A handler that schedules at +0 must see the new event as a
+        // deadline equal to now() — the case that forces a burst armed
+        // in the same handler down to a single crossing item.
+        let mut eng = Engine::new(1);
+        eng.schedule_event_in(SimDuration::from_nanos(1_000), SimEvent::Tick { tag: 0 });
+        let mut seen = Vec::new();
+        eng.run_typed(&mut seen, |eng, seen, ev| {
+            let SimEvent::Tick { tag } = ev else { unreachable!() };
+            if tag == 0 {
+                eng.schedule_event_in(SimDuration::from_nanos(0), SimEvent::Tick { tag: 1 });
+                seen.push((eng.now().as_nanos(), eng.next_deadline().map(SimTime::as_nanos)));
+            }
+        });
+        assert_eq!(seen, vec![(1_000, Some(1_000))]);
+        assert_eq!(eng.events_executed(), 2);
+    }
+
+    #[test]
+    fn next_deadline_finds_an_overflow_resident_event() {
+        // The earliest pending event lives beyond the far horizon, in
+        // the overflow heap: the query must surface its exact instant
+        // without firing it or moving the clock — and a nearer event
+        // scheduled after the peek must still win.
+        let mut eng = Engine::new(1);
+        let beyond = TICK_NANOS * WHEEL_HORIZON_TICKS + TICK_NANOS;
+        eng.schedule_event_in(SimDuration::from_nanos(beyond), SimEvent::Tick { tag: 9 });
+        assert_eq!(eng.overflow_events(), 1);
+        assert_eq!(eng.next_deadline(), Some(SimTime::from_nanos(beyond)));
+        assert_eq!(eng.now().as_nanos(), 0);
+        assert_eq!(eng.events_executed(), 0);
+        eng.schedule_event_in(SimDuration::from_nanos(7), SimEvent::Tick { tag: 1 });
+        assert_eq!(eng.next_deadline(), Some(SimTime::from_nanos(7)));
+        let mut fired = Vec::new();
+        eng.run_typed(&mut fired, |eng, fired, ev| {
+            fired.push((eng.now().as_nanos(), ev));
+        });
+        assert_eq!(
+            fired,
+            vec![(7, SimEvent::Tick { tag: 1 }), (beyond, SimEvent::Tick { tag: 9 })]
+        );
     }
 }

@@ -273,6 +273,16 @@ impl FaultPlan {
         self.events.is_empty()
     }
 
+    /// Builds a plan from explicit events, sorting them ascending by
+    /// `at` (stable, so ties keep their given order) — the same
+    /// invariant [`FaultPlan::generate`] establishes. For crafted
+    /// boundary cases in tests and tools; generated plans should come
+    /// from [`FaultPlan::generate`].
+    pub fn from_events(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("fault times are finite"));
+        FaultPlan { events }
+    }
+
     /// The scheduled events, ascending by `at`.
     pub fn events(&self) -> &[FaultEvent] {
         &self.events
@@ -289,6 +299,30 @@ impl FaultPlan {
             .iter()
             .filter(|e| matches!(e.kind, FaultKind::ConnectRefusal))
             .count()
+    }
+
+    /// Maps the mid-transfer events (`at > 0`) to absolute engine
+    /// instants over a fault-free body of `nominal` duration starting
+    /// at `start`: event `e` fires at `start + nominal · e.at`. The
+    /// yielded index is the event's position in [`FaultPlan::events`],
+    /// so a driver can recover the kind from a `FaultTimer { idx }`
+    /// payload.
+    ///
+    /// This is the one place the fraction→instant arithmetic lives:
+    /// event-driven drivers that pre-schedule `FaultTimer` deadlines
+    /// (the per-cell and burst stream lanes in `ptperf-tor`) share it,
+    /// so both lanes derive bit-identical fault instants by
+    /// construction.
+    pub fn mid_instants(
+        &self,
+        start: SimTime,
+        nominal: SimDuration,
+    ) -> impl Iterator<Item = (u32, SimTime, FaultKind)> + '_ {
+        self.events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.at > 0.0)
+            .map(move |(idx, e)| (idx as u32, start + nominal.mul_f64(e.at), e.kind))
     }
 
     /// Generate a plan from a channel's failure knobs, a scenario
@@ -898,6 +932,33 @@ mod tests {
         assert_eq!(run.fraction, 0.0);
         assert_eq!(run.gave_up, 1);
         assert!(run.consistent());
+    }
+
+    #[test]
+    fn from_events_sorts_and_mid_instants_maps_fractions() {
+        // Deliberately out of order: from_events must sort by fraction.
+        let plan = FaultPlan::from_events(vec![
+            FaultEvent { at: 0.75, kind: FaultKind::Abort },
+            FaultEvent { at: 0.0, kind: FaultKind::ConnectRefusal },
+            FaultEvent { at: 0.25, kind: FaultKind::Churn },
+        ]);
+        let fractions: Vec<f64> = plan.events().iter().map(|e| e.at).collect();
+        assert_eq!(fractions, vec![0.0, 0.25, 0.75]);
+
+        // mid_instants skips the connect-phase event and maps each
+        // remaining fraction onto start + fraction * nominal, keeping
+        // the plan-wide index so FaultTimer { idx } can address it.
+        let start = SimTime::from_nanos(5_000);
+        let nominal = SimDuration::from_secs(4);
+        let mids: Vec<(u32, SimTime, FaultKind)> = plan.mid_instants(start, nominal).collect();
+        assert_eq!(
+            mids,
+            vec![
+                (1, start + SimDuration::from_secs(1), FaultKind::Churn),
+                (2, start + SimDuration::from_secs(3), FaultKind::Abort),
+            ]
+        );
+        assert_eq!(plan.mid_instants(start, nominal).count(), plan.mid_events().count());
     }
 
     #[test]

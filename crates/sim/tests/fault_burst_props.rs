@@ -1,0 +1,140 @@
+//! Property tests for fault-timer × burst interleavings: the coalesced
+//! burst lane in `ptperf-tor` must be bit-for-bit equivalent to the
+//! per-cell lane under arbitrary generated fault plans — same report,
+//! same `fault/*` counter values, same RNG stream position — and the
+//! event-driven `run_transfer_timed` must keep agreeing with the
+//! closed-form `run_transfer` under the same plans.
+
+use proptest::prelude::*;
+
+use ptperf_obs::MemoryRecorder;
+use ptperf_sim::fault::{
+    FaultBias, FaultKnobs, FaultPlan, FaultProfile, RetryPolicy, TransferSpec,
+};
+use ptperf_sim::{run_transfer, run_transfer_timed, Engine, SimDuration, SimRng};
+use ptperf_tor::StreamTransfer;
+
+fn arb_knobs() -> impl Strategy<Value = FaultKnobs> {
+    (0.0f64..0.9, 0.0f64..4.0, 0.05f64..30.0).prop_map(|(p, hazard, secs)| FaultKnobs {
+        connect_failure_p: p,
+        hazard_per_sec: hazard,
+        transfer_secs: secs,
+    })
+}
+
+fn arb_profile() -> impl Strategy<Value = FaultProfile> {
+    (
+        (0.0f64..3.0, 0.0f64..4.0, 10u64..5_000),
+        (1.0f64..2.0, 0.0f64..1.0, 0usize..8),
+        (0u32..5, 1u64..2_000, any::<bool>()),
+    )
+        .prop_map(
+            |((refusal, hazard, stall_ms), (degrade, surge, max_mid), (retries, base_ms, resume))| {
+                FaultProfile {
+                    refusal_mult: refusal,
+                    hazard_mult: hazard,
+                    stall_mean: SimDuration::from_millis(stall_ms),
+                    stall_max: SimDuration::from_millis(stall_ms * 4),
+                    degrade,
+                    surge_degrade_per_load: surge,
+                    max_mid_events: max_mid,
+                    policy: RetryPolicy {
+                        max_retries: retries,
+                        base_backoff: SimDuration::from_millis(base_ms),
+                        max_backoff: SimDuration::from_millis(base_ms * 8),
+                        resume,
+                    },
+                }
+            },
+        )
+}
+
+fn arb_bias() -> impl Strategy<Value = FaultBias> {
+    (0.05f64..2.0, 0.0f64..2.0, 0.0f64..2.0)
+        .prop_map(|(abort, stall, churn)| FaultBias { abort, stall, churn })
+}
+
+fn arb_transfer() -> impl Strategy<Value = StreamTransfer> {
+    // Sizes span single-cell to multi-window transfers; rates and RTTs
+    // cover both bandwidth-bound and window-bound regimes; window 100
+    // (one SENDME increment) is the tightest live configuration.
+    (1u64..800_000, 1u64..400, 1u32..4)
+        .prop_map(|(bytes, rtt_ms, w)| StreamTransfer {
+            bytes,
+            rtt: SimDuration::from_millis(rtt_ms),
+            bottleneck_bps: [250_000.0, 1.0e6, 20.0e6][(bytes % 3) as usize],
+            window_cells: w * 100,
+        })
+}
+
+fn fault_counters(rec_into: impl Fn(&mut MemoryRecorder)) -> Vec<(String, u64)> {
+    let mut rec = MemoryRecorder::new();
+    rec_into(&mut rec);
+    let data = rec.into_data();
+    ["fault/injected", "fault/retried", "fault/recovered", "fault/gave_up"]
+        .iter()
+        .map(|k| (k.to_string(), data.counter(k).unwrap_or(0)))
+        .collect()
+}
+
+proptest! {
+    /// The coalesced burst lane replays the per-cell lane bit-for-bit
+    /// under arbitrary fault-timer interleavings: identical
+    /// `StreamFaultReport` (completion, elapsed, cells, SENDMEs, and
+    /// every fault disposition), identical recorded `fault/*` counter
+    /// values, and an untouched RNG stream on both engines.
+    #[test]
+    fn burst_lane_is_bit_for_bit_under_arbitrary_fault_plans(
+        xfer in arb_transfer(),
+        knobs in arb_knobs(),
+        profile in arb_profile(),
+        bias in arb_bias(),
+        seed in any::<u64>(),
+    ) {
+        let plan = FaultPlan::generate(&knobs, &profile, &bias, &mut SimRng::new(seed));
+
+        let mut cells = Engine::with_capacity(seed, xfer.expected_events());
+        let cell_rep = xfer.run_faulted(&mut cells, &plan, profile.policy);
+        let mut burst = Engine::with_capacity(seed, xfer.expected_events());
+        let (burst_rep, stats) = xfer.run_burst_faulted(&mut burst, &plan, profile.policy);
+
+        prop_assert_eq!(&cell_rep, &burst_rep, "lanes diverged for {:?} under {:?}", xfer, plan);
+        prop_assert!(cell_rep.consistent(), "disposition identity broken: {:?}", cell_rep);
+        prop_assert_eq!(
+            fault_counters(|r| cell_rep.record_into(r)),
+            fault_counters(|r| burst_rep.record_into(r))
+        );
+        // Every delivered cell went through a burst arm first.
+        prop_assert!(stats.cells_coalesced >= cell_rep.cells_delivered);
+        // Neither lane draws from the RNG: streams stay paired.
+        prop_assert_eq!(cells.rng().next_u64(), burst.rng().next_u64());
+        // The burst lane never schedules more events than per-cell.
+        prop_assert!(burst.events_executed() <= cells.events_executed());
+    }
+
+    /// The event-driven fault transfer stays equivalent to the
+    /// closed-form one under arbitrary generated plans — the oracle the
+    /// stream drivers' fault semantics are anchored to.
+    #[test]
+    fn timed_transfer_matches_closed_form_under_arbitrary_plans(
+        knobs in arb_knobs(),
+        profile in arb_profile(),
+        bias in arb_bias(),
+        seed in any::<u64>(),
+        head_ms in 1u64..3_000,
+        body_ms in 100u64..60_000,
+    ) {
+        let spec = TransferSpec {
+            head: SimDuration::from_millis(head_ms),
+            body: SimDuration::from_millis(body_ms),
+            resume_head: SimDuration::from_millis(head_ms / 2),
+            reconnect_head: SimDuration::from_millis(head_ms),
+            timeout: SimDuration::from_secs(1_000_000),
+        };
+        let plan = FaultPlan::generate(&knobs, &profile, &bias, &mut SimRng::new(seed));
+        let closed = run_transfer(&spec, &plan, &profile.policy);
+        let mut engine = Engine::new(seed);
+        let timed = run_transfer_timed(&mut engine, &spec, &plan, &profile.policy);
+        prop_assert_eq!(closed, timed, "timed lane diverged from closed form");
+    }
+}

@@ -49,4 +49,4 @@ pub use path::{
     SAMPLED_GUARDS,
 };
 pub use relay::{Relay, RelayFlags, RelayId};
-pub use stream::{StreamTransfer, SENDME_INCREMENT};
+pub use stream::{BurstStats, StreamFaultReport, StreamTransfer, SENDME_INCREMENT};

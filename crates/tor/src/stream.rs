@@ -19,8 +19,41 @@
 //! [`StreamTransfer::run_reference`] on the
 //! [`ReferenceEngine`], and the tests prove the two produce identical
 //! completion times and event counts.
+//!
+//! # Burst coalescing
+//!
+//! Between window-state transitions the per-cell cadence is fully
+//! deterministic: while the window is open, the next
+//! `k = min(window, cells_left)` services land at arithmetic-progression
+//! instants `t + i·cell_time`. [`StreamTransfer::run_burst`] advances
+//! those `k` cells in closed form with a single
+//! [`SimEvent::CellBurst`] event, so a transfer schedules
+//! `O(cells / SENDME_INCREMENT)` events instead of `O(cells)`.
+//!
+//! The one invariant that keeps this exact: **a burst never crosses an
+//! engine deadline**. At arm time the burst is capped at
+//! [`Engine::next_deadline`] — the earliest pending event of *any*
+//! kind (a `SendmeReturn` this lane scheduled, a pre-scheduled
+//! `FaultTimer`, a foreign `SegmentTimer` sharing the engine) — with
+//! only the single in-flight cell allowed to cross it, mirroring
+//! per-cell semantics where exactly one cell occupies the bottleneck
+//! when an interrupt fires. SENDMEs whose return instant falls inside
+//! the burst are credited at burst end (provably timing-neutral:
+//! `k ≤ window` at arm means no stall could have occurred); later ones
+//! become real `SendmeReturn` events and thus deadlines for subsequent
+//! bursts. All arithmetic is integer nanoseconds — cell `i`'s service
+//! ends at exactly `base + i·cell_time`, so interruption re-materializes
+//! the per-cell position without drift.
+//!
+//! The per-cell lane stays verbatim as the oracle; the tests prove the
+//! lanes produce identical completion times, SENDME schedules, and full
+//! send/arrival/return timelines (which pin the window trajectory),
+//! with and without fault plans ([`StreamTransfer::run_faulted`] vs
+//! [`StreamTransfer::run_burst_faulted`]).
 
+use ptperf_obs::Recorder;
 use ptperf_sim::event::reference::ReferenceEngine;
+use ptperf_sim::fault::{FaultKind, FaultPlan, RetryPolicy};
 use ptperf_sim::{Engine, SimDuration, SimEvent, SimTime};
 
 use crate::cell::RELAY_DATA_LEN;
@@ -248,6 +281,573 @@ impl StreamTransfer {
             .expect("transfer must complete: windows always reopen");
         finished.duration_since(start)
     }
+
+    /// Runs the transfer with the burst scheduler: whole window-bounded
+    /// runs of cells advance in closed form as single
+    /// [`SimEvent::CellBurst`] events (see the module docs), so the
+    /// engine executes `O(cells / SENDME_INCREMENT)` events instead of
+    /// `O(cells)`. Bit-for-bit equivalent to [`StreamTransfer::run`]
+    /// (a tested property); returns the same completion time.
+    pub fn run_burst(&self, engine: &mut Engine) -> SimDuration {
+        self.run_burst_stats(engine).0
+    }
+
+    /// Like [`StreamTransfer::run_burst`], also returning the burst
+    /// counters ([`BurstStats`]) for observability.
+    pub fn run_burst_stats(&self, engine: &mut Engine) -> (SimDuration, BurstStats) {
+        let empty = FaultPlan::empty();
+        let (rep, stats) = self.drive_burst(engine, &empty, RetryPolicy::none(), None);
+        debug_assert!(rep.completed, "fault-free burst transfer must complete");
+        (rep.elapsed, stats)
+    }
+
+    /// Runs the per-cell lane under a fault plan: `FaultTimer`s are
+    /// pre-scheduled at the plan's absolute instants
+    /// ([`FaultPlan::mid_instants`]) and interrupt the cadence exactly
+    /// where they land. Stalls and degradation are absorbed
+    /// (`recovered`); aborts/churn retry with the policy's backoff plus
+    /// one RTT of re-establishment, always resuming from the delivered
+    /// prefix, until retries exhaust (`gave_up`, terminal).
+    ///
+    /// With [`FaultPlan::empty`] this is event-for-event identical to
+    /// [`StreamTransfer::run`]. It is the oracle for
+    /// [`StreamTransfer::run_burst_faulted`].
+    pub fn run_faulted(
+        &self,
+        engine: &mut Engine,
+        plan: &FaultPlan,
+        policy: RetryPolicy,
+    ) -> StreamFaultReport {
+        self.drive_cells(engine, plan, policy, None)
+    }
+
+    /// The burst lane under the same fault plan and semantics as
+    /// [`StreamTransfer::run_faulted`] — pre-scheduled `FaultTimer`s
+    /// are pending engine deadlines, so bursts split at them by
+    /// construction. Produces a bit-identical report (a tested
+    /// property).
+    pub fn run_burst_faulted(
+        &self,
+        engine: &mut Engine,
+        plan: &FaultPlan,
+        policy: RetryPolicy,
+    ) -> (StreamFaultReport, BurstStats) {
+        self.drive_burst(engine, plan, policy, None)
+    }
+
+    /// The per-cell lane with fault handling and an optional timeline
+    /// probe. With an empty plan the event schedule is identical to
+    /// [`StreamTransfer::run`]'s.
+    fn drive_cells(
+        &self,
+        engine: &mut Engine,
+        plan: &FaultPlan,
+        policy: RetryPolicy,
+        tl: Option<&mut Timeline>,
+    ) -> StreamFaultReport {
+        struct State<'p, 't> {
+            cells_left: u64,
+            window: i64,
+            sending: bool,
+            unacked_at_client: u32,
+            finished_at: Option<SimTime>,
+            cell_time: SimDuration,
+            half_rtt: SimDuration,
+            delivered: u64,
+            sendmes: u64,
+            fault: FaultLane<'p>,
+            tl: Option<&'t mut Timeline>,
+        }
+        let start = engine.now();
+        let mut state = State {
+            cells_left: self.total_cells().max(1),
+            window: self.window_cells as i64,
+            sending: false,
+            unacked_at_client: 0,
+            finished_at: None,
+            cell_time: SimDuration::from_secs_f64(RELAY_DATA_LEN as f64 / self.bottleneck_bps),
+            half_rtt: SimDuration::from_nanos(self.rtt.as_nanos() / 2),
+            delivered: 0,
+            sendmes: 0,
+            fault: FaultLane::new(plan, policy, self.rtt),
+            tl,
+        };
+        if !state.fault.begin(engine, &mut state.cell_time, self.total_cells().max(1)) {
+            return state.fault.report(start, false, 0, 0);
+        }
+
+        fn try_send(engine: &mut Engine, s: &mut State) {
+            if s.sending
+                || s.cells_left == 0
+                || s.window <= 0
+                || s.fault.terminal
+                || engine.now() < s.fault.resume_at
+            {
+                return;
+            }
+            s.sending = true;
+            s.window -= 1;
+            s.cells_left -= 1;
+            if let Some(tl) = s.tl.as_deref_mut() {
+                tl.sends.push(engine.now().as_nanos());
+            }
+            engine.schedule_event_in(s.cell_time, SimEvent::CellService);
+        }
+
+        try_send(engine, &mut state);
+        engine.run_typed(&mut state, |engine, s, ev| match ev {
+            SimEvent::CellService => {
+                s.sending = false;
+                let last = s.cells_left == 0;
+                engine.schedule_event_in(s.half_rtt, SimEvent::CellArrival { last });
+                try_send(engine, s);
+            }
+            SimEvent::CellArrival { last } => {
+                s.delivered += 1;
+                s.unacked_at_client += 1;
+                if let Some(tl) = s.tl.as_deref_mut() {
+                    tl.arrivals.push(engine.now().as_nanos());
+                }
+                if last && s.finished_at.is_none() {
+                    s.finished_at = Some(engine.now());
+                }
+                if s.unacked_at_client >= SENDME_INCREMENT {
+                    s.unacked_at_client -= SENDME_INCREMENT;
+                    s.sendmes += 1;
+                    if let Some(tl) = s.tl.as_deref_mut() {
+                        tl.returns.push((engine.now() + s.half_rtt).as_nanos());
+                    }
+                    engine.schedule_event_in(s.half_rtt, SimEvent::SendmeReturn);
+                }
+            }
+            SimEvent::SendmeReturn => {
+                s.window += SENDME_INCREMENT as i64;
+                try_send(engine, s);
+            }
+            SimEvent::FaultTimer { idx } => {
+                let stale = s.finished_at.is_some() || (s.cells_left == 0 && !s.sending);
+                s.fault.on_fault_timer(engine, idx, &mut s.cell_time, stale);
+            }
+            SimEvent::Tick { tag } => {
+                if tag == STREAM_RESUME_TAG {
+                    try_send(engine, s);
+                }
+                // Foreign ticks sharing the engine are not ours to act
+                // on; their presence never perturbs the cadence.
+            }
+            SimEvent::SegmentTimer { .. } => {
+                // A co-resident streaming session's timer: ignored by
+                // the stream lane (it only matters to burst length).
+            }
+            other => unreachable!("per-cell stream lane scheduled no {other:?}"),
+        });
+        let completed = state.finished_at.is_some() && !state.fault.terminal;
+        let end = if state.fault.terminal {
+            state.fault.ended_at.expect("terminal fault records its instant")
+        } else {
+            state.finished_at.expect("fault-free windows always reopen")
+        };
+        state
+            .fault
+            .report(start, completed, state.delivered, state.sendmes)
+            .with_elapsed(end.duration_since(start))
+    }
+
+    /// The burst lane with fault handling and an optional timeline
+    /// probe; the timeline is synthesized in closed form inside the
+    /// burst handler, per-cell-exact.
+    fn drive_burst(
+        &self,
+        engine: &mut Engine,
+        plan: &FaultPlan,
+        policy: RetryPolicy,
+        tl: Option<&mut Timeline>,
+    ) -> (StreamFaultReport, BurstStats) {
+        struct State<'p, 't> {
+            cells_left: u64,
+            window: i64,
+            burst_pending: bool,
+            burst_base: SimTime,
+            burst_ct: SimDuration,
+            burst_k: u64,
+            unacked_at_client: u32,
+            finished_at: Option<SimTime>,
+            cell_time: SimDuration,
+            half_rtt: SimDuration,
+            delivered: u64,
+            sendmes: u64,
+            stats: BurstStats,
+            fault: FaultLane<'p>,
+            tl: Option<&'t mut Timeline>,
+        }
+        let start = engine.now();
+        let mut state = State {
+            cells_left: self.total_cells().max(1),
+            window: self.window_cells as i64,
+            burst_pending: false,
+            burst_base: start,
+            burst_ct: SimDuration::ZERO,
+            burst_k: 0,
+            unacked_at_client: 0,
+            finished_at: None,
+            cell_time: SimDuration::from_secs_f64(RELAY_DATA_LEN as f64 / self.bottleneck_bps),
+            half_rtt: SimDuration::from_nanos(self.rtt.as_nanos() / 2),
+            delivered: 0,
+            sendmes: 0,
+            stats: BurstStats::default(),
+            fault: FaultLane::new(plan, policy, self.rtt),
+            tl,
+        };
+        if !state.fault.begin(engine, &mut state.cell_time, self.total_cells().max(1)) {
+            return (state.fault.report(start, false, 0, 0), state.stats);
+        }
+
+        /// Arms the next burst: `k = min(window, cells_left)` cells,
+        /// capped so the burst ends at or before the earliest pending
+        /// engine event — except that `k` never drops below one, which
+        /// lets exactly the single in-flight cell cross a deadline,
+        /// mirroring per-cell semantics.
+        fn arm(engine: &mut Engine, s: &mut State) {
+            if s.burst_pending
+                || s.cells_left == 0
+                || s.window <= 0
+                || s.fault.terminal
+                || engine.now() < s.fault.resume_at
+            {
+                return;
+            }
+            let avail = (s.window as u64).min(s.cells_left);
+            let ct = s.cell_time;
+            let k = if ct.as_nanos() == 0 {
+                // Zero-width cells service instantaneously: the whole
+                // window lands "now" and can never cross a deadline.
+                avail
+            } else if let Some(deadline) = engine.next_deadline() {
+                let q = deadline.duration_since(engine.now()).as_nanos() / ct.as_nanos();
+                avail.min(q.max(1))
+            } else {
+                avail
+            };
+            if k < avail {
+                s.stats.burst_splits += 1;
+            }
+            s.stats.burst_events += 1;
+            s.stats.cells_coalesced += k;
+            s.window -= k as i64;
+            s.cells_left -= k;
+            s.burst_pending = true;
+            s.burst_base = engine.now();
+            s.burst_ct = ct;
+            s.burst_k = k;
+            engine.schedule_event_in(ct * k, SimEvent::CellBurst { cells: k as u32 });
+        }
+
+        arm(engine, &mut state);
+        engine.run_typed(&mut state, |engine, s, ev| match ev {
+            SimEvent::CellBurst { cells } => {
+                debug_assert_eq!(u64::from(cells), s.burst_k);
+                s.burst_pending = false;
+                let (base, ct, end) = (s.burst_base, s.burst_ct, engine.now());
+                // Re-materialize the per-cell positions in closed form:
+                // cell i's service spans [base + (i-1)·ct, base + i·ct],
+                // integer-ns exact, so the arrival and SENDME instants
+                // below are bit-identical to the per-cell lane's.
+                for i in 1..=s.burst_k {
+                    let service_end = base + ct * i;
+                    let arrive = service_end + s.half_rtt;
+                    if let Some(tl) = s.tl.as_deref_mut() {
+                        tl.sends.push((base + ct * (i - 1)).as_nanos());
+                        tl.arrivals.push(arrive.as_nanos());
+                    }
+                    s.delivered += 1;
+                    s.unacked_at_client += 1;
+                    if s.unacked_at_client >= SENDME_INCREMENT {
+                        s.unacked_at_client -= SENDME_INCREMENT;
+                        s.sendmes += 1;
+                        let return_at = arrive + s.half_rtt;
+                        if let Some(tl) = s.tl.as_deref_mut() {
+                            tl.returns.push(return_at.as_nanos());
+                        }
+                        if return_at <= end {
+                            // In-burst credit: k ≤ window at arm time,
+                            // so no send stalled on it — crediting at
+                            // burst end is timing-neutral.
+                            s.window += SENDME_INCREMENT as i64;
+                        } else {
+                            engine.schedule_event_at(return_at, SimEvent::SendmeReturn);
+                        }
+                    }
+                }
+                if s.cells_left == 0 && s.finished_at.is_none() {
+                    // Completion is the last cell's client arrival:
+                    // half an RTT past the final service instant.
+                    s.finished_at = Some(end + s.half_rtt);
+                }
+                arm(engine, s);
+            }
+            SimEvent::SendmeReturn => {
+                s.window += SENDME_INCREMENT as i64;
+                arm(engine, s);
+            }
+            SimEvent::FaultTimer { idx } => {
+                let stale = s.finished_at.is_some() || (s.cells_left == 0 && !s.burst_pending);
+                s.fault.on_fault_timer(engine, idx, &mut s.cell_time, stale);
+            }
+            SimEvent::Tick { tag } => {
+                if tag == STREAM_RESUME_TAG {
+                    arm(engine, s);
+                }
+            }
+            SimEvent::SegmentTimer { .. } => {
+                // Foreign streaming timer: only matters as a deadline.
+            }
+            other => unreachable!("burst stream lane scheduled no {other:?}"),
+        });
+        let completed = state.finished_at.is_some() && !state.fault.terminal;
+        let end = if state.fault.terminal {
+            state.fault.ended_at.expect("terminal fault records its instant")
+        } else {
+            state.finished_at.expect("fault-free windows always reopen")
+        };
+        let rep = state
+            .fault
+            .report(start, completed, state.delivered, state.sendmes)
+            .with_elapsed(end.duration_since(start));
+        (rep, state.stats)
+    }
+}
+
+/// Tag for the stream lanes' self-scheduled resume ticks (stall and
+/// retry-backoff wakeups), distinguishing them from foreign ticks on a
+/// shared engine.
+const STREAM_RESUME_TAG: u32 = 0x5354_5245;
+
+/// Burst-lane counters: how much event-count leverage the coalescing
+/// bought on one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BurstStats {
+    /// `CellBurst` events fired.
+    pub burst_events: u64,
+    /// Cell services advanced in closed form inside those bursts.
+    pub cells_coalesced: u64,
+    /// Bursts the engine deadline forced shorter than the open window
+    /// allowed (window exhaustion and transfer completion are natural
+    /// burst ends, not splits).
+    pub burst_splits: u64,
+}
+
+impl BurstStats {
+    /// Dump the burst counters into a [`Recorder`]. Purely
+    /// observational: reads counters the lane maintains anyway.
+    pub fn record_into(&self, rec: &mut dyn Recorder) {
+        rec.add("stream/burst_events", self.burst_events);
+        rec.add("stream/burst_splits", self.burst_splits);
+        rec.add("stream/cells_coalesced", self.cells_coalesced);
+    }
+}
+
+/// Outcome of a faulted stream transfer — identical across the
+/// per-cell and burst lanes (a tested property). The disposition
+/// counters satisfy `injected == retried + recovered + gave_up`, the
+/// same invariant as [`ptperf_sim::fault::FaultRun`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamFaultReport {
+    /// Every cell reached the client and no fault was terminal.
+    pub completed: bool,
+    /// Completion instant minus start for completed runs; the terminal
+    /// fault's instant minus start otherwise.
+    pub elapsed: SimDuration,
+    /// Cells that reached (or are committed to reach) the client.
+    pub cells_delivered: u64,
+    /// SENDME credits the client issued.
+    pub sendmes: u64,
+    /// Fault events that fired (stale ones past completion excluded).
+    pub injected: u64,
+    /// Events answered with a retry (backoff paid, transfer resumed).
+    pub retried: u64,
+    /// Events absorbed without a retry (stalls, degradation).
+    pub recovered: u64,
+    /// Events that were terminal: retries exhausted.
+    pub gave_up: u64,
+}
+
+impl StreamFaultReport {
+    /// The disposition invariant the fault subsystem checks end to end.
+    pub fn consistent(&self) -> bool {
+        self.injected == self.retried + self.recovered + self.gave_up
+    }
+
+    /// Dump the disposition counters into a [`Recorder`], under the
+    /// same `fault/*` keys the closed-form driver uses.
+    pub fn record_into(&self, rec: &mut dyn Recorder) {
+        rec.add("fault/gave_up", self.gave_up);
+        rec.add("fault/injected", self.injected);
+        rec.add("fault/recovered", self.recovered);
+        rec.add("fault/retried", self.retried);
+    }
+
+    fn with_elapsed(mut self, elapsed: SimDuration) -> Self {
+        self.elapsed = elapsed;
+        self
+    }
+}
+
+/// Per-cell-semantics event timeline: the instants of every send,
+/// client arrival, and SENDME return. The burst lane synthesizes it in
+/// closed form; equality with the per-cell lane's recording pins the
+/// entire window trajectory, since
+/// `window(t) = w₀ − sends(≤t) + 100·returns(≤t)`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct Timeline {
+    sends: Vec<u64>,
+    arrivals: Vec<u64>,
+    returns: Vec<u64>,
+}
+
+/// The fault half of a stream lane, shared verbatim by the per-cell
+/// and burst drivers so their fault semantics cannot drift apart:
+/// connect-phase handling, `FaultTimer` dispatch, and the
+/// pause/resume gate (`resume_at` plus a self-scheduled resume tick).
+struct FaultLane<'p> {
+    plan: &'p FaultPlan,
+    policy: RetryPolicy,
+    /// Cost of re-establishing the circuit after an abort/churn: one
+    /// full RTT, paid on top of the policy backoff.
+    reconnect: SimDuration,
+    /// Sends are gated until this instant (stall or retry backoff).
+    resume_at: SimTime,
+    attempt: u32,
+    /// Retries exhausted: the transfer stops sending for good.
+    terminal: bool,
+    ended_at: Option<SimTime>,
+    injected: u64,
+    retried: u64,
+    recovered: u64,
+    gave_up: u64,
+}
+
+impl<'p> FaultLane<'p> {
+    fn new(plan: &'p FaultPlan, policy: RetryPolicy, reconnect: SimDuration) -> Self {
+        FaultLane {
+            plan,
+            policy,
+            reconnect,
+            resume_at: SimTime::ZERO,
+            attempt: 0,
+            terminal: false,
+            ended_at: None,
+            injected: 0,
+            retried: 0,
+            recovered: 0,
+            gave_up: 0,
+        }
+    }
+
+    /// Runs the connect phase in closed form (refusals burn retries,
+    /// degradation rescales `cell_time`, stalls delay the start), then
+    /// pre-schedules one `FaultTimer` per mid-transfer event at its
+    /// absolute instant over the nominal (fault-free, post-connect)
+    /// body duration. Returns false when the connect phase was
+    /// terminal — nothing is scheduled and no bytes will move.
+    fn begin(&mut self, engine: &mut Engine, cell_time: &mut SimDuration, cells: u64) -> bool {
+        let mut delay = SimDuration::ZERO;
+        for e in self.plan.events().iter().filter(|e| e.at <= 0.0) {
+            self.injected += 1;
+            match e.kind {
+                FaultKind::Degrade(f) => {
+                    self.recovered += 1;
+                    *cell_time = cell_time.mul_f64(f.max(1.0));
+                }
+                FaultKind::Stall(d) => {
+                    self.recovered += 1;
+                    delay += d;
+                }
+                FaultKind::ConnectRefusal | FaultKind::Abort | FaultKind::Churn => {
+                    if self.attempt >= self.policy.max_retries {
+                        self.gave_up += 1;
+                        self.terminal = true;
+                    } else {
+                        self.retried += 1;
+                        delay = delay + self.reconnect + self.policy.backoff(self.attempt);
+                        self.attempt += 1;
+                    }
+                }
+            }
+            if self.terminal {
+                break;
+            }
+        }
+        if delay > SimDuration::ZERO {
+            engine.advance(delay);
+        }
+        if self.terminal {
+            self.ended_at = Some(engine.now());
+            return false;
+        }
+        let start = engine.now();
+        let nominal = *cell_time * cells;
+        for (idx, at, _) in self.plan.mid_instants(start, nominal) {
+            engine.schedule_event_at(at, SimEvent::FaultTimer { idx });
+        }
+        true
+    }
+
+    /// Dispatches a pre-scheduled fault timer. `stale` means the
+    /// transfer already committed every cell to the wire (or finished):
+    /// the event no longer has anything to act on and is not counted.
+    fn on_fault_timer(&mut self, engine: &mut Engine, idx: u32, cell_time: &mut SimDuration, stale: bool) {
+        if stale || self.terminal {
+            return;
+        }
+        let kind = self.plan.events()[idx as usize].kind;
+        self.injected += 1;
+        match kind {
+            FaultKind::Stall(d) => {
+                self.recovered += 1;
+                let until = engine.now() + d;
+                self.pause_until(engine, until);
+            }
+            FaultKind::Degrade(f) => {
+                self.recovered += 1;
+                *cell_time = cell_time.mul_f64(f.max(1.0));
+            }
+            FaultKind::Abort | FaultKind::Churn | FaultKind::ConnectRefusal => {
+                if self.attempt >= self.policy.max_retries {
+                    self.gave_up += 1;
+                    self.terminal = true;
+                    self.ended_at = Some(engine.now());
+                } else {
+                    self.retried += 1;
+                    let until = engine.now() + self.reconnect + self.policy.backoff(self.attempt);
+                    self.attempt += 1;
+                    self.pause_until(engine, until);
+                }
+            }
+        }
+    }
+
+    /// Gates sends until `until`, arming a resume tick when the gate
+    /// actually moved (later stalls inside an earlier pause are
+    /// absorbed without a new tick).
+    fn pause_until(&mut self, engine: &mut Engine, until: SimTime) {
+        if until > self.resume_at {
+            self.resume_at = until;
+            engine.schedule_event_at(until, SimEvent::Tick { tag: STREAM_RESUME_TAG });
+        }
+    }
+
+    fn report(&self, start: SimTime, completed: bool, delivered: u64, sendmes: u64) -> StreamFaultReport {
+        StreamFaultReport {
+            completed,
+            elapsed: self.ended_at.map_or(SimDuration::ZERO, |e| e.duration_since(start)),
+            cells_delivered: delivered,
+            sendmes,
+            injected: self.injected,
+            retried: self.retried,
+            recovered: self.recovered,
+            gave_up: self.gave_up,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -405,5 +1005,296 @@ mod tests {
         let scheduled_warm = engine.events_scheduled() - scheduled_cold;
         // Every single warm schedule recycled a slot.
         assert_eq!(engine.slab_reuses() - reuses_cold, scheduled_warm);
+    }
+
+    // ===== burst-lane equivalence =====
+
+    use ptperf_sim::fault::{FaultBias, FaultEvent, FaultKnobs, FaultProfile};
+    use ptperf_sim::SimRng;
+
+    /// Drives both lanes on fresh engines and asserts the full
+    /// equivalence contract: identical report, identical
+    /// send/arrival/return timeline (which pins the window trajectory),
+    /// untouched RNG stream, consistent disposition counters.
+    fn compare_lanes(
+        xfer: &StreamTransfer,
+        plan: &FaultPlan,
+        policy: RetryPolicy,
+    ) -> (StreamFaultReport, BurstStats, u64, u64) {
+        let mut cell_tl = Timeline::default();
+        let mut cells = Engine::with_capacity(11, xfer.expected_events());
+        let cell_rep = xfer.drive_cells(&mut cells, plan, policy, Some(&mut cell_tl));
+        let mut burst_tl = Timeline::default();
+        let mut burst = Engine::with_capacity(11, xfer.expected_events());
+        let (burst_rep, stats) = xfer.drive_burst(&mut burst, plan, policy, Some(&mut burst_tl));
+        assert_eq!(cell_rep, burst_rep, "report diverged for {xfer:?} under {plan:?}");
+        assert_eq!(cell_tl, burst_tl, "timeline diverged for {xfer:?} under {plan:?}");
+        assert!(cell_rep.consistent(), "disposition identity broken: {cell_rep:?}");
+        // Neither lane draws from the engine RNG: stream positions stay
+        // paired after the runs.
+        assert_eq!(cells.rng().next_u64(), burst.rng().next_u64());
+        (cell_rep, stats, cells.events_executed(), burst.events_executed())
+    }
+
+    #[test]
+    fn burst_lane_matches_per_cell_across_generated_grids() {
+        let mut checked = 0u32;
+        for &bytes in &[1u64, 400, 50_000, 499_000, 2_000_000] {
+            for &rtt_ms in &[1u64, 50, 400] {
+                for &rate in &[200_000.0f64, 1.0e6, 20.0e6] {
+                    for &window in &[1u32, 100, CIRC_WINDOW_CELLS] {
+                        let mut xfer =
+                            StreamTransfer::new(bytes, SimDuration::from_millis(rtt_ms), rate);
+                        xfer.window_cells = window;
+                        // A window below the SENDME increment deadlocks
+                        // any transfer larger than the window (no credit
+                        // ever accrues) — in both lanes; skip those.
+                        if u64::from(window) < u64::from(SENDME_INCREMENT)
+                            && xfer.total_cells().max(1) > u64::from(window)
+                        {
+                            continue;
+                        }
+                        let (rep, stats, cell_ev, burst_ev) =
+                            compare_lanes(&xfer, &FaultPlan::empty(), RetryPolicy::none());
+                        assert!(rep.completed, "{xfer:?}");
+                        assert_eq!(rep.cells_delivered, xfer.total_cells().max(1));
+                        assert_eq!(stats.cells_coalesced, xfer.total_cells().max(1));
+                        assert!(burst_ev <= cell_ev, "{xfer:?}");
+                        checked += 1;
+                    }
+                }
+            }
+        }
+        assert!(checked >= 100, "grid shrank to {checked} cases");
+    }
+
+    #[test]
+    fn burst_lane_matches_per_cell_on_crafted_boundaries() {
+        for xfer in [
+            // window = 1, single-cell transfer.
+            StreamTransfer {
+                bytes: 1,
+                rtt: SimDuration::from_millis(10),
+                bottleneck_bps: 1.0e6,
+                window_cells: 1,
+            },
+            // cell_time rounds to 0 ns: the whole window services
+            // instantaneously.
+            StreamTransfer {
+                bytes: 200_000,
+                rtt: SimDuration::from_millis(10),
+                bottleneck_bps: 1.0e15,
+                window_cells: CIRC_WINDOW_CELLS,
+            },
+            // 1 ns cells with an odd RTT (half-RTT floors to 3 ns).
+            StreamTransfer {
+                bytes: 200_000,
+                rtt: SimDuration::from_nanos(7),
+                bottleneck_bps: 4.98e11,
+                window_cells: 100,
+            },
+            // 1 ms cells, 2 ms RTT: every SENDME return and the
+            // completion instant land exactly on the service grid
+            // (completion-on-sendme-tie).
+            StreamTransfer {
+                bytes: 499_000,
+                rtt: SimDuration::from_millis(2),
+                bottleneck_bps: 498_000.0,
+                window_cells: 100,
+            },
+            StreamTransfer {
+                bytes: 499_000,
+                rtt: SimDuration::from_millis(2),
+                bottleneck_bps: 498_000.0,
+                window_cells: 200,
+            },
+        ] {
+            let (rep, _, _, _) = compare_lanes(&xfer, &FaultPlan::empty(), RetryPolicy::none());
+            assert!(rep.completed, "{xfer:?}");
+            // The burst lane's completion agrees with the verbatim
+            // per-cell production path too.
+            let mut engine = Engine::with_capacity(1, xfer.expected_events());
+            assert_eq!(rep.elapsed, xfer.run(&mut engine), "{xfer:?}");
+        }
+    }
+
+    #[test]
+    fn empty_plan_per_cell_lane_is_exactly_run() {
+        // The faulted per-cell driver with no plan must replay `run`
+        // event for event: same duration, same event counts, same final
+        // clock — so chaining run ≡ drive_cells ≡ drive_burst is sound.
+        for (bytes, rtt_ms, rate, window) in [
+            (2_000_000u64, 100u64, 200_000.0, CIRC_WINDOW_CELLS),
+            (499_000, 50, 1.0e6, 100),
+            (1, 1, 1.0, CIRC_WINDOW_CELLS),
+        ] {
+            let mut xfer = StreamTransfer::new(bytes, SimDuration::from_millis(rtt_ms), rate);
+            xfer.window_cells = window;
+            let mut plain = Engine::with_capacity(1, xfer.expected_events());
+            let t_plain = xfer.run(&mut plain);
+            let mut faulted = Engine::with_capacity(1, xfer.expected_events());
+            let rep = xfer.run_faulted(&mut faulted, &FaultPlan::empty(), RetryPolicy::none());
+            assert_eq!(rep.elapsed, t_plain);
+            assert!(rep.completed);
+            assert_eq!(faulted.events_executed(), plain.events_executed());
+            assert_eq!(faulted.events_scheduled(), plain.events_scheduled());
+            assert_eq!(faulted.now(), plain.now());
+        }
+    }
+
+    #[test]
+    fn faulted_lanes_agree_on_crafted_plans() {
+        let xfer = StreamTransfer::new(499_000, SimDuration::from_millis(50), 1.0e6);
+        let stall = |ms| FaultKind::Stall(SimDuration::from_millis(ms));
+        let plans = [
+            // A stall landing mid-burst.
+            FaultPlan::from_events(vec![FaultEvent { at: 0.37, kind: stall(250) }]),
+            // A zero-length stall: a pure deadline that perturbs
+            // nothing but forces a burst split.
+            FaultPlan::from_events(vec![FaultEvent { at: 0.5, kind: stall(0) }]),
+            // Mid-transfer degradation rescales the cadence.
+            FaultPlan::from_events(vec![FaultEvent {
+                at: 0.25,
+                kind: FaultKind::Degrade(1.75),
+            }]),
+            // An abort answered by the retry budget (or terminal,
+            // depending on the policy below).
+            FaultPlan::from_events(vec![FaultEvent { at: 0.6, kind: FaultKind::Abort }]),
+            // Churn + two aborts: exhausts the standard two retries.
+            FaultPlan::from_events(vec![
+                FaultEvent { at: 0.2, kind: FaultKind::Churn },
+                FaultEvent { at: 0.4, kind: FaultKind::Abort },
+                FaultEvent { at: 0.8, kind: FaultKind::Abort },
+            ]),
+            // Connect phase: a refusal and degradation before any
+            // bytes, then a mid-transfer stall.
+            FaultPlan::from_events(vec![
+                FaultEvent { at: 0.0, kind: FaultKind::ConnectRefusal },
+                FaultEvent { at: 0.0, kind: FaultKind::Degrade(1.2) },
+                FaultEvent { at: 0.5, kind: stall(100) },
+            ]),
+            // Two stalls whose pause windows overlap.
+            FaultPlan::from_events(vec![
+                FaultEvent { at: 0.3, kind: stall(400) },
+                FaultEvent { at: 0.31, kind: stall(10) },
+            ]),
+        ];
+        for plan in &plans {
+            for policy in [RetryPolicy::standard(), RetryPolicy::none()] {
+                let (rep, _, _, _) = compare_lanes(&xfer, plan, policy);
+                assert!(rep.injected > 0, "plan never fired: {plan:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_lanes_agree_on_generated_plans() {
+        // Seeded random plans over the aggressive profile: stalls,
+        // degradation, aborts, churn, and refusals in one pot.
+        let mut rng = SimRng::new(0xB0057);
+        let profile = FaultProfile::aggressive();
+        for case in 0u64..40 {
+            let bytes = 10_000 + (case % 7) * 150_000;
+            let rtt = SimDuration::from_millis(10 + (case % 5) * 90);
+            let rate = [200_000.0, 1.0e6, 5.0e6][(case % 3) as usize];
+            let xfer = StreamTransfer::new(bytes, rtt, rate);
+            let knobs = FaultKnobs {
+                connect_failure_p: 0.25,
+                hazard_per_sec: 3.0,
+                transfer_secs: xfer.predicted().as_secs_f64(),
+            };
+            let plan = FaultPlan::generate(&knobs, &profile, &FaultBias::balanced(), &mut rng);
+            compare_lanes(&xfer, &plan, profile.policy);
+        }
+    }
+
+    #[test]
+    fn bursts_split_at_a_pending_foreign_deadline() {
+        // A co-resident SegmentTimer pending mid-transfer: the burst
+        // lane must split there (never integrate past it) and still
+        // reproduce the per-cell lane — and the undisturbed result.
+        let xfer = StreamTransfer::new(499_000, SimDuration::from_millis(50), 1.0e6);
+        let mut plain = Engine::with_capacity(1, xfer.expected_events());
+        let (t_plain, base_stats) = xfer.run_burst_stats(&mut plain);
+
+        let foreign_at = SimDuration::from_millis(120);
+        let mut cell_tl = Timeline::default();
+        let mut cells = Engine::with_capacity(1, xfer.expected_events());
+        cells.schedule_event_in(foreign_at, SimEvent::SegmentTimer { idx: 7 });
+        let cell_rep = xfer.drive_cells(&mut cells, &FaultPlan::empty(), RetryPolicy::none(), Some(&mut cell_tl));
+
+        let mut burst_tl = Timeline::default();
+        let mut burst = Engine::with_capacity(1, xfer.expected_events());
+        burst.schedule_event_in(foreign_at, SimEvent::SegmentTimer { idx: 7 });
+        let (burst_rep, stats) = xfer.drive_burst(&mut burst, &FaultPlan::empty(), RetryPolicy::none(), Some(&mut burst_tl));
+
+        assert_eq!(cell_rep, burst_rep);
+        assert_eq!(cell_tl, burst_tl);
+        assert_eq!(burst_rep.elapsed, t_plain, "a foreign event must never perturb the transfer");
+        assert!(
+            stats.burst_splits > base_stats.burst_splits,
+            "the pending foreign deadline must force a split: {stats:?} vs {base_stats:?}"
+        );
+    }
+
+    #[test]
+    fn burst_lane_cuts_event_count_by_an_order_of_magnitude() {
+        // The headline bench class: 2 MB over a 1 MB/s bottleneck.
+        let xfer = StreamTransfer::new(2_000_000, SimDuration::from_millis(100), 1.0e6);
+        let mut cells = Engine::new(1);
+        let t_cells = xfer.run(&mut cells);
+        let mut burst = Engine::new(1);
+        let (t_burst, stats) = xfer.run_burst_stats(&mut burst);
+        assert_eq!(t_cells, t_burst);
+        assert_eq!(stats.cells_coalesced, xfer.total_cells());
+        assert!(
+            burst.events_executed() * 10 <= cells.events_executed(),
+            "only {}x fewer events ({} vs {})",
+            cells.events_executed() / burst.events_executed().max(1),
+            burst.events_executed(),
+            cells.events_executed()
+        );
+    }
+
+    #[test]
+    fn warm_burst_engine_reuses_slab_slots() {
+        let xfer = StreamTransfer::new(500_000, SimDuration::from_millis(50), 1.0e6);
+        let mut engine = Engine::with_capacity(1, xfer.expected_events());
+        let first = xfer.run_burst(&mut engine);
+        let reuses_cold = engine.slab_reuses();
+        let scheduled_cold = engine.events_scheduled();
+        let second = xfer.run_burst(&mut engine);
+        assert_eq!(first, second);
+        let scheduled_warm = engine.events_scheduled() - scheduled_cold;
+        assert!(scheduled_warm > 0);
+        // Every single warm schedule recycled a slot.
+        assert_eq!(engine.slab_reuses() - reuses_cold, scheduled_warm);
+    }
+
+    #[test]
+    fn burst_stats_and_fault_report_export_their_counters() {
+        let xfer = StreamTransfer::new(499_000, SimDuration::from_millis(50), 1.0e6);
+        let mut engine = Engine::new(1);
+        let (_, stats) = xfer.run_burst_stats(&mut engine);
+        let mut rec = ptperf_obs::MemoryRecorder::new();
+        stats.record_into(&mut rec);
+        let data = rec.into_data();
+        assert_eq!(data.counter("stream/burst_events"), Some(stats.burst_events));
+        assert_eq!(data.counter("stream/cells_coalesced"), Some(xfer.total_cells()));
+        assert_eq!(data.counter("stream/burst_splits"), Some(stats.burst_splits));
+
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            at: 0.5,
+            kind: FaultKind::Stall(SimDuration::from_millis(20)),
+        }]);
+        let mut engine = Engine::new(1);
+        let rep = xfer.run_faulted(&mut engine, &plan, RetryPolicy::standard());
+        let mut rec = ptperf_obs::MemoryRecorder::new();
+        rep.record_into(&mut rec);
+        let data = rec.into_data();
+        assert_eq!(data.counter("fault/injected"), Some(1));
+        assert_eq!(data.counter("fault/recovered"), Some(1));
+        assert_eq!(data.counter("fault/retried"), Some(0));
+        assert_eq!(data.counter("fault/gave_up"), Some(0));
     }
 }

@@ -171,16 +171,25 @@ pub fn play(channel: &Channel, media: &MediaStream, rng: &mut SimRng) -> Streami
     }
 }
 
-/// Event-driven variant of [`play`]: each segment download is a typed
-/// [`SimEvent::SegmentTimer`] on the [`Engine`] instead of a `wall +=`
-/// accumulation, firing when the segment lands.
+/// Event-driven variant of [`play`]: segment downloads ride typed
+/// [`SimEvent::SegmentTimer`] events on the [`Engine`] instead of a
+/// `wall +=` accumulation, firing when the segments land.
 ///
-/// The player bookkeeping (prebuffer fill, playout drain, hazard
-/// budget) runs in the timer handler with the rng drawn at the same
-/// points as [`play`], so the returned session is equal field-for-field
-/// — including the f64 `rebuffer_ratio` bits — to the closed form (a
-/// tested property). The engine must be dedicated to this session
-/// (fresh or idle): exactly one segment timer is pending at a time, so
+/// The fetch time is session-constant and the per-segment bookkeeping
+/// never reads the engine clock, so consecutive downloads coalesce: one
+/// timer covers a whole batch of back-to-back segments (its `idx` names
+/// the batch's last segment) and the handler replays the per-segment
+/// arithmetic — prebuffer fill, playout drain, hazard budget, rng draws
+/// — in exact order inside the batch. Batches obey the same invariant
+/// as the cell-burst scheduler in `ptperf-tor`: a batch never
+/// integrates past a pending engine deadline
+/// ([`Engine::next_deadline`]), so co-resident timers split it instead
+/// of being skipped. Foreign [`SimEvent::Tick`] events are ignored;
+/// they only constrain batch length.
+///
+/// The returned session is equal field-for-field — including the f64
+/// `rebuffer_ratio` bits — to the closed form (a tested property).
+/// Exactly one segment timer is pending at a time, so
 /// `Engine::with_capacity(seed, 2)` is always a right-sized hint.
 pub fn play_timed(
     engine: &mut Engine,
@@ -232,10 +241,24 @@ pub fn play_timed(
         };
     }
 
-    /// Start the next segment download (one pending timer at a time).
+    /// Start the next segment-batch download (one pending timer at a
+    /// time): up to every remaining segment coalesces into one timer,
+    /// capped so the batch never crosses the engine's next pending
+    /// deadline. The `max(1)` keeps exactly one in-flight download
+    /// allowed to span a deadline, mirroring the per-cell semantics.
     fn fetch_next(engine: &mut Engine, s: &St<'_>) {
-        let idx = s.fetched as u32;
-        engine.schedule_event_in(s.fetch_time, SimEvent::SegmentTimer { idx });
+        let remaining = s.total_segments - s.fetched;
+        let ft = s.fetch_time.as_nanos();
+        let batch = if ft == 0 {
+            remaining
+        } else if let Some(deadline) = engine.next_deadline() {
+            let q = deadline.duration_since(engine.now()).as_nanos() / ft;
+            remaining.min(q.max(1))
+        } else {
+            remaining
+        };
+        let last = (s.fetched + batch - 1) as u32;
+        engine.schedule_event_in(s.fetch_time * batch, SimEvent::SegmentTimer { idx: last });
     }
 
     let mut st = St {
@@ -267,47 +290,53 @@ pub fn play_timed(
     }
 
     engine.run_typed(&mut st, |engine, s, ev| {
-        let idx = match ev {
-            SimEvent::SegmentTimer { idx } => idx,
+        let last = match ev {
+            SimEvent::SegmentTimer { idx } => u64::from(idx),
+            // Co-resident traffic on a shared engine: it constrained the
+            // batch length at arm time, nothing to do when it fires.
+            SimEvent::Tick { .. } => return,
             other => unreachable!("streaming driver scheduled no {other:?}"),
         };
-        debug_assert_eq!(u64::from(idx), s.fetched, "segments land in order");
-        if s.playing {
-            // Playback phase: hazard clock ticks on fetch time, then the
-            // playout buffer drains while the segment downloads.
-            if let Some(budget) = s.hazard_budget.as_mut() {
-                *budget -= s.fetch_time.as_secs_f64();
-                if *budget <= 0.0 {
+        debug_assert!(
+            last >= s.fetched && last < s.total_segments,
+            "segment batches land in order"
+        );
+        // Replay each segment of the batch in exact closed-form order;
+        // the prebuffer → playback transition and every rng draw happen
+        // at the same per-segment points as `play`.
+        for _ in s.fetched..=last {
+            if s.playing {
+                // Playback phase: hazard clock ticks on fetch time, then
+                // the playout buffer drains while the segment downloads.
+                if let Some(budget) = s.hazard_budget.as_mut() {
+                    *budget -= s.fetch_time.as_secs_f64();
+                    if *budget <= 0.0 {
+                        s.rebuffer_events += 1;
+                        s.rebuffer_time += s.channel.setup;
+                        *budget = s.rng.exponential(1.0 / s.channel.hazard_per_sec);
+                    }
+                }
+                if s.fetch_time > s.buffered {
                     s.rebuffer_events += 1;
-                    s.rebuffer_time += s.channel.setup;
-                    *budget = s.rng.exponential(1.0 / s.channel.hazard_per_sec);
+                    s.rebuffer_time += s.fetch_time - s.buffered;
+                    s.buffered = SimDuration::ZERO;
+                } else {
+                    s.buffered -= s.fetch_time;
+                }
+                s.buffered += s.media.segment;
+                s.fetched += 1;
+            } else {
+                // Prebuffer phase: fills the buffer without draining it.
+                s.wall += s.fetch_time;
+                s.buffered += s.media.segment;
+                s.fetched += 1;
+                if s.buffered >= s.media.prebuffer || s.fetched >= s.total_segments {
+                    begin_playback(s);
                 }
             }
-            if s.fetch_time > s.buffered {
-                s.rebuffer_events += 1;
-                s.rebuffer_time += s.fetch_time - s.buffered;
-                s.buffered = SimDuration::ZERO;
-            } else {
-                s.buffered -= s.fetch_time;
-            }
-            s.buffered += s.media.segment;
-            s.fetched += 1;
-            if s.fetched < s.total_segments {
-                fetch_next(engine, s);
-            }
-        } else {
-            // Prebuffer phase: fills the buffer without draining it.
-            s.wall += s.fetch_time;
-            s.buffered += s.media.segment;
-            s.fetched += 1;
-            if s.buffered < s.media.prebuffer && s.fetched < s.total_segments {
-                fetch_next(engine, s);
-                return;
-            }
-            begin_playback(s);
-            if s.fetched < s.total_segments {
-                fetch_next(engine, s);
-            }
+        }
+        if s.fetched < s.total_segments {
+            fetch_next(engine, s);
         }
     });
 
@@ -687,6 +716,40 @@ mod tests {
             warm_scheduled,
             "every warm schedule must recycle a slab slot"
         );
+    }
+
+    #[test]
+    fn timed_play_coalesces_batches_and_splits_at_foreign_deadlines() {
+        let ch = channel(60_000.0, 0);
+        let media = MediaStream::video(SimDuration::from_secs(120)); // 20 segments
+        // Dedicated engine: the session coalesces into a handful of
+        // batch timers, far fewer than one event per segment.
+        let mut rng = SimRng::new(9);
+        let mut clean = Engine::with_capacity(9, 2);
+        let base = play_timed(&mut clean, &ch, &media, &mut rng);
+        assert!(
+            clean.events_executed() < media.segments(),
+            "no coalescing: {} events for {} segments",
+            clean.events_executed(),
+            media.segments()
+        );
+        // Same session with a foreign Tick pending mid-stream: batches
+        // must split at it (never integrate past a pending deadline),
+        // ignore it when it fires, and reproduce the result exactly.
+        let mut rng = SimRng::new(9);
+        let mut shared = Engine::with_capacity(9, 4);
+        shared.schedule_event_in(SimDuration::from_secs(40), SimEvent::Tick { tag: 77 });
+        let split = play_timed(&mut shared, &ch, &media, &mut rng);
+        assert_eq!(base.startup_delay, split.startup_delay);
+        assert_eq!(base.rebuffer_events, split.rebuffer_events);
+        assert_eq!(base.rebuffer_time, split.rebuffer_time);
+        assert_eq!(base.rebuffer_ratio.to_bits(), split.rebuffer_ratio.to_bits());
+        assert_eq!(base.outcome, split.outcome);
+        assert!(
+            shared.events_executed() > clean.events_executed(),
+            "the pending foreign deadline must force a batch split"
+        );
+        assert_eq!(shared.events_pending(), 0);
     }
 
     #[test]
